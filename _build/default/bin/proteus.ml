@@ -1,0 +1,164 @@
+(* proteus - command-line driver for the simulated Proteus stack.
+
+   Subcommands:
+     compile FILE   AOT-compile a Kernel-C program, optionally with the
+                    Proteus plugin; dump IR / device code / PTX
+     run FILE       compile and execute on the simulated GPU
+     bench NAME     run one HeCBench mini-app under every method
+     devices        list simulated devices                           *)
+
+open Cmdliner
+open Proteus_gpu
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let vendor_conv =
+  let parse = function
+    | "amd" | "hip" -> Ok Device.Amd
+    | "nvidia" | "cuda" -> Ok Device.Nvidia
+    | s -> Error (`Msg (Printf.sprintf "unknown vendor %s (amd|nvidia)" s))
+  in
+  let print fmt v =
+    Format.pp_print_string fmt (match v with Device.Amd -> "amd" | Device.Nvidia -> "nvidia")
+  in
+  Arg.conv (parse, print)
+
+let vendor_arg =
+  Arg.(value & opt vendor_conv Device.Amd & info [ "vendor"; "V" ] ~doc:"Target GPU vendor (amd|nvidia).")
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let proteus_flag =
+  Arg.(value & flag & info [ "proteus" ] ~doc:"Enable the Proteus plugin (JIT-enabled executable).")
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let dump_host = Arg.(value & flag & info [ "dump-host" ] ~doc:"Print host IR.") in
+  let dump_device = Arg.(value & flag & info [ "dump-device" ] ~doc:"Print device IR.") in
+  let dump_ptx = Arg.(value & flag & info [ "dump-ptx" ] ~doc:"Print PTX (NVIDIA).") in
+  let dump_mach =
+    Arg.(value & flag & info [ "dump-mach" ] ~doc:"Print machine code of kernels.")
+  in
+  let run file vendor proteus dump_host dump_device dump_ptx dump_mach =
+    let source = read_file file in
+    let mode = if proteus then Proteus_driver.Driver.Proteus else Proteus_driver.Driver.Aot in
+    let exe =
+      Proteus_driver.Driver.compile ~name:(Filename.basename file) ~vendor ~mode source
+    in
+    Printf.printf "compiled %s for %s (%s): %d kernels, %d sections, wall %.1fms\n" file
+      (match vendor with Device.Amd -> "AMD" | Device.Nvidia -> "NVIDIA")
+      (if proteus then "Proteus" else "AOT")
+      (List.length exe.Proteus_driver.Driver.fatbin.Proteus_backend.Mach.kernels)
+      (List.length exe.Proteus_driver.Driver.fatbin.Proteus_backend.Mach.sections)
+      (exe.Proteus_driver.Driver.build_wall_s *. 1e3);
+    if dump_host then
+      print_string (Proteus_ir.Irpp.module_to_string exe.Proteus_driver.Driver.host);
+    if dump_device || dump_ptx then begin
+      let u =
+        Proteus_frontend.Compile.compile ~name:(Filename.basename file)
+          ~vendor:(Proteus_driver.Driver.frontend_vendor vendor)
+          source
+      in
+      if dump_device then
+        print_string (Proteus_ir.Irpp.module_to_string u.Proteus_frontend.Compile.device);
+      if dump_ptx then begin
+        ignore (Proteus_opt.Pipeline.optimize_o3 u.Proteus_frontend.Compile.device);
+        print_string (Proteus_backend.Ptx.emit u.Proteus_frontend.Compile.device)
+      end
+    end;
+    if dump_mach then
+      List.iter
+        (fun k -> print_string (Proteus_backend.Mach.mfunc_to_string k))
+        exe.Proteus_driver.Driver.fatbin.Proteus_backend.Mach.kernels
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"AOT-compile a Kernel-C program")
+    Term.(
+      const run $ file_arg $ vendor_arg $ proteus_flag $ dump_host $ dump_device
+      $ dump_ptx $ dump_mach)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let no_rcf = Arg.(value & flag & info [ "no-rcf" ] ~doc:"Disable runtime constant folding.") in
+  let no_lb = Arg.(value & flag & info [ "no-lb" ] ~doc:"Disable dynamic launch bounds.") in
+  let cache_dir =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~doc:"Persistent cache directory.")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print JIT statistics.") in
+  let go file vendor proteus no_rcf no_lb cache_dir stats =
+    let source = read_file file in
+    let mode = if proteus then Proteus_driver.Driver.Proteus else Proteus_driver.Driver.Aot in
+    let exe =
+      Proteus_driver.Driver.compile ~name:(Filename.basename file) ~vendor ~mode source
+    in
+    let config =
+      {
+        Proteus_core.Config.enable_rcf = not no_rcf;
+        enable_lb = not no_lb;
+        use_mem_cache = true;
+        persistent_dir = cache_dir;
+      }
+    in
+    let r = Proteus_driver.Driver.run ~config exe in
+    print_string r.Proteus_driver.Driver.output;
+    Printf.printf "[exit %d; simulated end-to-end %.4f ms; kernels %.4f ms]\n"
+      r.Proteus_driver.Driver.exit_code
+      (r.Proteus_driver.Driver.end_to_end_s *. 1e3)
+      (r.Proteus_driver.Driver.kernel_time_s *. 1e3);
+    (if stats then
+       match r.Proteus_driver.Driver.jit with
+       | Some s -> Printf.printf "[%s]\n" (Proteus_core.Stats.to_string s)
+       | None -> Printf.printf "[no JIT: AOT executable]\n");
+    exit r.Proteus_driver.Driver.exit_code
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a Kernel-C program on the simulated GPU")
+    Term.(const go $ file_arg $ vendor_arg $ proteus_flag $ no_rcf $ no_lb $ cache_dir $ stats)
+
+(* ---- bench ---- *)
+
+let bench_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
+           ~doc:"One of: adam rsbench wsm5 fey-kac lulesh sw4ck")
+  in
+  let go name vendor =
+    let open Proteus_hecbench in
+    let a = Suite.find name in
+    List.iter
+      (fun meth ->
+        let m = Harness.run a vendor meth in
+        if m.Harness.na then Printf.printf "%-9s N/A\n" (Harness.method_name meth)
+        else
+          Printf.printf "%-9s e2e=%9.4fms kernels=%9.4fms jit-overhead=%8.4fms %s\n"
+            m.Harness.meth (m.Harness.e2e_s *. 1e3) (m.Harness.kernel_s *. 1e3)
+            (m.Harness.jit_overhead_s *. 1e3)
+            (if m.Harness.ok then "ok" else "FAILED"))
+      [ Harness.AOT; Harness.Proteus_cold; Harness.Proteus_warm; Harness.Jitify_m ]
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run a HeCBench mini-app under every method")
+    Term.(const go $ name_arg $ vendor_arg)
+
+let devices_cmd =
+  let go () =
+    List.iter
+      (fun v ->
+        let d = Device.by_vendor v in
+        Printf.printf "%-26s %3d CUs, warp %2d, %4.2f GHz, L2 %s\n" d.Device.name
+          d.Device.num_cus d.Device.warp_size d.Device.clock_ghz
+          (Proteus_support.Util.human_bytes d.Device.l2_bytes))
+      [ Device.Amd; Device.Nvidia ]
+  in
+  Cmd.v (Cmd.info "devices" ~doc:"List simulated devices") Term.(const go $ const ())
+
+let () =
+  let info = Cmd.info "proteus" ~version:"1.0.0" ~doc:"Proteus GPU JIT (simulated) driver" in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; bench_cmd; devices_cmd ]))

@@ -1,0 +1,1 @@
+examples/adam_training.ml: Array Config Device Driver Filename Printf Proteus_core Proteus_driver Proteus_gpu Stats Sys Unix

@@ -1,0 +1,1 @@
+examples/adam_training.mli:

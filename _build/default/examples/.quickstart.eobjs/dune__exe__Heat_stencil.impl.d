@@ -1,0 +1,1 @@
+examples/heat_stencil.ml: Config Device Driver List Printf Proteus_core Proteus_driver Proteus_gpu

@@ -1,0 +1,1 @@
+examples/montecarlo_pi.ml: Device Float Gpurt Konst Printf Proteus_gpu Proteus_ir Proteus_jitify Proteus_runtime

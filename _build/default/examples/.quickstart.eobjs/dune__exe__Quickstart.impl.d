@@ -1,0 +1,1 @@
+examples/quickstart.ml: Device Driver Printf Proteus_core Proteus_driver Proteus_gpu Stats

@@ -1,0 +1,1 @@
+lib/backend/gcn.ml: Ir Isel List Mach Proteus_ir Regalloc Types

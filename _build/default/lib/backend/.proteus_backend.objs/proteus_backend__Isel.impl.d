@@ -1,0 +1,1 @@
+lib/backend/isel.ml: Cfg Hashtbl Int64 Ir Konst List Mach Ops Option Printf Proteus_ir Proteus_support Types Uniformity Util

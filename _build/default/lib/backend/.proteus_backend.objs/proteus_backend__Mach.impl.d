@@ -1,0 +1,1 @@
+lib/backend/mach.ml: Bitcode Buffer Ir Konst List Ops Printf Proteus_ir Proteus_support String Types Util

@@ -1,0 +1,1 @@
+lib/backend/ptx.ml: Buffer Int32 Int64 Ir Isel Konst List Mach Ops Printf Proteus_ir Proteus_support String Types Util

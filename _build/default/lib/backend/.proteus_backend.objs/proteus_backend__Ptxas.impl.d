@@ -1,0 +1,1 @@
+lib/backend/ptxas.ml: Ir List Mach Option Proteus_ir Ptx Regalloc

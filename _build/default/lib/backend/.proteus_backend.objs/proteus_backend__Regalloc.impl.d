@@ -1,0 +1,1 @@
+lib/backend/regalloc.ml: Array Hashtbl Konst List Mach Option Proteus_ir Proteus_support Types Util

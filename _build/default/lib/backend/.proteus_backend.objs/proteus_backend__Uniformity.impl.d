@@ -1,0 +1,1 @@
+lib/backend/uniformity.ml: Array Ir List Proteus_ir Proteus_support Util

@@ -1,0 +1,1 @@
+lib/frontend/compile.ml: Ir Lower Parse Printf Proteus_ir Proteus_support Util Verify

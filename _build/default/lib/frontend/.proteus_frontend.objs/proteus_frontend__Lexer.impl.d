@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Array Ast Buffer Int64 List Printf String

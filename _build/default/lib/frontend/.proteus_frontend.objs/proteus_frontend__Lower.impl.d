@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Builder Cfg Int64 Ir Konst List Ops Printf Proteus_ir Proteus_support String Types Util

@@ -1,0 +1,1 @@
+lib/frontend/parse.ml: Array Ast Format Int64 Lexer List Printf

@@ -1,0 +1,104 @@
+(* Abstract syntax of Kernel-C: a C dialect with CUDA/HIP extensions
+   (__global__/__device__ qualifiers, annotate/launch_bounds attributes,
+   triple-chevron kernel launches, threadIdx/blockIdx builtins). *)
+
+type pos = { line : int; col : int }
+
+let pos_to_string p = Printf.sprintf "%d:%d" p.line p.col
+
+type cty =
+  | Cvoid
+  | Cbool
+  | Cint
+  | Clong
+  | Cfloat
+  | Cdouble
+  | Cptr of cty
+  | Carr of cty * int (* only in declarations *)
+
+let rec cty_to_string = function
+  | Cvoid -> "void"
+  | Cbool -> "bool"
+  | Cint -> "int"
+  | Clong -> "long"
+  | Cfloat -> "float"
+  | Cdouble -> "double"
+  | Cptr t -> cty_to_string t ^ "*"
+  | Carr (t, n) -> Printf.sprintf "%s[%d]" (cty_to_string t) n
+
+type unop = Neg | Not | BitNot
+
+type expr = { desc : expr_desc; epos : pos }
+
+and expr_desc =
+  | Eint of int64 * bool (* value, is_long *)
+  | Efloat of float * bool (* value, is_double *)
+  | Ebool of bool
+  | Estr of string
+  | Eid of string
+  | Ebin of string * expr * expr (* operator symbol, e.g. "+", "&&" *)
+  | Eun of unop * expr
+  | Eassign of string * expr * expr (* "=", "+=", ... *)
+  | Eincdec of bool * bool * expr (* is_pre, is_incr, lvalue *)
+  | Ecall of string * expr list
+  | Eindex of expr * expr
+  | Emember of expr * string (* threadIdx.x and friends *)
+  | Econd of expr * expr * expr
+  | Ecast of cty * expr
+  | Eaddr of expr
+  | Ederef of expr
+  | Elaunch of launch
+
+and launch = {
+  lkernel : string;
+  lgrid : expr;
+  lblock : expr;
+  lshmem : expr option;
+  largs : expr list;
+}
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Sdecl of cty * string * expr option
+  | Sexpr of expr
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sfor of stmt option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sblock of stmt list
+  | Sseq of stmt list (* statement group without its own scope *)
+  | Sbreak
+  | Scontinue
+
+type funkind = Fglobal | Fdevice | Fhost
+
+type attr =
+  | Annotate of string * int list (* annotate("jit", 1, 2, ...) *)
+  | LaunchBounds of int * int
+
+type fundef = {
+  fattrs : attr list;
+  fkind : funkind;
+  fret : cty;
+  fcname : string;
+  fparams : (cty * string) list;
+  fbody : stmt option; (* None for declarations *)
+  fpos : pos;
+}
+
+type globdef = {
+  gkind : funkind; (* Fdevice for __device__ globals, Fhost otherwise *)
+  gcty : cty;
+  gcname : string;
+  gcinit : expr option;
+  gpos : pos;
+}
+
+type decl = Dfun of fundef | Dglob of globdef
+
+type program = decl list
+
+exception Error of pos * string
+
+let error pos fmt = Format.kasprintf (fun s -> raise (Error (pos, s))) fmt

@@ -1,0 +1,30 @@
+(* Front door of the frontend: source text -> {host, device} IR modules
+   (split compilation, Figure 1 of the paper). The module identifier is
+   a content hash of the source, which is what makes the Proteus
+   persistent cache responsive to source changes. *)
+
+open Proteus_support
+open Proteus_ir
+
+type unit_ir = { host : Ir.modul; device : Ir.modul; source : string }
+
+let module_id ~name source =
+  Printf.sprintf "%s-%s" name (Util.hash_hex source)
+
+let compile ?(name = "tu") ~(vendor : Lower.vendor) (source : string) : unit_ir =
+  let prog = Parse.parse_program source in
+  let mid = module_id ~name source in
+  let device = Lower.lower_device ~mid ~name prog in
+  let host = Lower.lower_host ~vendor ~mid ~name prog in
+  Verify.verify_module device;
+  Verify.verify_module host;
+  { host; device; source }
+
+(* Compile only the device side; used by the Jitify-like baseline, which
+   receives kernels as stringified source at runtime. *)
+let compile_device_only ?(name = "rtc") (source : string) : Ir.modul =
+  let prog = Parse.parse_program source in
+  let mid = module_id ~name source in
+  let device = Lower.lower_device ~mid ~name prog in
+  Verify.verify_module device;
+  device

@@ -1,0 +1,526 @@
+(* Recursive-descent parser for Kernel-C with precedence climbing for
+   expressions. Grammar features follow CUDA/HIP C: qualifiers and
+   attributes before the return type, triple-chevron launches, and
+   C-style casts. *)
+
+open Ast
+
+type t = { toks : (Lexer.token * pos) array; mutable cur : int }
+
+let make lx = { toks = lx.Lexer.toks; cur = 0 }
+let peek p = fst p.toks.(p.cur)
+let peek_at p k = fst p.toks.(min (p.cur + k) (Array.length p.toks - 1))
+let pos_here p = snd p.toks.(p.cur)
+let advance p = p.cur <- min (p.cur + 1) (Array.length p.toks - 1)
+
+let errf p fmt =
+  Format.kasprintf (fun s -> raise (Error (pos_here p, s))) fmt
+
+let expect_punct p s =
+  match peek p with
+  | Lexer.Tpunct x when x = s -> advance p
+  | t -> errf p "expected '%s', found %s" s (Lexer.token_to_string t)
+
+let expect_kw p s =
+  match peek p with
+  | Lexer.Tkw x when x = s -> advance p
+  | t -> errf p "expected '%s', found %s" s (Lexer.token_to_string t)
+
+let accept_punct p s =
+  match peek p with
+  | Lexer.Tpunct x when x = s ->
+      advance p;
+      true
+  | _ -> false
+
+let accept_kw p s =
+  match peek p with
+  | Lexer.Tkw x when x = s ->
+      advance p;
+      true
+  | _ -> false
+
+let expect_id p =
+  match peek p with
+  | Lexer.Tid s ->
+      advance p;
+      s
+  | t -> errf p "expected identifier, found %s" (Lexer.token_to_string t)
+
+let expect_int p =
+  match peek p with
+  | Lexer.Tint (v, _) ->
+      advance p;
+      Int64.to_int v
+  | t -> errf p "expected integer literal, found %s" (Lexer.token_to_string t)
+
+(* ---- types ---- *)
+
+let is_base_type_kw = function
+  | "void" | "bool" | "int" | "long" | "float" | "double" | "unsigned" | "size_t" -> true
+  | _ -> false
+
+(* Starts at a base type keyword (possibly behind const/unsigned). *)
+let looks_like_type p =
+  let rec go k =
+    match peek_at p k with
+    | Lexer.Tkw s when s = "const" || s = "unsigned" -> go (k + 1)
+    | Lexer.Tkw s -> is_base_type_kw s
+    | _ -> false
+  in
+  go 0
+
+let parse_base_type p =
+  let _ = accept_kw p "const" in
+  let _ = accept_kw p "unsigned" in
+  let t =
+    match peek p with
+    | Lexer.Tkw "void" -> Cvoid
+    | Lexer.Tkw "bool" -> Cbool
+    | Lexer.Tkw "int" -> Cint
+    | Lexer.Tkw "long" -> Clong
+    | Lexer.Tkw "size_t" -> Clong
+    | Lexer.Tkw "float" -> Cfloat
+    | Lexer.Tkw "double" -> Cdouble
+    | t -> errf p "expected type, found %s" (Lexer.token_to_string t)
+  in
+  advance p;
+  (* "long long" and "unsigned long" collapse to long. *)
+  let _ = accept_kw p "long" in
+  t
+
+let parse_type p =
+  let base = parse_base_type p in
+  let rec stars t =
+    if accept_punct p "*" then begin
+      let _ = accept_kw p "const" in
+      let _ = accept_kw p "__restrict__" in
+      stars (Cptr t)
+    end
+    else t
+  in
+  stars base
+
+(* ---- expressions ---- *)
+
+let rec parse_expr p = parse_assign p
+
+and parse_assign p =
+  let lhs = parse_cond p in
+  match peek p with
+  | Lexer.Tpunct (("=" | "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>=") as op)
+    ->
+      let epos = pos_here p in
+      advance p;
+      let rhs = parse_assign p in
+      { desc = Eassign (op, lhs, rhs); epos }
+  | _ -> lhs
+
+and parse_cond p =
+  let c = parse_binary p 0 in
+  if accept_punct p "?" then begin
+    let t = parse_assign p in
+    expect_punct p ":";
+    let e = parse_cond p in
+    { desc = Econd (c, t, e); epos = c.epos }
+  end
+  else c
+
+(* Binary operator precedence levels, loosest first. *)
+and binop_prec = function
+  | "||" -> Some 1
+  | "&&" -> Some 2
+  | "|" -> Some 3
+  | "^" -> Some 4
+  | "&" -> Some 5
+  | "==" | "!=" -> Some 6
+  | "<" | "<=" | ">" | ">=" -> Some 7
+  | "<<" | ">>" -> Some 8
+  | "+" | "-" -> Some 9
+  | "*" | "/" | "%" -> Some 10
+  | _ -> None
+
+and parse_binary p min_prec =
+  let lhs = ref (parse_unary p) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek p with
+    | Lexer.Tpunct op -> (
+        match binop_prec op with
+        | Some prec when prec >= min_prec ->
+            let epos = pos_here p in
+            advance p;
+            let rhs = parse_binary p (prec + 1) in
+            lhs := { desc = Ebin (op, !lhs, rhs); epos }
+        | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary p =
+  let epos = pos_here p in
+  match peek p with
+  | Lexer.Tpunct "-" ->
+      advance p;
+      { desc = Eun (Neg, parse_unary p); epos }
+  | Lexer.Tpunct "!" ->
+      advance p;
+      { desc = Eun (Not, parse_unary p); epos }
+  | Lexer.Tpunct "~" ->
+      advance p;
+      { desc = Eun (BitNot, parse_unary p); epos }
+  | Lexer.Tpunct "&" ->
+      advance p;
+      { desc = Eaddr (parse_unary p); epos }
+  | Lexer.Tpunct "*" ->
+      advance p;
+      { desc = Ederef (parse_unary p); epos }
+  | Lexer.Tpunct "++" ->
+      advance p;
+      { desc = Eincdec (true, true, parse_unary p); epos }
+  | Lexer.Tpunct "--" ->
+      advance p;
+      { desc = Eincdec (true, false, parse_unary p); epos }
+  | Lexer.Tpunct "(" when (match peek_at p 1 with
+                           | Lexer.Tkw s -> is_base_type_kw s || s = "const"
+                           | _ -> false) ->
+      (* C-style cast. *)
+      advance p;
+      let ty = parse_type p in
+      expect_punct p ")";
+      let e = parse_unary p in
+      { desc = Ecast (ty, e); epos }
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let e = ref (parse_primary p) in
+  let continue_ = ref true in
+  while !continue_ do
+    let epos = pos_here p in
+    if accept_punct p "[" then begin
+      let idx = parse_expr p in
+      expect_punct p "]";
+      e := { desc = Eindex (!e, idx); epos }
+    end
+    else if accept_punct p "." then begin
+      let m = expect_id p in
+      e := { desc = Emember (!e, m); epos }
+    end
+    else if accept_punct p "++" then e := { desc = Eincdec (false, true, !e); epos }
+    else if accept_punct p "--" then e := { desc = Eincdec (false, false, !e); epos }
+    else continue_ := false
+  done;
+  !e
+
+and parse_args p =
+  expect_punct p "(";
+  if accept_punct p ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_expr p in
+      if accept_punct p "," then go (e :: acc)
+      else begin
+        expect_punct p ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary p =
+  let epos = pos_here p in
+  match peek p with
+  | Lexer.Tint (v, l) ->
+      advance p;
+      { desc = Eint (v, l); epos }
+  | Lexer.Tfloat (v, d) ->
+      advance p;
+      { desc = Efloat (v, d); epos }
+  | Lexer.Tstr s ->
+      advance p;
+      { desc = Estr s; epos }
+  | Lexer.Tkw "true" ->
+      advance p;
+      { desc = Ebool true; epos }
+  | Lexer.Tkw "false" ->
+      advance p;
+      { desc = Ebool false; epos }
+  | Lexer.Tpunct "(" ->
+      advance p;
+      let e = parse_expr p in
+      expect_punct p ")";
+      e
+  | Lexer.Tid name -> (
+      advance p;
+      match peek p with
+      | Lexer.Tpunct "(" ->
+          let args = parse_args p in
+          { desc = Ecall (name, args); epos }
+      | Lexer.Tpunct "<<<" ->
+          advance p;
+          let lgrid = parse_expr p in
+          expect_punct p ",";
+          let lblock = parse_expr p in
+          let lshmem = if accept_punct p "," then Some (parse_expr p) else None in
+          expect_punct p ">>>";
+          let largs = parse_args p in
+          { desc = Elaunch { lkernel = name; lgrid; lblock; lshmem; largs }; epos }
+      | _ -> { desc = Eid name; epos })
+  | t -> errf p "expected expression, found %s" (Lexer.token_to_string t)
+
+(* ---- statements ---- *)
+
+let rec parse_stmt p : stmt =
+  let spos = pos_here p in
+  match peek p with
+  | Lexer.Tpunct "{" ->
+      advance p;
+      let rec go acc =
+        if accept_punct p "}" then List.rev acc else go (parse_stmt p :: acc)
+      in
+      { sdesc = Sblock (go []); spos }
+  | Lexer.Tkw "if" ->
+      advance p;
+      expect_punct p "(";
+      let c = parse_expr p in
+      expect_punct p ")";
+      let t = parse_stmt p in
+      let e = if accept_kw p "else" then Some (parse_stmt p) else None in
+      { sdesc = Sif (c, t, e); spos }
+  | Lexer.Tkw "while" ->
+      advance p;
+      expect_punct p "(";
+      let c = parse_expr p in
+      expect_punct p ")";
+      let body = parse_stmt p in
+      { sdesc = Swhile (c, body); spos }
+  | Lexer.Tkw "do" ->
+      (* do { body } while (c); desugars to body; while (c) body. *)
+      advance p;
+      let body = parse_stmt p in
+      expect_kw p "while";
+      expect_punct p "(";
+      let c = parse_expr p in
+      expect_punct p ")";
+      expect_punct p ";";
+      { sdesc = Sblock [ body; { sdesc = Swhile (c, body); spos } ]; spos }
+  | Lexer.Tkw "for" ->
+      advance p;
+      expect_punct p "(";
+      let init =
+        if accept_punct p ";" then None
+        else begin
+          let s =
+            if looks_like_type p then parse_decl_stmt p
+            else
+              let e = parse_expr p in
+              { sdesc = Sexpr e; spos = e.epos }
+          in
+          expect_punct p ";";
+          Some s
+        end
+      in
+      let cond = if accept_punct p ";" then None else begin
+        let e = parse_expr p in
+        expect_punct p ";";
+        Some e
+      end
+      in
+      let step =
+        if accept_punct p ")" then None
+        else begin
+          let e = parse_expr p in
+          expect_punct p ")";
+          Some e
+        end
+      in
+      let body = parse_stmt p in
+      { sdesc = Sfor (init, cond, step, body); spos }
+  | Lexer.Tkw "return" ->
+      advance p;
+      let v = if accept_punct p ";" then None else begin
+        let e = parse_expr p in
+        expect_punct p ";";
+        Some e
+      end
+      in
+      { sdesc = Sreturn v; spos }
+  | Lexer.Tkw "break" ->
+      advance p;
+      expect_punct p ";";
+      { sdesc = Sbreak; spos }
+  | Lexer.Tkw "continue" ->
+      advance p;
+      expect_punct p ";";
+      { sdesc = Scontinue; spos }
+  | Lexer.Tkw s when is_base_type_kw s || s = "const" ->
+      let s = parse_decl_stmt p in
+      expect_punct p ";";
+      s
+  | _ ->
+      let e = parse_expr p in
+      expect_punct p ";";
+      { sdesc = Sexpr e; spos = e.epos }
+
+(* A local declaration, without the trailing semicolon (shared with for-init). *)
+and parse_decl_stmt p : stmt =
+  let spos = pos_here p in
+  let ty = parse_type p in
+  let name = expect_id p in
+  let ty =
+    if accept_punct p "[" then begin
+      let n = expect_int p in
+      expect_punct p "]";
+      Carr (ty, n)
+    end
+    else ty
+  in
+  let init = if accept_punct p "=" then Some (parse_expr p) else None in
+  (* Multiple declarators share the type: "int a = 0, b = 1;" becomes a block. *)
+  if accept_punct p "," then begin
+    let rec more acc =
+      let n2 = expect_id p in
+      let i2 = if accept_punct p "=" then Some (parse_expr p) else None in
+      let d = { sdesc = Sdecl ((match ty with Carr (t, _) -> t | t -> t), n2, i2); spos } in
+      if accept_punct p "," then more (d :: acc) else List.rev (d :: acc)
+    in
+    let rest = more [] in
+    (* multiple declarators share the enclosing scope *)
+    { sdesc = Sseq ({ sdesc = Sdecl (ty, name, init); spos } :: rest); spos }
+  end
+  else { sdesc = Sdecl (ty, name, init); spos }
+
+(* ---- top-level declarations ---- *)
+
+let parse_attr p : attr option =
+  if accept_kw p "__attribute__" then begin
+    expect_punct p "(";
+    expect_punct p "(";
+    let name = expect_id p in
+    let attr =
+      match name with
+      | "annotate" ->
+          expect_punct p "(";
+          let key = (match peek p with
+            | Lexer.Tstr s -> advance p; s
+            | t -> errf p "annotate expects a string, found %s" (Lexer.token_to_string t))
+          in
+          let rec ints acc =
+            if accept_punct p "," then ints (expect_int p :: acc) else List.rev acc
+          in
+          let args = ints [] in
+          expect_punct p ")";
+          Annotate (key, args)
+      | other -> errf p "unsupported attribute %s" other
+    in
+    expect_punct p ")";
+    expect_punct p ")";
+    Some attr
+  end
+  else if accept_kw p "__launch_bounds__" then begin
+    expect_punct p "(";
+    let t = expect_int p in
+    let b = if accept_punct p "," then expect_int p else 1 in
+    expect_punct p ")";
+    Some (LaunchBounds (t, b))
+  end
+  else None
+
+let parse_decl p : decl =
+  let fpos = pos_here p in
+  let kind = ref Fhost in
+  let attrs = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept_kw p "__global__" then kind := Fglobal
+    else if accept_kw p "__device__" then kind := Fdevice
+    else if accept_kw p "__host__" then ()
+    else if accept_kw p "__shared__" then kind := Fdevice
+    else if accept_kw p "extern" then ()
+    else if accept_kw p "static" then ()
+    else
+      match parse_attr p with
+      | Some a -> attrs := !attrs @ [ a ]
+      | None -> continue_ := false
+  done;
+  let ret = parse_type p in
+  (* Attributes may also appear between the type and the name. *)
+  let rec more_attrs () =
+    match parse_attr p with
+    | Some a ->
+        attrs := !attrs @ [ a ];
+        more_attrs ()
+    | None -> ()
+  in
+  more_attrs ();
+  let name = expect_id p in
+  if accept_punct p "(" then begin
+    (* Function definition or declaration. *)
+    let params =
+      if accept_punct p ")" then []
+      else begin
+        let rec go acc =
+          let ty = parse_type p in
+          let pname =
+            match peek p with
+            | Lexer.Tid s ->
+                advance p;
+                s
+            | _ -> Printf.sprintf "arg%d" (List.length acc)
+          in
+          (* Array parameters decay to pointers. *)
+          let ty =
+            if accept_punct p "[" then begin
+              (match peek p with Lexer.Tint _ -> advance p | _ -> ());
+              expect_punct p "]";
+              Cptr ty
+            end
+            else ty
+          in
+          if accept_punct p "," then go ((ty, pname) :: acc)
+          else begin
+            expect_punct p ")";
+            List.rev ((ty, pname) :: acc)
+          end
+        in
+        go []
+      end
+    in
+    more_attrs ();
+    let body =
+      if accept_punct p ";" then None
+      else begin
+        let s = parse_stmt p in
+        Some s
+      end
+    in
+    Dfun
+      {
+        fattrs = !attrs;
+        fkind = !kind;
+        fret = ret;
+        fcname = name;
+        fparams = params;
+        fbody = body;
+        fpos;
+      }
+  end
+  else begin
+    let ty =
+      if accept_punct p "[" then begin
+        let n = expect_int p in
+        expect_punct p "]";
+        Carr (ret, n)
+      end
+      else ret
+    in
+    let init = if accept_punct p "=" then Some (parse_expr p) else None in
+    expect_punct p ";";
+    Dglob { gkind = !kind; gcty = ty; gcname = name; gcinit = init; gpos = fpos }
+  end
+
+let parse_program (src : string) : program =
+  let lx = Lexer.tokenize src in
+  let p = make lx in
+  let rec go acc = if peek p = Lexer.Teof then List.rev acc else go (parse_decl p :: acc) in
+  go []

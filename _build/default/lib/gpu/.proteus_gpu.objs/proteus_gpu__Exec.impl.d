@@ -1,0 +1,1 @@
+lib/gpu/exec.ml: Array Counters Device Float Gmem Hashtbl Int32 Int64 Ir Konst L2cache List Mach Ops Option Proteus_backend Proteus_ir Proteus_support Types Uniformity Util

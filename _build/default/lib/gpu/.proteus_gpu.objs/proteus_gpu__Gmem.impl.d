@@ -1,0 +1,1 @@
+lib/gpu/gmem.ml: Bytes Char Int32 Int64 Konst List Proteus_ir Proteus_support Types Util

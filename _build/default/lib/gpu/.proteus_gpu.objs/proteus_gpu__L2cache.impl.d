@@ -1,0 +1,1 @@
+lib/gpu/l2cache.ml: Array Device Int64

@@ -1,0 +1,1 @@
+lib/gpu/timing.ml: Counters Device Float Mach Proteus_backend

@@ -1,0 +1,74 @@
+(* GPU device descriptors. Two configurations mirror the paper's
+   testbeds: an MI250X-like AMD part (wave64, direct-to-binary backend)
+   and a V100-like NVIDIA part (warp32, PTX + ptxas pipeline). *)
+
+type vendor = Amd | Nvidia
+
+type t = {
+  name : string;
+  vendor : vendor;
+  num_cus : int;
+  warp_size : int;
+  max_waves_per_cu : int;
+  (* 32-bit register units per CU available to resident waves; divides
+     by (regs-per-thread * warp_size) to give occupancy. *)
+  reg_units_per_cu : int;
+  l2_bytes : int;
+  l2_ways : int;
+  l2_line : int;
+  clock_ghz : float;
+  l2_hit_cycles : int;
+  mem_cycles : int;
+  (* issue cost of one warp instruction, in cycles *)
+  alu_issue : int;
+  math_issue : int;
+  mem_issue : int;
+  (* bytes per cycle of DRAM bandwidth *)
+  mem_bw : float;
+  (* memory-level parallelism: outstanding misses overlapped per wave *)
+  mlp : int;
+}
+
+let mi250x =
+  {
+    name = "AMD MI250X (simulated)";
+    vendor = Amd;
+    num_cus = 110;
+    warp_size = 64;
+    max_waves_per_cu = 32;
+    reg_units_per_cu = 131072; (* 4 SIMDs x 512 VGPRs x 64 lanes / 64 *)
+    l2_bytes = 8 * 1024 * 1024;
+    l2_ways = 16;
+    l2_line = 128;
+    clock_ghz = 1.7;
+    l2_hit_cycles = 15;
+    mem_cycles = 320;
+    alu_issue = 4; (* wave64 over 16-wide SIMD *)
+    math_issue = 16;
+    mem_issue = 4;
+    mem_bw = 1000.0;
+    mlp = 12;
+  }
+
+let v100 =
+  {
+    name = "NVIDIA V100 (simulated)";
+    vendor = Nvidia;
+    num_cus = 80;
+    warp_size = 32;
+    max_waves_per_cu = 64;
+    reg_units_per_cu = 65536;
+    l2_bytes = 6 * 1024 * 1024;
+    l2_ways = 16;
+    l2_line = 128;
+    clock_ghz = 1.38;
+    l2_hit_cycles = 12;
+    mem_cycles = 300;
+    alu_issue = 1;
+    math_issue = 8;
+    mem_issue = 2;
+    mem_bw = 650.0;
+    mlp = 10;
+  }
+
+let by_vendor = function Amd -> mi250x | Nvidia -> v100

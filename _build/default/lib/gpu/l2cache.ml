@@ -1,0 +1,67 @@
+(* Set-associative LRU L2 cache model. Only tags are modelled (data
+   lives in the memory arena); the cache exists to produce hit ratios
+   and miss counts for the timing model and rocprof-style counters. *)
+
+type t = {
+  sets : int;
+  ways : int;
+  line : int;
+  tags : int array array; (* set -> way -> tag (-1 empty) *)
+  stamp : int array array; (* LRU timestamps *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create (dev : Device.t) =
+  let lines = dev.Device.l2_bytes / dev.Device.l2_line in
+  let sets = max 1 (lines / dev.Device.l2_ways) in
+  {
+    sets;
+    ways = dev.Device.l2_ways;
+    line = dev.Device.l2_line;
+    tags = Array.make_matrix sets dev.Device.l2_ways (-1);
+    stamp = Array.make_matrix sets dev.Device.l2_ways 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let reset t =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) (-1)) t.tags;
+  t.hits <- 0;
+  t.misses <- 0
+
+(* Access one cache line containing [addr]; returns true on hit. *)
+let access t (addr : int64) : bool =
+  t.tick <- t.tick + 1;
+  let line_addr = Int64.to_int addr / t.line in
+  let set = line_addr mod t.sets in
+  let tag = line_addr in
+  let row = t.tags.(set) and st = t.stamp.(set) in
+  let hit = ref false in
+  for w = 0 to t.ways - 1 do
+    if row.(w) = tag then begin
+      hit := true;
+      st.(w) <- t.tick
+    end
+  done;
+  if !hit then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* evict LRU *)
+    let victim = ref 0 in
+    for w = 1 to t.ways - 1 do
+      if st.(w) < st.(!victim) then victim := w
+    done;
+    row.(!victim) <- tag;
+    st.(!victim) <- t.tick;
+    false
+  end
+
+let hit_ratio t =
+  let total = t.hits + t.misses in
+  if total = 0 then 1.0 else float_of_int t.hits /. float_of_int total

@@ -1,0 +1,71 @@
+open Proteus_backend
+(* Analytic timing model: turns executed-instruction counters, cache
+   behaviour and register-pressure-derived occupancy into a kernel
+   duration. The shape, not absolute fidelity, is the goal: more
+   instructions cost linearly, spills add memory traffic, higher
+   occupancy hides more memory latency. *)
+
+type report = {
+  duration_s : float;
+  cycles : float;
+  compute_cycles : float;
+  mem_cycles : float;
+  waves_per_cu : int;
+  ipc : float;
+  valu_busy : float; (* fraction of time in vector compute *)
+  stall_frac : float; (* memory-dependence stall fraction *)
+}
+
+let occupancy (dev : Device.t) (f : Mach.mfunc) : int =
+  let vregs = max f.Mach.vregs 16 in
+  let per_wave = vregs * dev.Device.warp_size in
+  let waves = dev.Device.reg_units_per_cu / (max per_wave 1) in
+  max 1 (min dev.Device.max_waves_per_cu waves)
+
+let kernel_time (dev : Device.t) (f : Mach.mfunc) (c : Counters.t) ~(blocks : int) :
+    report =
+  let fi = float_of_int in
+  let occ = occupancy dev f in
+  (* blocks spread round-robin over CUs; resident waves per CU are
+     bounded by the register-occupancy limit *)
+  let cus_used = max 1 (min dev.Device.num_cus blocks) in
+  let waves_per_cu =
+    max 1 (min occ ((c.Counters.warps + cus_used - 1) / cus_used))
+  in
+  let alu_instrs = c.Counters.valu_warp + c.Counters.salu in
+  let compute_issue =
+    (fi alu_instrs *. fi dev.Device.alu_issue)
+    +. (fi c.Counters.math_warp *. fi dev.Device.math_issue)
+    +. (fi (c.Counters.vmem_warp + c.Counters.smem + c.Counters.spill_ld + c.Counters.spill_st)
+        *. fi dev.Device.mem_issue)
+    +. (fi c.Counters.branches *. fi dev.Device.alu_issue)
+  in
+  let compute_cycles = compute_issue /. fi cus_used in
+  (* memory latency, overlapped by resident waves and MLP; deep MSHR
+     queues give a minimum of 4 outstanding requests even at low
+     occupancy *)
+  let overlap = fi (min (max 4 waves_per_cu) dev.Device.mlp) in
+  let lat_cycles =
+    ((fi c.Counters.l2_hits *. fi dev.Device.l2_hit_cycles)
+    +. (fi c.Counters.l2_misses *. fi dev.Device.mem_cycles))
+    /. fi cus_used /. overlap
+  in
+  (* DRAM bandwidth bound *)
+  let bytes = fi c.Counters.l2_misses *. fi dev.Device.l2_line in
+  let bw_cycles = bytes /. dev.Device.mem_bw in
+  let mem_cycles = Float.max lat_cycles bw_cycles in
+  let cycles = Float.max compute_cycles mem_cycles +. 2000.0 (* launch latency *) in
+  let duration_s = cycles /. (dev.Device.clock_ghz *. 1e9) in
+  let total_instr = fi c.Counters.warp_instrs in
+  {
+    duration_s;
+    cycles;
+    compute_cycles;
+    mem_cycles;
+    waves_per_cu;
+    ipc = (if cycles > 0.0 then total_instr /. fi cus_used /. cycles else 0.0);
+    valu_busy = (if cycles > 0.0 then Float.min 1.0 (compute_cycles /. cycles) else 0.0);
+    stall_frac =
+      (if cycles > 0.0 then Float.min 1.0 (Float.max 0.0 ((mem_cycles -. compute_cycles) /. cycles))
+       else 0.0);
+  }

@@ -1,0 +1,1 @@
+lib/hecbench/adam.ml: App Printf

@@ -1,0 +1,1 @@
+lib/hecbench/app.ml: Float String

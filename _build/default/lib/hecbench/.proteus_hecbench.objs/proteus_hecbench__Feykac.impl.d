@@ -1,0 +1,1 @@
+lib/hecbench/feykac.ml: App Printf

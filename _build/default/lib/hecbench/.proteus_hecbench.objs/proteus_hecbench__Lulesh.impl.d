@@ -1,0 +1,1 @@
+lib/hecbench/lulesh.ml: App Printf

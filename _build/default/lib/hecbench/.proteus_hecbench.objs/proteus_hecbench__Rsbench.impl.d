@@ -1,0 +1,1 @@
+lib/hecbench/rsbench.ml: App List Printf String

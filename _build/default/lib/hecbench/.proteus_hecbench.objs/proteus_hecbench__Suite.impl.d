@@ -1,0 +1,1 @@
+lib/hecbench/suite.ml: Adam App Feykac List Lulesh Proteus_support Rsbench String Sw4ck Wsm5

@@ -1,0 +1,1 @@
+lib/hecbench/sw4ck.ml: App Array List Printf String

@@ -1,0 +1,1 @@
+lib/hecbench/wsm5.ml: App List Printf String

@@ -1,0 +1,90 @@
+(* ADAM optimizer (machine learning). Elementwise moment update with a
+   tail of scalar hyper-parameters, all annotated for specialization -
+   mirroring Listing 1 of the paper. RCF is the dominant optimization:
+   folding grad_scale = 1 deletes the scaling division, decay = 0 kills
+   the weight-decay term (and its parameter load), and the
+   bias-correction pow() chain folds to literals instead of being
+   recomputed per thread. *)
+
+let scale_n = 16384 (* vector size (paper input: 160000 1600 1000, scaled) *)
+let steps = 100 (* optimizer steps (kernel launches) *)
+
+let source =
+  Printf.sprintf
+    {|
+// ADAM optimizer kernel (HeCBench adam, miniaturised)
+__global__ __attribute__((annotate("jit", 5, 6, 7, 8, 9, 10, 11, 13)))
+void adam(float* p, float* m, float* v, float* g,
+          float b1, float b2, float eps, float grad_scale,
+          float step_size, int time_step, int vector_size,
+          int mode, float decay) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int stride = gridDim.x * blockDim.x;
+  // hyper-parameter schedule: every input is a specialized scalar, so
+  // JIT runtime-constant folding deletes this entire preamble
+  float t = (float)time_step;
+  float bias1 = 1.0f - powf(b1, t);
+  float bias2 = 1.0f - powf(b2, t);
+  float gs = 1.0f / grad_scale;
+  float warm = fminf(1.0f, t / (t + 8.0f));
+  float cool = expf(-0.002f * t) * 0.5f + 0.5f;
+  float lr0 = step_size * sqrtf(bias2) / bias1;
+  float lr = lr0 * warm * cool * (1.0f + 0.1f * cosf(t * 0.01f));
+  float wd = decay * step_size * (1.0f - powf(0.99f, t));
+  float e1 = eps * sqrtf(bias2) * (1.0f + logf(1.0f + t) * 0.01f);
+  for (int j = i; j < vector_size; j += stride) {
+    float scaled_grad = g[j] * gs;
+    if (mode == 1) { scaled_grad = scaled_grad + wd * p[j]; }
+    float mj = b1 * m[j] + (1.0f - b1) * scaled_grad;
+    float vj = b2 * v[j] + (1.0f - b2) * scaled_grad * scaled_grad;
+    float denom = sqrtf(vj) + e1;
+    float update = mj / denom + wd * p[j];
+    p[j] = p[j] - lr * update;
+    m[j] = mj;
+    v[j] = vj;
+  }
+}
+
+int main() {
+  int n = %d;
+  int steps = %d;
+  long bytes = n * 4;
+  float* hp = (float*)malloc(bytes);
+  float* hg = (float*)malloc(bytes);
+  for (int i = 0; i < n; i++) {
+    hp[i] = 1.0f;
+    int r = (i * 1103515245 + 12345) & 65535;
+    hg[i] = ((float)r / 65536.0f) - 0.5f;
+  }
+  float* dp = (float*)cudaMalloc(bytes);
+  float* dm = (float*)cudaMalloc(bytes);
+  float* dv = (float*)cudaMalloc(bytes);
+  float* dg = (float*)cudaMalloc(bytes);
+  cudaMemcpyHtoD(dp, hp, bytes);
+  cudaMemcpyHtoD(dg, hg, bytes);
+  cudaMemcpyHtoD(dm, hp, bytes); // reuse as zero-ish init
+  cudaMemcpyHtoD(dv, hp, bytes);
+  for (int s = 0; s < steps; s++) {
+    adam<<<32, 256>>>(dp, dm, dv, dg,
+                      0.9f, 0.999f, 1e-8f, 1.0f, 0.001f, 4, n, 0, 0.0f);
+  }
+  cudaDeviceSynchronize();
+  cudaMemcpyDtoH(hp, dp, bytes);
+  double sum = 0.0;
+  for (int i = 0; i < n; i++) { sum = sum + hp[i]; }
+  printf("adam checksum=%%g\n", sum / n);
+  return 0;
+}
+|}
+    scale_n steps
+
+let app : App.t =
+  {
+    App.name = "ADAM";
+    domain = "Machine Learning";
+    input_desc = "160000 1600 1000 (scaled: 16384 elems, 100 steps)";
+    source;
+    kernels = [ "adam" ];
+    supports_jitify = true;
+    check = (fun out -> App.finite_check "checksum" out);
+  }

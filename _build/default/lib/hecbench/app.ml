@@ -1,0 +1,42 @@
+(* Common shape of a HeCBench mini-app: an annotated Kernel-C program
+   (kernels + host main), its Table-1 metadata, and a validation hook
+   over the program's printed output. *)
+
+type t = {
+  name : string;
+  domain : string;
+  input_desc : string; (* Table 1 "Input" column *)
+  source : string;
+  kernels : string list; (* kernel symbols, for the per-kernel analyses *)
+  supports_jitify : bool; (* LULESH: Jitify cannot handle it *)
+  check : string -> bool;
+}
+
+(* Parse "key=value" tokens out of program output. *)
+let find_value (output : string) (key : string) : float option =
+  let rec scan = function
+    | [] -> None
+    | tok :: rest ->
+        let prefix = key ^ "=" in
+        if
+          String.length tok > String.length prefix
+          && String.sub tok 0 (String.length prefix) = prefix
+        then
+          float_of_string_opt
+            (String.sub tok (String.length prefix)
+               (String.length tok - String.length prefix))
+        else scan rest
+  in
+  scan
+    (String.split_on_char ' '
+       (String.concat " " (String.split_on_char '\n' output)))
+
+let close ?(tol = 1e-6) a b =
+  let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) /. scale < tol
+
+(* a checker asserting key=value appears and is finite *)
+let finite_check key output =
+  match find_value output key with
+  | Some v -> Float.is_finite v
+  | None -> false

@@ -1,0 +1,80 @@
+(* FEY-KAC: Monte Carlo solution of an elliptic PDE via the Feynman-Kac
+   formula. Each thread runs a stochastic walk over a 2D ellipse domain,
+   evaluating the potential at every step (Listing 2 of the paper).
+   The ellipse semi-axes a and b are annotated: with the paper's input
+   ("1"), a = b = 1 and RCF collapses the 1/(a*a), 1/(b*b) terms and the
+   quartic denominators, removing the divisions from the inner loop. *)
+
+let npoints = 1024
+let nsteps = 40
+
+let source =
+  Printf.sprintf
+    {|
+// Feynman-Kac walk (HeCBench feynman-kac, miniaturised)
+__device__ float potential(float a, float b, float x, float y) {
+  return 2.0f * (x * x / (a * a * a * a) + y * y / (b * b * b * b))
+         + 1.0f / (a * a) + 1.0f / (b * b);
+}
+
+__global__ __attribute__((annotate("jit", 1, 2, 5, 6)))
+void feykac(float a, float b, float* wt, float* chk, int npoints, int nsteps,
+            int seed) {
+  int gid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (gid < npoints) {
+    float x = 0.8f * ((float)(gid %% 64) / 64.0f) - 0.4f;
+    float y = 0.8f * ((float)(gid / 64) / 64.0f) - 0.4f;
+    int rng = seed + gid * 2654435761;
+    float w = 1.0f;
+    float acc = 0.0f;
+    float h = 0.015625f;
+    for (int s = 0; s < nsteps; s++) {
+      rng = rng * 1103515245 + 12345;
+      int dir = (rng >> 16) & 3;
+      if (dir == 0) { x = x + h; }
+      else if (dir == 1) { x = x - h; }
+      else if (dir == 2) { y = y + h; }
+      else { y = y - h; }
+      float vs = potential(a, b, x, y);
+      w = w - 0.5f * h * h * vs * w;
+      acc = acc + w;
+      float r2 = (x * x) / (a * a) + (y * y) / (b * b);
+      if (r2 > 1.0f) { x = x * 0.5f; y = y * 0.5f; w = 1.0f; }
+    }
+    wt[gid] = w;
+    chk[gid] = acc;
+  }
+}
+
+int main() {
+  int n = %d;
+  int nsteps = %d;
+  long bytes = n * 4;
+  float* hw = (float*)malloc(bytes);
+  float* hc = (float*)malloc(bytes);
+  float* dw = (float*)cudaMalloc(bytes);
+  float* dc = (float*)cudaMalloc(bytes);
+  for (int rep = 0; rep < 4; rep++) {
+    feykac<<<(n + 127) / 128, 128>>>(1.0f, 1.0f, dw, dc, n, nsteps, 7 + rep);
+  }
+  cudaDeviceSynchronize();
+  cudaMemcpyDtoH(hw, dw, bytes);
+  cudaMemcpyDtoH(hc, dc, bytes);
+  double s = 0.0;
+  for (int i = 0; i < n; i++) { s = s + hc[i]; }
+  printf("feykac checksum=%%g\n", s / n);
+  return 0;
+}
+|}
+    npoints nsteps
+
+let app : App.t =
+  {
+    App.name = "FEY-KAC";
+    domain = "Monte Carlo PDEs";
+    input_desc = "1 (a = b = 1; scaled: 1024 walkers, 40 steps, 4 reps)";
+    source;
+    kernels = [ "feykac" ];
+    supports_jitify = true;
+    check = (fun out -> App.finite_check "checksum" out);
+  }

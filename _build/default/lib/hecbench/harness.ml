@@ -1,0 +1,206 @@
+(* Experiment harness: runs an app under one of the paper's methods
+   (AOT, Proteus with cold/warm persistent cache, Jitify) or analysis
+   modes (None/LB/RCF/LB+RCF), and collects the measurements every
+   table and figure needs. *)
+
+open Proteus_gpu
+open Proteus_runtime
+open Proteus_core
+open Proteus_driver
+
+type method_ = AOT | Proteus_cold | Proteus_warm | Jitify_m
+
+let method_name = function
+  | AOT -> "AOT"
+  | Proteus_cold -> "Proteus"
+  | Proteus_warm -> "Proteus+$"
+  | Jitify_m -> "Jitify"
+
+type measurement = {
+  app : string;
+  vendor : Device.vendor;
+  meth : string;
+  e2e_s : float; (* simulated end-to-end *)
+  kernel_s : float; (* simulated kernel-only *)
+  jit_overhead_s : float;
+  cache_bytes : int;
+  output : string;
+  ok : bool;
+  na : bool; (* method not applicable (Jitify on LULESH) *)
+}
+
+let na_measurement app vendor meth =
+  {
+    app; vendor; meth = method_name meth; e2e_s = nan; kernel_s = nan;
+    jit_overhead_s = nan; cache_bytes = 0; output = ""; ok = true; na = true;
+  }
+
+(* temp dir for a fresh (cold) persistent cache *)
+let fresh_cache_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "proteus-cache-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let rm_rf d =
+  if Sys.file_exists d then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    Unix.rmdir d
+  end
+
+(* compile cache: AOT compilation is deterministic per (app, vendor,
+   mode), so reuse executables across measurements *)
+let exe_cache : (string, Driver.exe) Hashtbl.t = Hashtbl.create 16
+
+let compile_app (a : App.t) vendor (mode : Driver.mode) : Driver.exe =
+  let key =
+    Printf.sprintf "%s/%s/%s" a.App.name
+      (match vendor with Device.Amd -> "amd" | Device.Nvidia -> "nvidia")
+      (match mode with Driver.Aot -> "aot" | Driver.Proteus -> "proteus")
+  in
+  match Hashtbl.find_opt exe_cache key with
+  | Some e -> e
+  | None ->
+      let e = Driver.compile ~name:a.App.name ~vendor ~mode a.App.source in
+      Hashtbl.replace exe_cache key e;
+      e
+
+let of_run (a : App.t) vendor meth (r : Driver.run_result) =
+  {
+    app = a.App.name;
+    vendor;
+    meth = method_name meth;
+    e2e_s = r.Driver.end_to_end_s;
+    kernel_s = r.Driver.kernel_time_s;
+    jit_overhead_s =
+      (match r.Driver.jit with Some s -> s.Stats.jit_overhead_s | None -> 0.0);
+    cache_bytes = r.Driver.cache_bytes;
+    output = r.Driver.output;
+    ok = r.Driver.exit_code = 0 && a.App.check r.Driver.output;
+    na = false;
+  }
+
+(* Run one (app, vendor, method) cell of Table 2. [config] defaults to
+   full specialization; pass Config.mode_none etc. for Fig. 6 / Figs
+   7-11 modes. *)
+let run ?(config = Config.default) (a : App.t) (vendor : Device.vendor)
+    (meth : method_) : measurement =
+  match meth with
+  | AOT ->
+      let exe = compile_app a vendor Driver.Aot in
+      of_run a vendor meth (Driver.run exe)
+  | Proteus_cold ->
+      let exe = compile_app a vendor Driver.Proteus in
+      let dir = fresh_cache_dir () in
+      let config = { config with Config.persistent_dir = Some dir } in
+      let r = Driver.run ~config exe in
+      let m = of_run a vendor meth r in
+      rm_rf dir;
+      m
+  | Proteus_warm ->
+      let exe = compile_app a vendor Driver.Proteus in
+      let dir = fresh_cache_dir () in
+      let config = { config with Config.persistent_dir = Some dir } in
+      (* populate *)
+      let _warmup = Driver.run ~config exe in
+      (* measured run starts with a warm persistent cache *)
+      let r = Driver.run ~config exe in
+      let m = of_run a vendor meth r in
+      rm_rf dir;
+      m
+  | Jitify_m ->
+      if vendor <> Device.Nvidia then na_measurement a.App.name vendor meth
+      else if not a.App.supports_jitify then na_measurement a.App.name vendor meth
+      else begin
+        let exe = compile_app a vendor Driver.Proteus in
+        let device = Device.by_vendor vendor in
+        let rt = Gpurt.create device in
+        let _lm = Gpurt.load_module rt exe.Driver.fatbin in
+        let jt = Proteus_jitify.Jitify.create rt in
+        let prog = Proteus_jitify.Jitify.program ~name:a.App.name a.App.source in
+        let extra h name args = Proteus_jitify.Jitify.host_hook jt prog h name args in
+        let result = Hostexec.run ~extra rt exe.Driver.host in
+        {
+          app = a.App.name;
+          vendor;
+          meth = method_name meth;
+          e2e_s = result.Hostexec.end_to_end_s;
+          kernel_s = Gpurt.total_kernel_time rt;
+          jit_overhead_s = jt.Proteus_jitify.Jitify.compile_overhead_s;
+          cache_bytes = 0;
+          output = result.Hostexec.output;
+          ok = result.Hostexec.exit_code = 0 && a.App.check result.Hostexec.output;
+          na = false;
+        }
+      end
+
+(* ---------------------------------------------------------------- *)
+(* Per-kernel analysis (Figs 7-11): run under one specialization mode
+   and aggregate counters per kernel symbol. *)
+
+type kernel_profile = {
+  ksym : string;
+  mode : string;
+  duration_s : float; (* mean per launch *)
+  launches : int;
+  counters : Counters.t; (* aggregated *)
+  vregs : int;
+  sregs : int;
+  spill_slots : int;
+  ipc : float;
+  valu_busy : float;
+  stall_frac : float;
+  l2_hit : float;
+}
+
+type analysis_mode = M_aot | M_none | M_lb | M_rcf | M_lb_rcf
+
+let mode_name = function
+  | M_aot -> "AOT"
+  | M_none -> "None"
+  | M_lb -> "LB"
+  | M_rcf -> "RCF"
+  | M_lb_rcf -> "LB+RCF"
+
+let config_of_mode = function
+  | M_aot | M_none -> Config.mode_none
+  | M_lb -> Config.mode_lb
+  | M_rcf -> Config.mode_rcf
+  | M_lb_rcf -> Config.mode_lb_rcf
+
+let analyze (a : App.t) (vendor : Device.vendor) (mode : analysis_mode) :
+    kernel_profile list =
+  let driver_mode = match mode with M_aot -> Driver.Aot | _ -> Driver.Proteus in
+  let exe = compile_app a vendor driver_mode in
+  let config = config_of_mode mode in
+  let r = Driver.run ~config exe in
+  List.map
+    (fun sym ->
+      let profs = Gpurt.profiles_for r.Driver.rt sym in
+      let agg = Counters.create () in
+      List.iter (fun (p : Gpurt.profile) -> Counters.add agg p.Gpurt.pcounters) profs;
+      let n = max 1 (List.length profs) in
+      let total = List.fold_left (fun acc p -> acc +. p.Gpurt.preport.Timing.duration_s) 0.0 profs in
+      let mean_of f =
+        List.fold_left (fun acc p -> acc +. f p) 0.0 profs /. float_of_int n
+      in
+      {
+        ksym = sym;
+        mode = mode_name mode;
+        duration_s = total /. float_of_int n;
+        launches = List.length profs;
+        counters = agg;
+        vregs =
+          (match profs with p :: _ -> p.Gpurt.pvregs | [] -> 0);
+        sregs = (match profs with p :: _ -> p.Gpurt.psregs | [] -> 0);
+        spill_slots = (match profs with p :: _ -> p.Gpurt.pspills | [] -> 0);
+        ipc = mean_of (fun p -> p.Gpurt.preport.Timing.ipc);
+        valu_busy = mean_of (fun p -> p.Gpurt.preport.Timing.valu_busy);
+        stall_frac = mean_of (fun p -> p.Gpurt.preport.Timing.stall_frac);
+        l2_hit = Counters.l2_hit_ratio agg;
+      })
+    a.App.kernels
+
+let all_modes = [ M_aot; M_none; M_lb; M_rcf; M_lb_rcf ]

@@ -1,0 +1,90 @@
+(* LULESH: Lagrangian shock hydrodynamics (physics proxy). Annotated
+   like the other apps, but the specialized arguments only feed bounds
+   checks on divergent indices and pressure stays low, so neither RCF
+   nor LB finds anything - the paper's demonstration that Proteus is
+   lightweight even when specialization cannot help (speedup ~1.0x).
+   Uses a __device__ global (the hourglass coefficient), which the
+   string-kernel Jitify path cannot link - the mechanistic stand-in for
+   Jitify failing on LULESH. *)
+
+let nelem = 4096
+let steps = 40
+
+let source =
+  Printf.sprintf
+    {|
+// LULESH-style hydro mini-kernels (HeCBench lulesh, miniaturised)
+__device__ double hgcoef;
+
+__global__
+void lulesh_init(double unused) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i == 0) { hgcoef = 0.03 + unused * 0.0; }
+}
+
+__global__ __attribute__((annotate("jit", 4)))
+void calc_force(double* x, double* xd, double* f, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i > 0 && i < n - 1) {
+    double xm = x[i - 1];
+    double xc = x[i];
+    double xp = x[i + 1];
+    double strain = (xp - xm) * 0.5;
+    double q = 0.0;
+    double dv = xd[i];
+    if (dv < 0.0) {
+      q = 2.0 * dv * dv + 0.5 * fabs(dv);
+    }
+    double visc = hgcoef * (xd[i + 1] - 2.0 * dv + xd[i - 1]);
+    f[i] = (strain - q) * 0.8 + visc - 0.01 * (xc - 1.0);
+  }
+}
+
+__global__ __attribute__((annotate("jit", 5, 6)))
+void integrate(double* x, double* xd, double* f, double* e, int n, double dtf) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    double a = f[i];
+    double v = xd[i] + a * dtf;
+    xd[i] = v * 0.999;
+    x[i] = x[i] + v * dtf;
+    e[i] = e[i] + 0.5 * v * v * dtf + fabs(a) * 0.001;
+  }
+}
+
+int main() {
+  int n = %d;
+  long bytes = n * 8;
+  double* hx = (double*)malloc(bytes);
+  for (int i = 0; i < n; i++) { hx[i] = 1.0 + (double)i / n; }
+  double* dx = (double*)cudaMalloc(bytes);
+  double* dxd = (double*)cudaMalloc(bytes);
+  double* df = (double*)cudaMalloc(bytes);
+  double* de = (double*)cudaMalloc(bytes);
+  cudaMemcpyHtoD(dx, hx, bytes);
+  lulesh_init<<<1, 64>>>(0.0);
+  for (int s = 0; s < %d; s++) {
+    calc_force<<<(n + 127) / 128, 128>>>(dx, dxd, df, n);
+    integrate<<<(n + 127) / 128, 128>>>(dx, dxd, df, de, n, 0.0005);
+  }
+  cudaDeviceSynchronize();
+  double* he = (double*)malloc(bytes);
+  cudaMemcpyDtoH(he, de, bytes);
+  double s = 0.0;
+  for (int i = 0; i < n; i++) { s = s + he[i]; }
+  printf("lulesh checksum=%%g\n", s);
+  return 0;
+}
+|}
+    nelem steps
+
+let app : App.t =
+  {
+    App.name = "LULESH";
+    domain = "Physics";
+    input_desc = "-s 128 (scaled: 4096 elements, 40 steps)";
+    source;
+    kernels = [ "calc_force"; "integrate" ];
+    supports_jitify = false;
+    check = (fun out -> App.finite_check "checksum" out);
+  }

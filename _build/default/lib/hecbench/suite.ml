@@ -1,0 +1,11 @@
+(* The benchmark suite of Table 1. *)
+
+let apps : App.t list =
+  [ Adam.app; Rsbench.app; Wsm5.app; Feykac.app; Lulesh.app; Sw4ck.app ]
+
+let find name =
+  match List.find_opt (fun (a : App.t) -> String.lowercase_ascii a.App.name = String.lowercase_ascii name) apps with
+  | Some a -> a
+  | None ->
+      Proteus_support.Util.failf "unknown benchmark %s (have: %s)" name
+        (String.concat ", " (List.map (fun (a : App.t) -> a.App.name) apps))

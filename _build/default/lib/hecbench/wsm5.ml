@@ -1,0 +1,131 @@
+(* WSM5: single-moment 5-class cloud microphysics (weather simulation).
+   Each thread integrates one atmospheric column. The kernel carries a
+   long chain of mutually-live moisture/temperature tendencies (high
+   register pressure: spills under the AOT budget on AMD, fixed by LB),
+   a preamble of per-run coefficients derived from annotated scalars
+   (folded away by RCF), and rain/ice/graupel process terms whose
+   annotated weights are zero for this input (RCF deletes the whole
+   subtrees, loads included) - the combination the paper reports as
+   RCF+LB giving the largest gain (Fig. 9).
+
+   The tendency chain is generated: real microphysics kernels are walls
+   of near-identical saturation/accretion terms, and generating them
+   keeps the live-range structure (every s_j live until the final
+   combine) explicit and tunable. *)
+
+let nx = 768 (* columns *)
+let nz = 6 (* vertical levels (annotated; constant-trip after RCF) *)
+let launches = 16
+
+(* chain length: tuned so AMD pressure exceeds the conservative AOT
+   VGPR budget while the NVIDIA (unified, quality-weighted) pressure
+   stays under the ptxas default *)
+let chain = 42
+let ncoef = 10
+
+let coef_preamble () =
+  String.concat "\n"
+    (List.init ncoef (fun j ->
+         Printf.sprintf
+           "  double cf%d = pow(dt, %d.0) * %.4f + %.4f / (dt + %d.0);" j
+           ((j mod 3) + 1)
+           (0.011 *. float_of_int (j + 1))
+           (0.37 +. (0.05 *. float_of_int j))
+           (j + 2)))
+
+let chain_body () =
+  let term j =
+    let c = j mod ncoef in
+    let prev = if j = 1 then "tk * 0.001" else Printf.sprintf "s%d" (j - 1) in
+    let prev2 = if j <= 2 then "qk" else Printf.sprintf "s%d" (j - 2) in
+    (* every third term carries an ice/graupel contribution guarded by a
+       zero weight: executed under AOT, deleted under RCF *)
+    let dead =
+      if j mod 3 = 0 then
+        Printf.sprintf
+          " + wice * (sqrt(fabs(%s) + 1.0) * q[kk + %d] * cf%d) + wgr * (q[kk + %d] * %s * 0.125 + fabsf(%s - %s))"
+          prev
+          (j mod 3)
+          ((j + 1) mod ncoef)
+          ((j + 1) mod 3)
+          prev2 prev prev2
+      else ""
+    in
+    Printf.sprintf "      double s%d = cf%d * %s + %.4f * %s * qk%s;" j c prev
+      (0.93 -. (0.013 *. float_of_int j))
+      prev2 dead
+  in
+  String.concat "\n" (List.init chain (fun j -> term (j + 1)))
+
+let combine () =
+  "      double upd = "
+  ^ String.concat "\n        + "
+      (List.init chain (fun j ->
+           Printf.sprintf "%.5f * s%d" (0.017 +. (0.003 *. float_of_int j)) (j + 1)))
+  ^ ";"
+
+let source =
+  Printf.sprintf
+    {|
+// WSM5 cloud microphysics column update (HeCBench wsm5, miniaturised)
+__global__ __attribute__((annotate("jit", 4, 5, 6, 7, 8)))
+void wsm5(double* t, double* q, double* rain,
+          int nx, int nz, double dt, double wice, double wgr) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < nx) {
+%s
+    double rainacc = 0.0;
+    for (int k = 0; k < nz; k++) {
+      int kk = k * nx + i;
+      double tk = t[kk];
+      double qk = q[kk];
+%s
+%s
+      t[kk] = tk + dt * upd;
+      q[kk] = qk - dt * upd * 0.3;
+      rainacc = rainacc + fabs(upd) * dt;
+    }
+    rain[i] = rainacc;
+  }
+}
+
+int main() {
+  int nx = %d;
+  int nz = %d;
+  long cells = nx * nz;
+  long bytes = cells * 8;
+  double* ht = (double*)malloc(bytes);
+  double* hq = (double*)malloc(bytes);
+  double* hr = (double*)malloc(nx * 8);
+  for (long i = 0; i < cells; i++) {
+    ht[i] = 270.0 + (double)(i %% 37) * 0.5;
+    hq[i] = 0.001 + (double)(i %% 11) * 0.0001;
+  }
+  double* dt_ = (double*)cudaMalloc(bytes);
+  double* dq = (double*)cudaMalloc(bytes);
+  double* dr = (double*)cudaMalloc(nx * 8);
+  cudaMemcpyHtoD(dt_, ht, bytes);
+  cudaMemcpyHtoD(dq, hq, bytes);
+  for (int step = 0; step < %d; step++) {
+    wsm5<<<(nx + 127) / 128, 128>>>(dt_, dq, dr, nx, nz, 0.25, 0.0, 0.0);
+  }
+  cudaDeviceSynchronize();
+  cudaMemcpyDtoH(hr, dr, nx * 8);
+  double s = 0.0;
+  for (int i = 0; i < nx; i++) { s = s + hr[i]; }
+  printf("wsm5 checksum=%%g\n", s / nx);
+  return 0;
+}
+|}
+    (coef_preamble ()) (chain_body ()) (combine ()) nx nz launches
+
+let app : App.t =
+  {
+    App.name = "WSM5";
+    domain = "Weather Simulation";
+    input_desc = "10 (scaled: 768 columns x 6 levels, 16 steps)";
+    source;
+    kernels = [ "wsm5" ];
+    supports_jitify = true;
+    check = (fun out -> App.finite_check "checksum" out);
+  }

@@ -1,0 +1,1 @@
+lib/ir/bitcode.ml: Buffer Ir Konst Ops Proteus_support String Types Util

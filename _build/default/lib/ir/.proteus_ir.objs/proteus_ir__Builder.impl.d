@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Ir Konst List Printf Proteus_support Types Util

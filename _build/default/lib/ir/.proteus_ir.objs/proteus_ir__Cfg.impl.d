@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Ir List Proteus_support Util

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Int64 Ir Konst List Option Proteus_support Types Util

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Float Konst List Ops Proteus_support Types Util

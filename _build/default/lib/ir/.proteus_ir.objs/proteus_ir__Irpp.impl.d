@@ -1,0 +1,1 @@
+lib/ir/irpp.ml: Buffer Ir Konst List Ops Printf Proteus_support String Types Util

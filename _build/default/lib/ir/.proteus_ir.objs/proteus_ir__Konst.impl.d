@@ -1,0 +1,1 @@
+lib/ir/konst.ml: Float Int64 Ops Printf Proteus_support Types Util

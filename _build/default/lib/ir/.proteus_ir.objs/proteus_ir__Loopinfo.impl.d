@@ -1,0 +1,1 @@
+lib/ir/loopinfo.ml: Cfg Dom List Proteus_support Util

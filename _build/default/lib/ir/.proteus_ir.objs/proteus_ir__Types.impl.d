@@ -1,0 +1,1 @@
+lib/ir/types.ml: Format Printf Proteus_support Util

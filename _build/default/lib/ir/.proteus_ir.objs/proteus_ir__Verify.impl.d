@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Format Ir Konst List Ops Printf Proteus_support Types Util

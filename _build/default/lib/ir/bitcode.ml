@@ -1,0 +1,288 @@
+(* Compact binary serialization of IR modules — the "bitcode" that the
+   Proteus plugin embeds in device binaries and the JIT runtime parses
+   back at kernel-launch time. *)
+
+open Proteus_support
+module W = Util.Bytesio.W
+module R = Util.Bytesio.R
+
+let magic = "PRBC\x01"
+
+let encode_operand w = function
+  | Ir.Reg r ->
+      W.u8 w 0;
+      W.int w r
+  | Ir.Imm k ->
+      W.u8 w 1;
+      Konst.encode w k
+  | Ir.Glob g ->
+      W.u8 w 2;
+      W.str w g
+
+let decode_operand r =
+  match R.u8 r with
+  | 0 -> Ir.Reg (R.int r)
+  | 1 -> Ir.Imm (Konst.decode r)
+  | 2 -> Ir.Glob (R.str r)
+  | k -> Util.failf "Bitcode: bad operand tag %d" k
+
+let encode_instr w i =
+  match i with
+  | Ir.IBin (d, op, a, b) ->
+      W.u8 w 0;
+      W.int w d;
+      W.str w (Ops.binop_to_string op);
+      encode_operand w a;
+      encode_operand w b
+  | Ir.ICmp (d, op, a, b) ->
+      W.u8 w 1;
+      W.int w d;
+      W.str w (Ops.cmpop_to_string op);
+      encode_operand w a;
+      encode_operand w b
+  | Ir.ISelect (d, c, a, b) ->
+      W.u8 w 2;
+      W.int w d;
+      encode_operand w c;
+      encode_operand w a;
+      encode_operand w b
+  | Ir.ICast (d, op, a) ->
+      W.u8 w 3;
+      W.int w d;
+      W.str w (Ops.castop_to_string op);
+      encode_operand w a
+  | Ir.ILoad (d, p) ->
+      W.u8 w 4;
+      W.int w d;
+      encode_operand w p
+  | Ir.IStore (v, p) ->
+      W.u8 w 5;
+      encode_operand w v;
+      encode_operand w p
+  | Ir.IGep (d, p, idx) ->
+      W.u8 w 6;
+      W.int w d;
+      encode_operand w p;
+      encode_operand w idx
+  | Ir.ICall (d, callee, args) ->
+      W.u8 w 7;
+      W.option w W.int d;
+      W.str w callee;
+      W.list w encode_operand args
+  | Ir.IPhi (d, incoming) ->
+      W.u8 w 8;
+      W.int w d;
+      W.list w
+        (fun w (l, v) ->
+          W.str w l;
+          encode_operand w v)
+        incoming
+  | Ir.IAlloca (d, ty, n) ->
+      W.u8 w 9;
+      W.int w d;
+      Types.encode w ty;
+      W.int w n
+
+let decode_instr r =
+  match R.u8 r with
+  | 0 ->
+      let d = R.int r in
+      let op = Ops.binop_of_string (R.str r) in
+      let a = decode_operand r in
+      let b = decode_operand r in
+      Ir.IBin (d, op, a, b)
+  | 1 ->
+      let d = R.int r in
+      let op = Ops.cmpop_of_string (R.str r) in
+      let a = decode_operand r in
+      let b = decode_operand r in
+      Ir.ICmp (d, op, a, b)
+  | 2 ->
+      let d = R.int r in
+      let c = decode_operand r in
+      let a = decode_operand r in
+      let b = decode_operand r in
+      Ir.ISelect (d, c, a, b)
+  | 3 ->
+      let d = R.int r in
+      let op = Ops.castop_of_string (R.str r) in
+      let a = decode_operand r in
+      Ir.ICast (d, op, a)
+  | 4 ->
+      let d = R.int r in
+      let p = decode_operand r in
+      Ir.ILoad (d, p)
+  | 5 ->
+      let v = decode_operand r in
+      let p = decode_operand r in
+      Ir.IStore (v, p)
+  | 6 ->
+      let d = R.int r in
+      let p = decode_operand r in
+      let idx = decode_operand r in
+      Ir.IGep (d, p, idx)
+  | 7 ->
+      let d = R.option r R.int in
+      let callee = R.str r in
+      let args = R.list r decode_operand in
+      Ir.ICall (d, callee, args)
+  | 8 ->
+      let d = R.int r in
+      let incoming =
+        R.list r (fun r ->
+            let l = R.str r in
+            let v = decode_operand r in
+            (l, v))
+      in
+      Ir.IPhi (d, incoming)
+  | 9 ->
+      let d = R.int r in
+      let ty = Types.decode r in
+      let n = R.int r in
+      Ir.IAlloca (d, ty, n)
+  | k -> Util.failf "Bitcode: bad instruction tag %d" k
+
+let encode_term w = function
+  | Ir.TBr l ->
+      W.u8 w 0;
+      W.str w l
+  | Ir.TCondBr (c, t, e) ->
+      W.u8 w 1;
+      encode_operand w c;
+      W.str w t;
+      W.str w e
+  | Ir.TRet v ->
+      W.u8 w 2;
+      W.option w encode_operand v
+  | Ir.TUnreachable -> W.u8 w 3
+
+let decode_term r =
+  match R.u8 r with
+  | 0 -> Ir.TBr (R.str r)
+  | 1 ->
+      let c = decode_operand r in
+      let t = R.str r in
+      let e = R.str r in
+      Ir.TCondBr (c, t, e)
+  | 2 -> Ir.TRet (R.option r decode_operand)
+  | 3 -> Ir.TUnreachable
+  | k -> Util.failf "Bitcode: bad terminator tag %d" k
+
+let encode_func w (f : Ir.func) =
+  W.str w f.fname;
+  W.list w
+    (fun w (n, r) ->
+      W.str w n;
+      W.int w r)
+    f.params;
+  Types.encode w f.ret;
+  W.u8 w (match f.kind with Ir.Kernel -> 0 | Ir.Device -> 1 | Ir.Host -> 2);
+  W.bool w f.is_decl;
+  W.list w Types.encode (Util.Vec.to_list f.regtys);
+  W.option w
+    (fun w (t, b) ->
+      W.int w t;
+      W.int w b)
+    f.attrs.launch_bounds;
+  W.list w
+    (fun w (b : Ir.block) ->
+      W.str w b.label;
+      W.list w encode_instr b.insts;
+      encode_term w b.term)
+    f.blocks
+
+let decode_func r : Ir.func =
+  let fname = R.str r in
+  let params =
+    R.list r (fun r ->
+        let n = R.str r in
+        let reg = R.int r in
+        (n, reg))
+  in
+  let ret = Types.decode r in
+  let kind = match R.u8 r with 0 -> Ir.Kernel | 1 -> Ir.Device | _ -> Ir.Host in
+  let is_decl = R.bool r in
+  let regtys = Util.Vec.of_list Types.TVoid (R.list r Types.decode) in
+  let launch_bounds =
+    R.option r (fun r ->
+        let t = R.int r in
+        let b = R.int r in
+        (t, b))
+  in
+  let blocks =
+    R.list r (fun r ->
+        let label = R.str r in
+        let insts = R.list r decode_instr in
+        let term = decode_term r in
+        { Ir.label; insts; term })
+  in
+  { fname; params; ret; kind; is_decl; blocks; regtys; attrs = { launch_bounds } }
+
+let encode_gvar w (g : Ir.gvar) =
+  W.str w g.gname;
+  Types.encode w g.gty;
+  W.u8 w (match g.gspace with Types.AS_global -> 0 | Types.AS_shared -> 1 | Types.AS_scratch -> 2);
+  (match g.ginit with
+  | Ir.InitZero -> W.u8 w 0
+  | Ir.InitConsts ks ->
+      W.u8 w 1;
+      W.list w Konst.encode ks
+  | Ir.InitString s ->
+      W.u8 w 2;
+      W.str w s);
+  W.bool w g.gconst;
+  W.bool w g.gextern
+
+let decode_gvar r : Ir.gvar =
+  let gname = R.str r in
+  let gty = Types.decode r in
+  let gspace =
+    match R.u8 r with 0 -> Types.AS_global | 1 -> Types.AS_shared | _ -> Types.AS_scratch
+  in
+  let ginit =
+    match R.u8 r with
+    | 0 -> Ir.InitZero
+    | 1 -> Ir.InitConsts (R.list r Konst.decode)
+    | _ -> Ir.InitString (R.str r)
+  in
+  let gconst = R.bool r in
+  let gextern = R.bool r in
+  { gname; gty; gspace; ginit; gconst; gextern }
+
+let encode_module (m : Ir.modul) : string =
+  let w = W.create () in
+  Buffer.add_string w magic;
+  W.str w m.mid;
+  W.str w m.mname;
+  W.u8 w (match m.mtarget with Ir.THost -> 0 | Ir.TDevice -> 1);
+  W.list w encode_gvar m.globals;
+  W.list w encode_func m.funcs;
+  W.list w
+    (fun w (a : Ir.annotation) ->
+      W.str w a.afunc;
+      W.str w a.akey;
+      W.list w W.int a.aargs)
+    m.annotations;
+  W.list w W.str m.ctors;
+  W.contents w
+
+let decode_module (s : string) : Ir.modul =
+  let r = R.create s in
+  let m = String.length magic in
+  if String.length s < m || String.sub s 0 m <> magic then
+    Util.failf "Bitcode.decode_module: bad magic";
+  r.R.pos <- m;
+  let mid = R.str r in
+  let mname = R.str r in
+  let mtarget = match R.u8 r with 0 -> Ir.THost | _ -> Ir.TDevice in
+  let globals = R.list r decode_gvar in
+  let funcs = R.list r decode_func in
+  let annotations =
+    R.list r (fun r ->
+        let afunc = R.str r in
+        let akey = R.str r in
+        let aargs = R.list r R.int in
+        { Ir.afunc; akey; aargs })
+  in
+  let ctors = R.list r R.str in
+  { mid; mname; mtarget; globals; funcs; annotations; ctors }

@@ -1,0 +1,104 @@
+(* Imperative IR construction: keeps an insertion point and allocates
+   fresh registers, mirroring llvm::IRBuilder. *)
+
+open Proteus_support
+
+type t = {
+  func : Ir.func;
+  mutable block : Ir.block;
+  mutable finished : Util.Sset.t; (* labels whose terminator is set *)
+}
+
+let create func =
+  let block =
+    match func.Ir.blocks with b :: _ -> b | [] -> Ir.add_block func "entry"
+  in
+  { func; block; finished = Util.Sset.empty }
+
+let position_at b block = b.block <- block
+let current_block b = b.block
+
+let new_block b label =
+  (* Labels are uniquified so the frontend can reuse friendly names. *)
+  let rec unique n i =
+    let cand = if i = 0 then n else Printf.sprintf "%s.%d" n i in
+    if List.exists (fun (blk : Ir.block) -> blk.label = cand) b.func.Ir.blocks then
+      unique n (i + 1)
+    else cand
+  in
+  Ir.add_block b.func (unique label 0)
+
+let terminated b = Util.Sset.mem b.block.label b.finished
+
+(* Instructions after a terminator (e.g. code following a return) are
+   dead by construction and silently dropped. *)
+let add_instr b i = if not (terminated b) then b.block.insts <- b.block.insts @ [ i ]
+
+let set_term b t =
+  if not (terminated b) then begin
+    b.block.term <- t;
+    b.finished <- Util.Sset.add b.block.label b.finished
+  end
+
+let fresh b ty = Ir.fresh_reg b.func ty
+
+let bin b op ty x y =
+  let d = fresh b ty in
+  add_instr b (Ir.IBin (d, op, x, y));
+  Ir.Reg d
+
+let cmp b op x y =
+  let d = fresh b Types.TBool in
+  add_instr b (Ir.ICmp (d, op, x, y));
+  Ir.Reg d
+
+let select b ty c x y =
+  let d = fresh b ty in
+  add_instr b (Ir.ISelect (d, c, x, y));
+  Ir.Reg d
+
+let cast b op x ty =
+  let d = fresh b ty in
+  add_instr b (Ir.ICast (d, op, x));
+  Ir.Reg d
+
+let load b ty p =
+  let d = fresh b ty in
+  add_instr b (Ir.ILoad (d, p));
+  Ir.Reg d
+
+let store b v p = add_instr b (Ir.IStore (v, p))
+
+let gep b ty p i =
+  let d = fresh b ty in
+  add_instr b (Ir.IGep (d, p, i));
+  Ir.Reg d
+
+let call b ty callee args =
+  if Types.equal ty Types.TVoid then begin
+    add_instr b (Ir.ICall (None, callee, args));
+    Ir.Imm (Konst.ki32 0)
+  end
+  else begin
+    let d = fresh b ty in
+    add_instr b (Ir.ICall (Some d, callee, args));
+    Ir.Reg d
+  end
+
+(* Allocas yield generic (global-space) pointers; backends classify
+   scratch accesses by provenance, not by address space. *)
+let alloca b ty n =
+  let d = fresh b (Types.TPtr (ty, Types.AS_global)) in
+  add_instr b (Ir.IAlloca (d, ty, n));
+  Ir.Reg d
+
+let phi b ty incoming =
+  let d = fresh b ty in
+  (* Phis must lead the block. *)
+  b.block.insts <- Ir.IPhi (d, incoming) :: b.block.insts;
+  Ir.Reg d
+
+let br b l = set_term b (Ir.TBr l)
+let cond_br b c t e = set_term b (Ir.TCondBr (c, t, e))
+let ret b v = set_term b (Ir.TRet v)
+let unreachable b = set_term b Ir.TUnreachable

@@ -1,0 +1,106 @@
+(* Dominator tree and dominance frontiers, after Cooper, Harvey &
+   Kennedy, "A Simple, Fast Dominance Algorithm". *)
+
+open Proteus_support
+
+type t = {
+  cfg : Cfg.t;
+  idom : string Util.Smap.t;            (* immediate dominator; entry maps to itself *)
+  children : string list Util.Smap.t;   (* dominator-tree children *)
+  frontier : Util.Sset.t Util.Smap.t;   (* dominance frontier *)
+  order : int Util.Smap.t;              (* RPO index, for intersect *)
+}
+
+let compute (cfg : Cfg.t) =
+  let rpo = cfg.rpo in
+  let order =
+    List.fold_left
+      (fun (m, i) l -> (Util.Smap.add l i m, i + 1))
+      (Util.Smap.empty, 0) rpo
+    |> fst
+  in
+  let entry = match rpo with e :: _ -> e | [] -> Util.failf "Dom.compute: empty CFG" in
+  let idom = ref (Util.Smap.singleton entry entry) in
+  let intersect a b =
+    let rec go a b =
+      if a = b then a
+      else
+        let ia = Util.Smap.find a order and ib = Util.Smap.find b order in
+        if ia > ib then go (Util.Smap.find a !idom) b else go a (Util.Smap.find b !idom)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> entry then begin
+          let processed_preds =
+            List.filter
+              (fun p -> Util.Smap.mem p !idom && Util.Smap.mem p order)
+              (Cfg.preds cfg b)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if
+                (not (Util.Smap.mem b !idom))
+                || Util.Smap.find b !idom <> new_idom
+              then begin
+                idom := Util.Smap.add b new_idom !idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  let children =
+    Util.Smap.fold
+      (fun b d acc ->
+        if b = entry then acc
+        else
+          let cur = try Util.Smap.find d acc with Not_found -> [] in
+          Util.Smap.add d (cur @ [ b ]) acc)
+      !idom Util.Smap.empty
+  in
+  (* Dominance frontiers. *)
+  let frontier = ref Util.Smap.empty in
+  let add_df n x =
+    let cur = try Util.Smap.find n !frontier with Not_found -> Util.Sset.empty in
+    frontier := Util.Smap.add n (Util.Sset.add x cur) !frontier
+  in
+  List.iter
+    (fun b ->
+      let preds = List.filter (fun p -> Util.Smap.mem p order) (Cfg.preds cfg b) in
+      if List.length preds >= 2 then
+        List.iter
+          (fun p ->
+            let rec runner r =
+              if r <> Util.Smap.find b !idom then begin
+                add_df r b;
+                runner (Util.Smap.find r !idom)
+              end
+            in
+            runner p)
+          preds)
+    rpo;
+  { cfg; idom = !idom; children; frontier = !frontier; order }
+
+let idom t l = Util.Smap.find_opt l t.idom
+let children t l = try Util.Smap.find l t.children with Not_found -> []
+let frontier t l = try Util.Smap.find l t.frontier with Not_found -> Util.Sset.empty
+
+(* Does [a] dominate [b]? Walk [b]'s idom chain. *)
+let dominates t a b =
+  let rec go b = if a = b then true else match idom t b with
+    | Some d when d <> b -> go d
+    | _ -> false
+  in
+  go b
+
+(* Preorder walk of the dominator tree from the entry. *)
+let preorder t =
+  let entry = match t.cfg.Cfg.rpo with e :: _ -> e | [] -> Util.failf "Dom.preorder" in
+  let rec go l = l :: List.concat_map go (children t l) in
+  go entry

@@ -1,0 +1,110 @@
+(* Textual form of the IR, LLVM-flavoured; used for debugging, tests and
+   the PTX-like emission path. *)
+
+open Proteus_support
+
+let operand_to_string = function
+  | Ir.Reg r -> Printf.sprintf "%%r%d" r
+  | Ir.Imm k -> Konst.to_string k
+  | Ir.Glob g -> "@" ^ g
+
+let op = operand_to_string
+
+let instr_to_string f i =
+  let rt r = Types.to_string (Ir.reg_ty f r) in
+  match i with
+  | Ir.IBin (d, o, a, b) ->
+      Printf.sprintf "%%r%d = %s %s %s, %s" d (Ops.binop_to_string o) (rt d) (op a) (op b)
+  | Ir.ICmp (d, o, a, b) ->
+      Printf.sprintf "%%r%d = icmp %s %s, %s" d (Ops.cmpop_to_string o) (op a) (op b)
+  | Ir.ISelect (d, c, a, b) ->
+      Printf.sprintf "%%r%d = select %s, %s, %s" d (op c) (op a) (op b)
+  | Ir.ICast (d, o, a) ->
+      Printf.sprintf "%%r%d = %s %s to %s" d (Ops.castop_to_string o) (op a) (rt d)
+  | Ir.ILoad (d, p) -> Printf.sprintf "%%r%d = load %s, %s" d (rt d) (op p)
+  | Ir.IStore (v, p) -> Printf.sprintf "store %s, %s" (op v) (op p)
+  | Ir.IGep (d, p, i) -> Printf.sprintf "%%r%d = gep %s, %s" d (op p) (op i)
+  | Ir.ICall (Some d, callee, args) ->
+      Printf.sprintf "%%r%d = call %s @%s(%s)" d (rt d) callee
+        (String.concat ", " (List.map op args))
+  | Ir.ICall (None, callee, args) ->
+      Printf.sprintf "call void @%s(%s)" callee (String.concat ", " (List.map op args))
+  | Ir.IPhi (d, incoming) ->
+      Printf.sprintf "%%r%d = phi %s %s" d (rt d)
+        (String.concat ", "
+           (List.map (fun (l, v) -> Printf.sprintf "[%s, %%%s]" (op v) l) incoming))
+  | Ir.IAlloca (d, ty, n) ->
+      Printf.sprintf "%%r%d = alloca %s x %d" d (Types.to_string ty) n
+
+let term_to_string = function
+  | Ir.TBr l -> Printf.sprintf "br label %%%s" l
+  | Ir.TCondBr (c, t, e) -> Printf.sprintf "br %s, label %%%s, label %%%s" (op c) t e
+  | Ir.TRet None -> "ret void"
+  | Ir.TRet (Some v) -> Printf.sprintf "ret %s" (op v)
+  | Ir.TUnreachable -> "unreachable"
+
+let func_to_string (f : Ir.func) =
+  let buf = Buffer.create 512 in
+  let kind =
+    match f.kind with Ir.Kernel -> "kernel " | Ir.Device -> "device " | Ir.Host -> ""
+  in
+  let params =
+    String.concat ", "
+      (List.map
+         (fun (n, r) -> Printf.sprintf "%s %%r%d /*%s*/" (Types.to_string (Ir.reg_ty f r)) r n)
+         f.params)
+  in
+  let lb =
+    match f.attrs.launch_bounds with
+    | None -> ""
+    | Some (t, b) -> Printf.sprintf " launch_bounds(%d,%d)" t b
+  in
+  if f.is_decl then
+    Buffer.add_string buf
+      (Printf.sprintf "declare %s%s @%s(%s)\n" kind (Types.to_string f.ret) f.fname params)
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "define %s%s @%s(%s)%s {\n" kind (Types.to_string f.ret) f.fname
+         params lb);
+    List.iter
+      (fun (b : Ir.block) ->
+        Buffer.add_string buf (Printf.sprintf "%s:\n" b.label);
+        List.iter
+          (fun i -> Buffer.add_string buf (Printf.sprintf "  %s\n" (instr_to_string f i)))
+          b.insts;
+        Buffer.add_string buf (Printf.sprintf "  %s\n" (term_to_string b.term)))
+      f.blocks;
+    Buffer.add_string buf "}\n"
+  end;
+  Buffer.contents buf
+
+let ginit_to_string = function
+  | Ir.InitZero -> "zeroinitializer"
+  | Ir.InitConsts ks -> "[" ^ String.concat ", " (List.map Konst.to_string ks) ^ "]"
+  | Ir.InitString s -> Printf.sprintf "c%S" s
+
+let module_to_string (m : Ir.modul) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "; module %s (id %s, target %s)\n" m.mname m.mid
+       (match m.mtarget with Ir.THost -> "host" | Ir.TDevice -> "device"));
+  List.iter
+    (fun (a : Ir.annotation) ->
+      Buffer.add_string buf
+        (Printf.sprintf "; annotation @%s %S [%s]\n" a.afunc a.akey
+           (String.concat "," (List.map string_of_int a.aargs))))
+    m.annotations;
+  List.iter
+    (fun (g : Ir.gvar) ->
+      Buffer.add_string buf
+        (Printf.sprintf "@%s = %s%s %s %s\n" g.gname
+           (if g.gextern then "external " else "")
+           (if g.gconst then "constant" else "global")
+           (Types.to_string g.gty) (ginit_to_string g.ginit)))
+    m.globals;
+  List.iter (fun f -> Buffer.add_string buf ("\n" ^ func_to_string f)) m.funcs;
+  Buffer.contents buf
+
+let dump m = print_string (module_to_string m)
+let _ = dump
+let _ = Util.failf

@@ -1,0 +1,189 @@
+(* Constants and constant arithmetic. Integer constants are stored
+   sign-extended in an int64 and normalised to their bit width; f32
+   constants are rounded through the 32-bit representation. *)
+
+open Proteus_support
+
+type t =
+  | KBool of bool
+  | KInt of int64 * int   (* value, bit width *)
+  | KFloat of float * int (* value, bit width *)
+  | KNull
+
+let norm_int v bits =
+  if bits >= 64 then v
+  else
+    let shift = 64 - bits in
+    Int64.shift_right (Int64.shift_left v shift) shift
+
+let kint ?(bits = 32) v = KInt (norm_int v bits, bits)
+let ki32 v = kint ~bits:32 (Int64.of_int v)
+let ki64 v = kint ~bits:64 (Int64.of_int v)
+let kf32 v = KFloat (Util.to_f32 v, 32)
+let kf64 v = KFloat (v, 64)
+let kbool v = KBool v
+
+let ty_of = function
+  | KBool _ -> Types.TBool
+  | KInt (_, b) -> Types.TInt b
+  | KFloat (_, b) -> Types.TFloat b
+  | KNull -> Types.TPtr (Types.TVoid, Types.AS_global)
+
+let zero = function
+  | Types.TBool -> KBool false
+  | Types.TInt b -> KInt (0L, b)
+  | Types.TFloat b -> KFloat (0.0, b)
+  | Types.TPtr _ -> KNull
+  | t -> Util.failf "Konst.zero: no zero for type %s" (Types.to_string t)
+
+let equal a b =
+  match (a, b) with
+  | KBool x, KBool y -> x = y
+  | KInt (x, bx), KInt (y, by) -> bx = by && Int64.equal x y
+  | KFloat (x, bx), KFloat (y, by) ->
+      bx = by && Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | KNull, KNull -> true
+  | (KBool _ | KInt _ | KFloat _ | KNull), _ -> false
+
+let to_string = function
+  | KBool b -> if b then "true" else "false"
+  | KInt (v, _) -> Int64.to_string v
+  | KFloat (v, 32) -> Printf.sprintf "%.9g" v
+  | KFloat (v, _) -> Printf.sprintf "%.17g" v
+  | KNull -> "null"
+
+let as_int = function
+  | KInt (v, _) -> v
+  | KBool b -> if b then 1L else 0L
+  | k -> Util.failf "Konst.as_int: %s is not an integer" (to_string k)
+
+let as_float = function
+  | KFloat (v, _) -> v
+  | k -> Util.failf "Konst.as_float: %s is not a float" (to_string k)
+
+let as_bool = function
+  | KBool b -> b
+  | KInt (v, _) -> not (Int64.equal v 0L)
+  | k -> Util.failf "Konst.as_bool: %s is not a bool" (to_string k)
+
+let round_fbits bits v = if bits = 32 then Util.to_f32 v else v
+
+(* Binary operation evaluation; shared by the constant folder, SCCP and
+   both interpreters so semantics cannot drift. *)
+let binop (op : Ops.binop) a b =
+  let open Ops in
+  match (op, a, b) with
+  | Add, KInt (x, bits), KInt (y, _) -> kint ~bits (Int64.add x y)
+  | Sub, KInt (x, bits), KInt (y, _) -> kint ~bits (Int64.sub x y)
+  | Mul, KInt (x, bits), KInt (y, _) -> kint ~bits (Int64.mul x y)
+  | SDiv, KInt (x, bits), KInt (y, _) ->
+      if Int64.equal y 0L then kint ~bits 0L else kint ~bits (Int64.div x y)
+  | SRem, KInt (x, bits), KInt (y, _) ->
+      if Int64.equal y 0L then kint ~bits 0L else kint ~bits (Int64.rem x y)
+  | And, KInt (x, bits), KInt (y, _) -> kint ~bits (Int64.logand x y)
+  | Or, KInt (x, bits), KInt (y, _) -> kint ~bits (Int64.logor x y)
+  | Xor, KInt (x, bits), KInt (y, _) -> kint ~bits (Int64.logxor x y)
+  | Shl, KInt (x, bits), KInt (y, _) ->
+      kint ~bits (Int64.shift_left x (Int64.to_int y land (bits - 1)))
+  | LShr, KInt (x, bits), KInt (y, _) ->
+      let ux =
+        if bits = 64 then x else Int64.logand x (Int64.sub (Int64.shift_left 1L bits) 1L)
+      in
+      kint ~bits (Int64.shift_right_logical ux (Int64.to_int y land (bits - 1)))
+  | AShr, KInt (x, bits), KInt (y, _) ->
+      kint ~bits (Int64.shift_right x (Int64.to_int y land (bits - 1)))
+  | SMin, KInt (x, bits), KInt (y, _) -> kint ~bits (if Int64.compare x y <= 0 then x else y)
+  | SMax, KInt (x, bits), KInt (y, _) -> kint ~bits (if Int64.compare x y >= 0 then x else y)
+  | And, KBool x, KBool y -> KBool (x && y)
+  | Or, KBool x, KBool y -> KBool (x || y)
+  | Xor, KBool x, KBool y -> KBool (x <> y)
+  | FAdd, KFloat (x, bits), KFloat (y, _) -> KFloat (round_fbits bits (x +. y), bits)
+  | FSub, KFloat (x, bits), KFloat (y, _) -> KFloat (round_fbits bits (x -. y), bits)
+  | FMul, KFloat (x, bits), KFloat (y, _) -> KFloat (round_fbits bits (x *. y), bits)
+  | FDiv, KFloat (x, bits), KFloat (y, _) -> KFloat (round_fbits bits (x /. y), bits)
+  | FRem, KFloat (x, bits), KFloat (y, _) ->
+      KFloat (round_fbits bits (Float.rem x y), bits)
+  | FMin, KFloat (x, bits), KFloat (y, _) -> KFloat ((if x <= y then x else y), bits)
+  | FMax, KFloat (x, bits), KFloat (y, _) -> KFloat ((if x >= y then x else y), bits)
+  | _ ->
+      Util.failf "Konst.binop: type mismatch %s %s %s" (Ops.binop_to_string op)
+        (to_string a) (to_string b)
+
+let cmpop (op : Ops.cmpop) a b =
+  let open Ops in
+  match (a, b) with
+  | KInt (x, _), KInt (y, _) ->
+      let c = Int64.compare x y in
+      KBool
+        (match op with
+        | CEq -> c = 0
+        | CNe -> c <> 0
+        | CLt -> c < 0
+        | CLe -> c <= 0
+        | CGt -> c > 0
+        | CGe -> c >= 0)
+  | KBool x, KBool y ->
+      KBool (match op with CEq -> x = y | CNe -> x <> y | _ -> Util.failf "Konst.cmpop: bool order")
+  | KFloat (x, _), KFloat (y, _) ->
+      KBool
+        (match op with
+        | CEq -> x = y
+        | CNe -> x <> y
+        | CLt -> x < y
+        | CLe -> x <= y
+        | CGt -> x > y
+        | CGe -> x >= y)
+  | _ -> Util.failf "Konst.cmpop: type mismatch %s %s" (to_string a) (to_string b)
+
+let cast (op : Ops.castop) k (dst : Types.ty) =
+  let open Ops in
+  match (op, k, dst) with
+  | Zext, KBool b, Types.TInt bits -> kint ~bits (if b then 1L else 0L)
+  | Zext, KInt (v, src), Types.TInt bits ->
+      let uv =
+        if src = 64 then v else Int64.logand v (Int64.sub (Int64.shift_left 1L src) 1L)
+      in
+      kint ~bits uv
+  | Sext, KBool b, Types.TInt bits -> kint ~bits (if b then -1L else 0L)
+  | Sext, KInt (v, _), Types.TInt bits -> kint ~bits v
+  | Trunc, KInt (v, _), Types.TInt bits -> kint ~bits v
+  | Trunc, KInt (v, _), Types.TBool -> KBool (not (Int64.equal (Int64.logand v 1L) 0L))
+  | SiToFp, KInt (v, _), Types.TFloat bits -> KFloat (round_fbits bits (Int64.to_float v), bits)
+  | FpToSi, KFloat (v, _), Types.TInt bits -> kint ~bits (Int64.of_float v)
+  | FpExt, KFloat (v, _), Types.TFloat bits -> KFloat (v, bits)
+  | FpTrunc, KFloat (v, _), Types.TFloat bits -> KFloat (round_fbits bits v, bits)
+  | Bitcast, k, _ -> k
+  | _ ->
+      Util.failf "Konst.cast: bad cast %s %s -> %s" (Ops.castop_to_string op) (to_string k)
+        (Types.to_string dst)
+
+let encode w k =
+  let open Util.Bytesio.W in
+  match k with
+  | KBool b ->
+      u8 w 0;
+      bool w b
+  | KInt (v, bits) ->
+      u8 w 1;
+      u8 w bits;
+      u64 w v
+  | KFloat (v, bits) ->
+      u8 w 2;
+      u8 w bits;
+      f64 w v
+  | KNull -> u8 w 3
+
+let decode r =
+  let open Util.Bytesio.R in
+  match u8 r with
+  | 0 -> KBool (bool r)
+  | 1 ->
+      let bits = u8 r in
+      let v = u64 r in
+      KInt (v, bits)
+  | 2 ->
+      let bits = u8 r in
+      let v = f64 r in
+      KFloat (v, bits)
+  | 3 -> KNull
+  | k -> Util.failf "Konst.decode: bad tag %d" k

@@ -1,0 +1,86 @@
+(* Natural loop detection from back edges in the dominator tree. *)
+
+open Proteus_support
+
+type loop = {
+  header : string;
+  latches : string list;   (* blocks with a back edge to the header *)
+  body : Util.Sset.t;      (* all blocks in the loop, including header *)
+  depth : int;
+  parent : string option;  (* header of the enclosing loop, if any *)
+}
+
+type t = { loops : loop list }
+
+let compute (cfg : Cfg.t) (dom : Dom.t) =
+  let back_edges =
+    List.concat_map
+      (fun b ->
+        List.filter_map
+          (fun s -> if Dom.dominates dom s b then Some (b, s) else None)
+          (Cfg.succs cfg b))
+      cfg.Cfg.rpo
+  in
+  (* Group back edges by header. *)
+  let by_header =
+    List.fold_left
+      (fun m (latch, header) ->
+        let cur = try Util.Smap.find header m with Not_found -> [] in
+        Util.Smap.add header (latch :: cur) m)
+      Util.Smap.empty back_edges
+  in
+  let natural_loop header latches =
+    let body = ref (Util.Sset.singleton header) in
+    let rec add b =
+      if not (Util.Sset.mem b !body) then begin
+        body := Util.Sset.add b !body;
+        List.iter add (Cfg.preds cfg b)
+      end
+    in
+    List.iter add latches;
+    !body
+  in
+  let raw =
+    Util.Smap.fold
+      (fun header latches acc ->
+        (header, latches, natural_loop header latches) :: acc)
+      by_header []
+  in
+  (* Nesting: a loop's parent is the smallest other loop containing its header. *)
+  let loops =
+    List.map
+      (fun (header, latches, body) ->
+        let enclosing =
+          List.filter
+            (fun (h', _, b') -> h' <> header && Util.Sset.mem header b')
+            raw
+        in
+        let parent =
+          match
+            List.sort
+              (fun (_, _, a) (_, _, b) ->
+                compare (Util.Sset.cardinal a) (Util.Sset.cardinal b))
+              enclosing
+          with
+          | (h, _, _) :: _ -> Some h
+          | [] -> None
+        in
+        let depth = 1 + List.length enclosing in
+        { header; latches; body; depth; parent })
+      raw
+  in
+  { loops }
+
+let innermost_first t =
+  List.sort (fun a b -> compare b.depth a.depth) t.loops
+
+let loop_of_header t h = List.find_opt (fun l -> l.header = h) t.loops
+
+(* Blocks in the loop with a successor outside it. *)
+let exiting_blocks (cfg : Cfg.t) l =
+  Util.Sset.fold
+    (fun b acc ->
+      if List.exists (fun s -> not (Util.Sset.mem s l.body)) (Cfg.succs cfg b) then
+        b :: acc
+      else acc)
+    l.body []

@@ -1,0 +1,53 @@
+(* Operator enumerations shared by constants, IR, and the backends. *)
+
+type binop =
+  | Add | Sub | Mul | SDiv | SRem
+  | FAdd | FSub | FMul | FDiv | FRem
+  | And | Or | Xor | Shl | LShr | AShr
+  | SMin | SMax | FMin | FMax
+
+type cmpop = CEq | CNe | CLt | CLe | CGt | CGe
+
+type castop = Zext | Sext | Trunc | SiToFp | FpToSi | FpExt | FpTrunc | Bitcast
+
+let binop_to_string = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | SDiv -> "sdiv" | SRem -> "srem"
+  | FAdd -> "fadd" | FSub -> "fsub" | FMul -> "fmul" | FDiv -> "fdiv" | FRem -> "frem"
+  | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | LShr -> "lshr" | AShr -> "ashr"
+  | SMin -> "smin" | SMax -> "smax" | FMin -> "fmin" | FMax -> "fmax"
+
+let binop_of_string s =
+  match s with
+  | "add" -> Add | "sub" -> Sub | "mul" -> Mul | "sdiv" -> SDiv | "srem" -> SRem
+  | "fadd" -> FAdd | "fsub" -> FSub | "fmul" -> FMul | "fdiv" -> FDiv | "frem" -> FRem
+  | "and" -> And | "or" -> Or | "xor" -> Xor
+  | "shl" -> Shl | "lshr" -> LShr | "ashr" -> AShr
+  | "smin" -> SMin | "smax" -> SMax | "fmin" -> FMin | "fmax" -> FMax
+  | _ -> Proteus_support.Util.failf "binop_of_string: %s" s
+
+let cmpop_to_string = function
+  | CEq -> "eq" | CNe -> "ne" | CLt -> "lt" | CLe -> "le" | CGt -> "gt" | CGe -> "ge"
+
+let cmpop_of_string = function
+  | "eq" -> CEq | "ne" -> CNe | "lt" -> CLt | "le" -> CLe | "gt" -> CGt | "ge" -> CGe
+  | s -> Proteus_support.Util.failf "cmpop_of_string: %s" s
+
+let castop_to_string = function
+  | Zext -> "zext" | Sext -> "sext" | Trunc -> "trunc"
+  | SiToFp -> "sitofp" | FpToSi -> "fptosi"
+  | FpExt -> "fpext" | FpTrunc -> "fptrunc" | Bitcast -> "bitcast"
+
+let castop_of_string = function
+  | "zext" -> Zext | "sext" -> Sext | "trunc" -> Trunc
+  | "sitofp" -> SiToFp | "fptosi" -> FpToSi
+  | "fpext" -> FpExt | "fptrunc" -> FpTrunc | "bitcast" -> Bitcast
+  | s -> Proteus_support.Util.failf "castop_of_string: %s" s
+
+let is_float_binop = function
+  | FAdd | FSub | FMul | FDiv | FRem | FMin | FMax -> true
+  | Add | Sub | Mul | SDiv | SRem | And | Or | Xor | Shl | LShr | AShr | SMin | SMax -> false
+
+let is_commutative = function
+  | Add | Mul | And | Or | Xor | FAdd | FMul | SMin | SMax | FMin | FMax -> true
+  | Sub | SDiv | SRem | FSub | FDiv | FRem | Shl | LShr | AShr -> false

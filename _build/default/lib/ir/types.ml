@@ -1,0 +1,108 @@
+(* Type system of the IR: a small, typed, LLVM-like universe. *)
+
+open Proteus_support
+
+type addrspace =
+  | AS_global   (* device global memory (or host heap for host modules) *)
+  | AS_shared   (* per-block scratchpad (LDS / shared memory) *)
+  | AS_scratch  (* per-thread spill/stack memory *)
+
+type ty =
+  | TVoid
+  | TBool
+  | TInt of int    (* bit width: 32 or 64 *)
+  | TFloat of int  (* bit width: 32 or 64 *)
+  | TPtr of ty * addrspace
+  | TArr of ty * int
+
+let i32 = TInt 32
+let i64 = TInt 64
+let f32 = TFloat 32
+let f64 = TFloat 64
+let ptr ?(space = AS_global) t = TPtr (t, space)
+
+let rec equal a b =
+  match (a, b) with
+  | TVoid, TVoid | TBool, TBool -> true
+  | TInt x, TInt y | TFloat x, TFloat y -> x = y
+  | TPtr (t, s), TPtr (t', s') -> s = s' && equal t t'
+  | TArr (t, n), TArr (t', n') -> n = n' && equal t t'
+  | (TVoid | TBool | TInt _ | TFloat _ | TPtr _ | TArr _), _ -> false
+
+let is_int = function TInt _ | TBool -> true | _ -> false
+let is_float = function TFloat _ -> true | _ -> false
+let is_ptr = function TPtr _ -> true | _ -> false
+
+let pointee = function
+  | TPtr (t, _) -> t
+  | t -> Util.failf "pointee: not a pointer type (%s)" (match t with TVoid -> "void" | _ -> "_")
+
+let space_of = function
+  | TPtr (_, s) -> s
+  | _ -> Util.failf "space_of: not a pointer type"
+
+(* Byte size used for GEP scaling and memory layout. Pointers are 64-bit. *)
+let rec size_of = function
+  | TVoid -> 0
+  | TBool -> 1
+  | TInt b | TFloat b -> b / 8
+  | TPtr _ -> 8
+  | TArr (t, n) -> size_of t * n
+
+let align_of t = match t with TArr (e, _) -> size_of e | _ -> max 1 (size_of t)
+
+let rec to_string = function
+  | TVoid -> "void"
+  | TBool -> "i1"
+  | TInt b -> Printf.sprintf "i%d" b
+  | TFloat 32 -> "float"
+  | TFloat _ -> "double"
+  | TPtr (t, s) ->
+      let sp = match s with AS_global -> "" | AS_shared -> " addrspace(3)" | AS_scratch -> " addrspace(5)" in
+      to_string t ^ "*" ^ sp
+  | TArr (t, n) -> Printf.sprintf "[%d x %s]" n (to_string t)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let encode w t =
+  let open Util.Bytesio.W in
+  let rec go t =
+    match t with
+    | TVoid -> u8 w 0
+    | TBool -> u8 w 1
+    | TInt b ->
+        u8 w 2;
+        u8 w b
+    | TFloat b ->
+        u8 w 3;
+        u8 w b
+    | TPtr (t, s) ->
+        u8 w 4;
+        u8 w (match s with AS_global -> 0 | AS_shared -> 1 | AS_scratch -> 2);
+        go t
+    | TArr (t, n) ->
+        u8 w 5;
+        int w n;
+        go t
+  in
+  go t
+
+let decode r =
+  let open Util.Bytesio.R in
+  let rec go () =
+    match u8 r with
+    | 0 -> TVoid
+    | 1 -> TBool
+    | 2 -> TInt (u8 r)
+    | 3 -> TFloat (u8 r)
+    | 4 ->
+        let s = match u8 r with 0 -> AS_global | 1 -> AS_shared | _ -> AS_scratch in
+        let t = go () in
+        TPtr (t, s)
+    | 5 ->
+        let n = int r in
+        let t = go () in
+        TArr (t, n)
+    | k -> Util.failf "Types.decode: bad tag %d" k
+  in
+  go ()

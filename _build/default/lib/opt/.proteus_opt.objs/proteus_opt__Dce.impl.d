@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Array Ir List Pass Proteus_ir

@@ -1,0 +1,1 @@
+lib/opt/gvn.ml: Cfg Dom Hashtbl Ir Konst List Ops Pass Printf Proteus_ir String Types

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Array Hashtbl Ir Konst List Option Pass Printf Proteus_ir Proteus_support Types Util

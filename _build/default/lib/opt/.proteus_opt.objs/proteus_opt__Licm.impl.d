@@ -1,0 +1,1 @@
+lib/opt/licm.ml: Cfg Dom Ir List Loopinfo Pass Proteus_ir Proteus_support Util

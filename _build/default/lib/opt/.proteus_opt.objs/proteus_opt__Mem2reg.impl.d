@@ -1,0 +1,1 @@
+lib/opt/mem2reg.ml: Cfg Dom Hashtbl Ir Konst List Option Pass Proteus_ir Proteus_support Types Util

@@ -1,0 +1,1 @@
+lib/opt/pass.ml: Ir List Proteus_ir Proteus_support Util

@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Dce Gvn Inline Ir Licm List Mem2reg Pass Proteus_ir Sccp Simplify Simplifycfg Unroll Verify

@@ -1,0 +1,1 @@
+lib/opt/sccp.ml: Array Cfg Hashtbl Interp Ir Konst List Option Pass Proteus_ir Proteus_support Simplifycfg Types Util

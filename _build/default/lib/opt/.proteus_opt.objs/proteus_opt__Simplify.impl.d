@@ -1,0 +1,1 @@
+lib/opt/simplify.ml: Hashtbl Int64 Interp Ir Konst List Ops Option Pass Proteus_ir Proteus_support Types Util

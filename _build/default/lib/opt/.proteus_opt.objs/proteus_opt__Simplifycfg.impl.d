@@ -1,0 +1,1 @@
+lib/opt/simplifycfg.ml: Cfg Ir Konst List Pass Proteus_ir Proteus_support Util

@@ -1,0 +1,1 @@
+lib/opt/unroll.ml: Array Cfg Dom Hashtbl Ir Konst List Loopinfo Pass Printf Proteus_ir Proteus_support Util

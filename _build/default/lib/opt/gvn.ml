@@ -1,0 +1,95 @@
+(* Global value numbering / dominator-scoped CSE over pure instructions. *)
+
+open Proteus_ir
+
+let operand_key = function
+  | Ir.Reg r -> Printf.sprintf "r%d" r
+  | Ir.Imm k -> "k" ^ Konst.to_string k ^ ":" ^ Types.to_string (Konst.ty_of k)
+  | Ir.Glob g -> "@" ^ g
+
+let instr_key (f : Ir.func) (i : Ir.instr) : string option =
+  match i with
+  | Ir.IBin (d, op, a, b) ->
+      let a, b =
+        if Ops.is_commutative op && operand_key b < operand_key a then (b, a) else (a, b)
+      in
+      Some
+        (Printf.sprintf "bin:%s:%s:%s:%s" (Ops.binop_to_string op)
+           (Types.to_string (Ir.reg_ty f d)) (operand_key a) (operand_key b))
+  | Ir.ICmp (_, op, a, b) ->
+      Some (Printf.sprintf "cmp:%s:%s:%s" (Ops.cmpop_to_string op) (operand_key a) (operand_key b))
+  | Ir.ISelect (_, c, a, b) ->
+      Some (Printf.sprintf "sel:%s:%s:%s" (operand_key c) (operand_key a) (operand_key b))
+  | Ir.ICast (d, op, a) ->
+      Some
+        (Printf.sprintf "cast:%s:%s:%s" (Ops.castop_to_string op)
+           (Types.to_string (Ir.reg_ty f d)) (operand_key a))
+  | Ir.IGep (d, p, idx) ->
+      Some
+        (Printf.sprintf "gep:%s:%s:%s" (Types.to_string (Ir.reg_ty f d)) (operand_key p)
+           (operand_key idx))
+  | Ir.ICall (Some _, callee, args)
+    when Ir.Intrinsics.is_math callee || Ir.Intrinsics.is_gpu_query callee ->
+      Some (Printf.sprintf "call:%s:%s" callee (String.concat "," (List.map operand_key args)))
+  | _ -> None
+
+let run (_m : Ir.modul) (f : Ir.func) : bool =
+  ignore (Cfg.remove_unreachable f);
+  if f.Ir.blocks = [] then false
+  else begin
+    let cfg = Cfg.build f in
+    let dom = Dom.compute cfg in
+    let changed = ref false in
+    let repl : (int, Ir.operand) Hashtbl.t = Hashtbl.create 16 in
+    let rec resolve o =
+      match o with
+      | Ir.Reg r -> (
+          match Hashtbl.find_opt repl r with Some v -> resolve v | None -> o)
+      | _ -> o
+    in
+    (* Scoped table: each dominator-tree node pushes its definitions and
+       pops them when its subtree is done. *)
+    let table : (string, Ir.operand) Hashtbl.t = Hashtbl.create 64 in
+    let rec walk label =
+      let b = Ir.find_block f label in
+      let added = ref [] in
+      b.Ir.insts <-
+        List.filter
+          (fun i ->
+            let i = Ir.map_operands resolve i in
+            match instr_key f i with
+            | None -> true
+            | Some key -> (
+                match Hashtbl.find_opt table key with
+                | Some v -> (
+                    match Ir.def_of i with
+                    | Some d ->
+                        Hashtbl.replace repl d v;
+                        changed := true;
+                        false
+                    | None -> true)
+                | None -> (
+                    match Ir.def_of i with
+                    | Some d ->
+                        Hashtbl.add table key (Ir.Reg d);
+                        added := key :: !added;
+                        true
+                    | None -> true)))
+          b.Ir.insts;
+      (* Keep the operand rewrites we applied during filtering. *)
+      b.Ir.insts <- List.map (Ir.map_operands resolve) b.Ir.insts;
+      b.Ir.term <- Ir.map_term_operands resolve b.Ir.term;
+      List.iter walk (Dom.children dom label);
+      List.iter (Hashtbl.remove table) !added
+    in
+    walk (List.hd f.Ir.blocks).Ir.label;
+    if !changed then
+      List.iter
+        (fun (b : Ir.block) ->
+          b.Ir.insts <- List.map (Ir.map_operands resolve) b.Ir.insts;
+          b.Ir.term <- Ir.map_term_operands resolve b.Ir.term)
+        f.Ir.blocks;
+    !changed
+  end
+
+let pass = { Pass.name = "gvn"; run }

@@ -1,0 +1,36 @@
+(* Optimization pipelines. [o3] mirrors the aggressive default pipeline
+   the paper's JIT runtime invokes after specialization. *)
+
+open Proteus_ir
+
+let o1 : Pass.t list = [ Simplifycfg.pass; Mem2reg.pass; Simplify.pass; Dce.pass ]
+
+let o3 : Pass.t list =
+  [
+    Simplifycfg.pass;
+    Mem2reg.pass;
+    Inline.pass;
+    Simplify.pass;
+    Sccp.pass;
+    Simplifycfg.pass;
+    Gvn.pass;
+    Licm.pass;
+    Unroll.pass;
+    Simplify.pass;
+    Sccp.pass;
+    Gvn.pass;
+    Dce.pass;
+    Simplifycfg.pass;
+  ]
+
+(* Run a pipeline over a module; returns accumulated work units (an
+   input to the JIT compile-time cost model). *)
+let run ?(passes = o3) (m : Ir.modul) : Pass.stats =
+  let stats = Pass.mk_stats () in
+  Pass.run_pipeline stats passes m;
+  Verify.verify_module m;
+  m.Ir.funcs <- List.map (fun f -> f) m.Ir.funcs;
+  stats
+
+let optimize_o3 m = run ~passes:o3 m
+let optimize_o1 m = run ~passes:o1 m

@@ -1,0 +1,201 @@
+(* Sparse conditional constant propagation (Wegman-Zadeck): a combined
+   reachability + constant lattice fixpoint. This is the pass that turns
+   Proteus's runtime-constant folding of kernel arguments into dead
+   branch elimination and known trip counts. *)
+
+open Proteus_support
+open Proteus_ir
+
+type lat = Top | Const of Konst.t | Bottom
+
+let meet a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Bottom, _ | _, Bottom -> Bottom
+  | Const x, Const y -> if Konst.equal x y then Const x else Bottom
+
+let run (_m : Ir.modul) (f : Ir.func) : bool =
+  let cfg = Cfg.build f in
+  let lat = Array.make (Ir.nregs f) Top in
+  (* Parameters are runtime values. *)
+  List.iter (fun (_, r) -> lat.(r) <- Bottom) f.Ir.params;
+  let edge_exec : (string * string, bool) Hashtbl.t = Hashtbl.create 16 in
+  let block_exec = ref Util.Sset.empty in
+  let flow_work = ref [] and ssa_work = ref [] in
+  let users =
+    (* reg -> (block label) list of blocks containing a user instruction *)
+    let tbl : (int, string list) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (b : Ir.block) ->
+        let add o =
+          match o with
+          | Ir.Reg r ->
+              let cur = Option.value (Hashtbl.find_opt tbl r) ~default:[] in
+              if not (List.mem b.Ir.label cur) then Hashtbl.replace tbl r (b.Ir.label :: cur)
+          | _ -> ()
+        in
+        List.iter (fun i -> List.iter add (Ir.operands_of i)) b.Ir.insts;
+        List.iter add (Ir.term_operands b.Ir.term))
+      f.Ir.blocks;
+    tbl
+  in
+  let lower r v =
+    let nv = meet lat.(r) v in
+    if nv <> lat.(r) then begin
+      lat.(r) <- nv;
+      ssa_work := Option.value (Hashtbl.find_opt users r) ~default:[] @ !ssa_work
+    end
+  in
+  let operand_lat = function
+    | Ir.Imm k -> Const k
+    | Ir.Glob _ -> Bottom (* addresses are runtime values *)
+    | Ir.Reg r -> lat.(r)
+  in
+  let eval_instr (b : Ir.block) i =
+    match i with
+    | Ir.IBin (d, op, x, y) -> (
+        match (operand_lat x, operand_lat y) with
+        | Const kx, Const ky -> (
+            match Konst.binop op kx ky with
+            | k -> lower d (Const k)
+            | exception _ -> lower d Bottom)
+        | Bottom, _ | _, Bottom -> lower d Bottom
+        | _ -> ())
+    | Ir.ICmp (d, op, x, y) -> (
+        match (operand_lat x, operand_lat y) with
+        | Const kx, Const ky -> (
+            match Konst.cmpop op kx ky with
+            | k -> lower d (Const k)
+            | exception _ -> lower d Bottom)
+        | Bottom, _ | _, Bottom -> lower d Bottom
+        | _ -> ())
+    | Ir.ISelect (d, c, x, y) -> (
+        match operand_lat c with
+        | Const k -> lower d (operand_lat (if Konst.as_bool k then x else y))
+        | Bottom -> lower d (meet (operand_lat x) (operand_lat y))
+        | Top -> ())
+    | Ir.ICast (d, op, x) -> (
+        match operand_lat x with
+        | Const k -> (
+            match Konst.cast op k (Ir.reg_ty f d) with
+            | k' ->
+                (* do not fold type-changing (pointer) bitcasts *)
+                if Types.equal (Konst.ty_of k') (Ir.reg_ty f d) then lower d (Const k')
+                else lower d Bottom
+            | exception _ -> lower d Bottom)
+        | Bottom -> lower d Bottom
+        | Top -> ())
+    | Ir.ILoad (d, _) | Ir.IGep (d, _, _) | Ir.IAlloca (d, _, _) -> lower d Bottom
+    | Ir.ICall (Some d, callee, args) when Ir.Intrinsics.is_math callee -> (
+        let lats = List.map operand_lat args in
+        if List.exists (( = ) Bottom) lats then lower d Bottom
+        else if List.for_all (function Const _ -> true | _ -> false) lats then
+          let vals = List.map (function Const k -> k | _ -> assert false) lats in
+          match Interp.eval_math callee vals with
+          | k -> lower d (Const k)
+          | exception _ -> lower d Bottom)
+    | Ir.ICall (Some d, _, _) -> lower d Bottom
+    | Ir.ICall (None, _, _) | Ir.IStore _ -> ()
+    | Ir.IPhi (d, incoming) ->
+        let v =
+          List.fold_left
+            (fun acc (l, o) ->
+              if Option.value (Hashtbl.find_opt edge_exec (l, b.Ir.label)) ~default:false
+              then meet acc (operand_lat o)
+              else acc)
+            Top incoming
+        in
+        lower d v
+  in
+  let mark_edge frm dst =
+    if not (Option.value (Hashtbl.find_opt edge_exec (frm, dst)) ~default:false) then begin
+      Hashtbl.replace edge_exec (frm, dst) true;
+      flow_work := dst :: !flow_work
+    end
+  in
+  let eval_term (b : Ir.block) =
+    match b.Ir.term with
+    | Ir.TBr l -> mark_edge b.Ir.label l
+    | Ir.TCondBr (c, t, e) -> (
+        match operand_lat c with
+        | Const k -> mark_edge b.Ir.label (if Konst.as_bool k then t else e)
+        | Bottom ->
+            mark_edge b.Ir.label t;
+            mark_edge b.Ir.label e
+        | Top -> ())
+    | Ir.TRet _ | Ir.TUnreachable -> ()
+  in
+  let visit_block label =
+    let b = Ir.find_block f label in
+    let first = not (Util.Sset.mem label !block_exec) in
+    block_exec := Util.Sset.add label !block_exec;
+    if first then begin
+      List.iter (eval_instr b) b.Ir.insts;
+      eval_term b
+    end
+    else begin
+      (* re-evaluate phis only; the rest is driven by ssa_work *)
+      List.iter
+        (fun i -> match i with Ir.IPhi _ -> eval_instr b i | _ -> ())
+        b.Ir.insts;
+      eval_term b
+    end
+  in
+  (match f.Ir.blocks with b :: _ -> flow_work := [ b.Ir.label ] | [] -> ());
+  let guard = ref 0 in
+  while (!flow_work <> [] || !ssa_work <> []) && !guard < 1_000_000 do
+    incr guard;
+    match !flow_work with
+    | l :: rest ->
+        flow_work := rest;
+        visit_block l
+    | [] -> (
+        match !ssa_work with
+        | l :: rest ->
+            ssa_work := rest;
+            if Util.Sset.mem l !block_exec then begin
+              let b = Ir.find_block f l in
+              List.iter (eval_instr b) b.Ir.insts;
+              eval_term b
+            end
+        | [] -> ())
+  done;
+  (* Apply results: substitute constants, fold proven branches. *)
+  let changed = ref false in
+  let rewrite o =
+    match o with
+    | Ir.Reg r -> (
+        match lat.(r) with
+        | Const k ->
+            changed := true;
+            Ir.Imm k
+        | _ -> o)
+    | _ -> o
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      if Util.Sset.mem b.Ir.label !block_exec then begin
+        b.Ir.insts <-
+          List.filter
+            (fun i ->
+              match Ir.def_of i with
+              | Some d -> (
+                  match lat.(d) with
+                  | Const _ ->
+                      changed := true;
+                      false
+                  | _ -> true)
+              | None -> true)
+            b.Ir.insts;
+        b.Ir.insts <- List.map (Ir.map_operands rewrite) b.Ir.insts;
+        b.Ir.term <- Ir.map_term_operands rewrite b.Ir.term
+      end)
+    f.Ir.blocks;
+  if !changed then begin
+    ignore (Simplifycfg.fold_const_branches f);
+    ignore (Cfg.remove_unreachable f);
+    ignore cfg
+  end;
+  !changed
+
+let pass = { Pass.name = "sccp"; run }

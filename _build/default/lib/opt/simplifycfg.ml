@@ -1,0 +1,177 @@
+(* CFG cleanup: dead block removal, constant branch folding, empty block
+   threading, linear block merging and trivial phi elimination. *)
+
+open Proteus_support
+open Proteus_ir
+
+let fold_const_branches (f : Ir.func) =
+  let changed = ref false in
+  List.iter
+    (fun (b : Ir.block) ->
+      match b.Ir.term with
+      | Ir.TCondBr (Ir.Imm k, t, e) ->
+          let target = if Konst.as_bool k then t else e in
+          let dead = if Konst.as_bool k then e else t in
+          (* The dead edge's phi entries from this block must go. *)
+          if dead <> target then begin
+            let db = Ir.find_block f dead in
+            db.Ir.insts <-
+              List.map
+                (function
+                  | Ir.IPhi (d, inc) ->
+                      Ir.IPhi (d, List.filter (fun (l, _) -> l <> b.Ir.label) inc)
+                  | i -> i)
+                db.Ir.insts
+          end;
+          b.Ir.term <- Ir.TBr target;
+          changed := true
+      | Ir.TCondBr (c, t, e) when t = e ->
+          ignore c;
+          b.Ir.term <- Ir.TBr t;
+          changed := true
+      | _ -> ())
+    f.Ir.blocks;
+  !changed
+
+(* An empty block that just branches on is bypassed, provided the final
+   target's phis can be kept consistent. *)
+let thread_empty_blocks (f : Ir.func) =
+  (* One rewiring per inner step, against a freshly built CFG: a stale
+     predecessor/successor view across several edits can otherwise
+     introduce duplicate phi predecessors. *)
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let cfg = Cfg.build f in
+    let candidate =
+      List.find_opt
+        (fun (b : Ir.block) ->
+          match (b.Ir.insts, b.Ir.term) with
+          | [], Ir.TBr target
+            when target <> b.Ir.label
+                 && (match f.Ir.blocks with
+                    | hd :: _ -> hd.Ir.label <> b.Ir.label
+                    | [] -> true) -> (
+              let tb = Ir.find_block f target in
+              let target_has_phis =
+                List.exists (function Ir.IPhi _ -> true | _ -> false) tb.Ir.insts
+              in
+              let preds = Cfg.preds cfg b.Ir.label in
+              let pred_also_branches_to_target =
+                List.exists (fun p -> List.mem target (Cfg.succs cfg p)) preds
+              in
+              ((not target_has_phis) && not pred_also_branches_to_target)
+              || target_has_phis
+                 &&
+                 match preds with
+                 | [ p ] -> not (List.mem target (Cfg.succs cfg p))
+                 | _ -> false)
+          | _ -> false)
+        f.Ir.blocks
+    in
+    match candidate with
+    | None -> ()
+    | Some b ->
+        let target = (match b.Ir.term with Ir.TBr t -> t | _ -> assert false) in
+        let tb = Ir.find_block f target in
+        let target_has_phis =
+          List.exists (function Ir.IPhi _ -> true | _ -> false) tb.Ir.insts
+        in
+        let preds = Cfg.preds cfg b.Ir.label in
+        if not target_has_phis then
+          List.iter
+            (fun p ->
+              let pb = Ir.find_block f p in
+              pb.Ir.term <-
+                Ir.retarget_term pb.Ir.term ~from_label:b.Ir.label ~to_label:target)
+            preds
+        else begin
+          let p = List.hd preds in
+          let pb = Ir.find_block f p in
+          pb.Ir.term <-
+            Ir.retarget_term pb.Ir.term ~from_label:b.Ir.label ~to_label:target;
+          Ir.retarget_phis f ~from_label:b.Ir.label ~to_label:p
+        end;
+        f.Ir.blocks <-
+          List.filter (fun (x : Ir.block) -> x.Ir.label <> b.Ir.label) f.Ir.blocks;
+        changed := true;
+        continue_ := true
+  done;
+  if !changed then ignore (Cfg.remove_unreachable f);
+  !changed
+
+(* Merge b -> s when s is b's unique successor and b is s's unique
+   predecessor. *)
+let merge_linear (f : Ir.func) =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let cfg = Cfg.build f in
+    let mergeable =
+      List.find_opt
+        (fun (b : Ir.block) ->
+          match b.Ir.term with
+          | Ir.TBr s ->
+              s <> b.Ir.label
+              && Cfg.preds cfg s = [ b.Ir.label ]
+              && Util.Sset.mem b.Ir.label (Cfg.reachable cfg)
+          | _ -> false)
+        f.Ir.blocks
+    in
+    match mergeable with
+    | Some b ->
+        let s = (match b.Ir.term with Ir.TBr s -> s | _ -> assert false) in
+        let sb = Ir.find_block f s in
+        (* Phis in s have a single incoming (from b): replace uses. *)
+        let phis, rest =
+          List.partition (function Ir.IPhi _ -> true | _ -> false) sb.Ir.insts
+        in
+        List.iter
+          (fun i ->
+            match i with
+            | Ir.IPhi (d, [ (_, v) ]) -> Ir.replace_uses f d v
+            | Ir.IPhi (d, inc) -> (
+                match List.assoc_opt b.Ir.label inc with
+                | Some v -> Ir.replace_uses f d v
+                | None -> ())
+            | _ -> ())
+          phis;
+        b.Ir.insts <- b.Ir.insts @ rest;
+        b.Ir.term <- sb.Ir.term;
+        f.Ir.blocks <- List.filter (fun (x : Ir.block) -> x.Ir.label <> s) f.Ir.blocks;
+        (* Successors of s referenced b's merged label in phis. *)
+        Ir.retarget_phis f ~from_label:s ~to_label:b.Ir.label;
+        changed := true;
+        continue_ := true
+    | None -> ()
+  done;
+  !changed
+
+let remove_trivial_phis (f : Ir.func) =
+  let changed = ref false in
+  List.iter
+    (fun (b : Ir.block) ->
+      b.Ir.insts <-
+        List.filter
+          (fun i ->
+            match i with
+            | Ir.IPhi (d, [ (_, v) ]) when v <> Ir.Reg d ->
+                Ir.replace_uses f d v;
+                changed := true;
+                false
+            | _ -> true)
+          b.Ir.insts)
+    f.Ir.blocks;
+  !changed
+
+let run (_m : Ir.modul) (f : Ir.func) : bool =
+  let c1 = fold_const_branches f in
+  let c2 = Cfg.remove_unreachable f in
+  let c3 = thread_empty_blocks f in
+  let c4 = merge_linear f in
+  let c5 = remove_trivial_phis f in
+  c1 || c2 || c3 || c4 || c5
+
+let pass = { Pass.name = "simplifycfg"; run }

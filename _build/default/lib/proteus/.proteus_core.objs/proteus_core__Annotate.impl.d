@@ -1,0 +1,1 @@
+lib/proteus/annotate.ml: Int64 Ir List Proteus_ir String

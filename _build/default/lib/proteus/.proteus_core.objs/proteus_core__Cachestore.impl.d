@@ -1,0 +1,1 @@
+lib/proteus/cachestore.ml: Array Filename Hashtbl List Mach Option Proteus_backend Proteus_support Speckey String Sys Unix Util

@@ -1,0 +1,1 @@
+lib/proteus/config.ml:

@@ -1,0 +1,1 @@
+lib/proteus/extract.ml: Bitcode Ir List Proteus_ir Proteus_support Util

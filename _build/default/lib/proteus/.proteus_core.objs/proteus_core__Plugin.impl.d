@@ -1,0 +1,1 @@
+lib/proteus/plugin.ml: Annotate Extract Ir Konst List Proteus_gpu Proteus_ir String Types

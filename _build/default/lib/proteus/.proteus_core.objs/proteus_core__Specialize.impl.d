@@ -1,0 +1,1 @@
+lib/proteus/specialize.ml: Config Ir Konst List Ops Proteus_ir Types

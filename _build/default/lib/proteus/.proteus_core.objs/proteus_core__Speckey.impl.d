@@ -1,0 +1,1 @@
+lib/proteus/speckey.ml: Int64 Konst List Printf Proteus_ir Proteus_support Util

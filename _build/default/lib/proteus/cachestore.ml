@@ -1,0 +1,177 @@
+(* Two-level specialization-keyed code cache: a fast in-memory table
+   populated afresh per run, backed by a persistent file-storage cache
+   (cache-jit-<hash>.o) that survives across program runs.
+
+   Size limits with LRU eviction are implemented on both levels (the
+   paper's Sec. 3.4 describes this as in-development work; this
+   reproduction includes it). Limits come from the constructor or the
+   PROTEUS_MEM_CACHE_LIMIT / PROTEUS_DISK_CACHE_LIMIT environment
+   variables (bytes; 0 or unset = unlimited). *)
+
+open Proteus_support
+open Proteus_backend
+
+type entry = { obj : Mach.obj; bytes : int; mutable last_used : int }
+
+type t = {
+  mem : (string, entry) Hashtbl.t;
+  persistent_dir : string option;
+  mem_limit : int; (* bytes; 0 = unlimited *)
+  disk_limit : int;
+  mutable tick : int; (* LRU clock *)
+  mutable mem_hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable evictions_mem : int;
+  mutable evictions_disk : int;
+  mutable stored_bytes : int; (* bytes written to the persistent cache this run *)
+}
+
+let env_limit name =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n > 0 -> n | _ -> 0)
+  | None -> 0
+
+let create ?(persistent_dir : string option) ?mem_limit ?disk_limit () =
+  (match persistent_dir with
+  | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
+  | _ -> ());
+  {
+    mem = Hashtbl.create 32;
+    persistent_dir;
+    mem_limit = Option.value mem_limit ~default:(env_limit "PROTEUS_MEM_CACHE_LIMIT");
+    disk_limit = Option.value disk_limit ~default:(env_limit "PROTEUS_DISK_CACHE_LIMIT");
+    tick = 0;
+    mem_hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    evictions_mem = 0;
+    evictions_disk = 0;
+    stored_bytes = 0;
+  }
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_used <- t.tick
+
+(* Evict least-recently-used in-memory entries until under the limit. *)
+let enforce_mem_limit t =
+  if t.mem_limit > 0 then begin
+    let total = ref (Hashtbl.fold (fun _ e acc -> acc + e.bytes) t.mem 0) in
+    while !total > t.mem_limit && Hashtbl.length t.mem > 1 do
+      let victim =
+        Hashtbl.fold
+          (fun k e acc ->
+            match acc with
+            | Some (_, e') when e'.last_used <= e.last_used -> acc
+            | _ -> Some (k, e))
+          t.mem None
+      in
+      match victim with
+      | Some (k, e) ->
+          Hashtbl.remove t.mem k;
+          total := !total - e.bytes;
+          t.evictions_mem <- t.evictions_mem + 1
+      | None -> total := 0
+    done
+  end
+
+(* Evict oldest (by mtime) persistent cache files until under the limit. *)
+let enforce_disk_limit t =
+  match t.persistent_dir with
+  | Some d when t.disk_limit > 0 && Sys.file_exists d ->
+      let files =
+        Sys.readdir d |> Array.to_list
+        |> List.filter_map (fun f ->
+               let p = Filename.concat d f in
+               if Sys.is_regular_file p then
+                 let st = Unix.stat p in
+                 Some (p, st.Unix.st_size, st.Unix.st_mtime)
+               else None)
+      in
+      let total = ref (List.fold_left (fun a (_, s, _) -> a + s) 0 files) in
+      let by_age = List.sort (fun (_, _, a) (_, _, b) -> compare a b) files in
+      List.iter
+        (fun (p, s, _) ->
+          if !total > t.disk_limit then begin
+            Sys.remove p;
+            total := !total - s;
+            t.evictions_disk <- t.evictions_disk + 1
+          end)
+        by_age
+  | _ -> ()
+
+let path_for t (key : Speckey.t) =
+  Option.map (fun d -> Filename.concat d (Speckey.cache_filename key)) t.persistent_dir
+
+(* Look up a specialization. The result distinguishes memory hits
+   (free), disk hits (object load cost) and misses (full compile). *)
+type outcome = Mem_hit of entry | Disk_hit of entry | Miss
+
+let lookup t (key : Speckey.t) : outcome =
+  let k = Speckey.to_string key in
+  match Hashtbl.find_opt t.mem k with
+  | Some e ->
+      t.mem_hits <- t.mem_hits + 1;
+      touch t e;
+      Mem_hit e
+  | None -> (
+      match path_for t key with
+      | Some path when Sys.file_exists path ->
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let data = really_input_string ic len in
+          close_in ic;
+          let e = { obj = Mach.decode_obj data; bytes = len; last_used = 0 } in
+          touch t e;
+          Hashtbl.replace t.mem k e;
+          enforce_mem_limit t;
+          t.disk_hits <- t.disk_hits + 1;
+          Disk_hit e
+      | _ ->
+          t.misses <- t.misses + 1;
+          Miss)
+
+let insert t (key : Speckey.t) (obj : Mach.obj) : entry =
+  let data = Mach.encode_obj obj in
+  let e = { obj; bytes = String.length data; last_used = 0 } in
+  touch t e;
+  Hashtbl.replace t.mem (Speckey.to_string key) e;
+  enforce_mem_limit t;
+  (match path_for t key with
+  | Some path ->
+      let oc = open_out_bin path in
+      output_string oc data;
+      close_out oc;
+      t.stored_bytes <- t.stored_bytes + String.length data;
+      enforce_disk_limit t
+  | None -> ());
+  e
+
+(* Total size of the persistent cache on disk (Table 3). *)
+let persistent_size t : int =
+  match t.persistent_dir with
+  | None -> 0
+  | Some d ->
+      if Sys.file_exists d then
+        Array.fold_left
+          (fun acc f ->
+            let p = Filename.concat d f in
+            if Sys.is_regular_file p then acc + (Unix.stat p).Unix.st_size else acc)
+          0 (Sys.readdir d)
+      else 0
+
+let mem_size t = Hashtbl.fold (fun _ e acc -> acc + e.bytes) t.mem 0
+
+let clear_persistent t =
+  match t.persistent_dir with
+  | None -> ()
+  | Some d ->
+      if Sys.file_exists d then
+        Array.iter
+          (fun f ->
+            let p = Filename.concat d f in
+            if Sys.is_regular_file p then Sys.remove p)
+          (Sys.readdir d)
+
+let _ = Util.failf

@@ -1,0 +1,26 @@
+(* Proteus JIT configuration knobs, matching the paper's experiment
+   modes: None (JIT with O3 but no specialization, Fig. 6), LB, RCF and
+   LB+RCF (Sec. 4.5), with in-memory and persistent caching toggles. *)
+
+type t = {
+  enable_rcf : bool; (* runtime constant folding of kernel arguments *)
+  enable_lb : bool; (* dynamic launch bounds *)
+  use_mem_cache : bool;
+  persistent_dir : string option; (* None disables the disk cache *)
+}
+
+let default =
+  { enable_rcf = true; enable_lb = true; use_mem_cache = true; persistent_dir = None }
+
+(* Paper mode names *)
+let mode_none = { default with enable_rcf = false; enable_lb = false }
+let mode_lb = { default with enable_rcf = false; enable_lb = true }
+let mode_rcf = { default with enable_rcf = true; enable_lb = false }
+let mode_lb_rcf = default
+
+let mode_name c =
+  match (c.enable_rcf, c.enable_lb) with
+  | false, false -> "None"
+  | false, true -> "LB"
+  | true, false -> "RCF"
+  | true, true -> "LB+RCF"

@@ -1,0 +1,73 @@
+(* Kernel extraction: build a standalone IR module for one annotated
+   kernel - the kernel itself, every device function it (transitively)
+   calls, and extern declarations for every device global it references.
+   The result is serialized to bitcode and embedded in the device
+   binary; the JIT runtime parses it back at launch time. *)
+
+open Proteus_support
+open Proteus_ir
+
+let reachable_funcs (m : Ir.modul) (root : string) : Util.Sset.t =
+  let seen = ref Util.Sset.empty in
+  let rec go name =
+    if not (Util.Sset.mem name !seen) then begin
+      seen := Util.Sset.add name !seen;
+      match Ir.find_func_opt m name with
+      | Some f when not f.Ir.is_decl ->
+          Ir.iter_instrs f (fun i ->
+              match i with
+              | Ir.ICall (_, callee, _) when not (Ir.Intrinsics.is_intrinsic callee) ->
+                  go callee
+              | _ -> ())
+      | _ -> ()
+    end
+  in
+  go root;
+  !seen
+
+let referenced_globals (m : Ir.modul) (funcs : Util.Sset.t) : Util.Sset.t =
+  let refs = ref Util.Sset.empty in
+  List.iter
+    (fun (f : Ir.func) ->
+      if Util.Sset.mem f.Ir.fname funcs then begin
+        let note = function
+          | Ir.Glob g -> if Ir.find_global_opt m g <> None then refs := Util.Sset.add g !refs
+          | _ -> ()
+        in
+        List.iter
+          (fun (b : Ir.block) ->
+            List.iter (fun i -> List.iter note (Ir.operands_of i)) b.Ir.insts;
+            List.iter note (Ir.term_operands b.Ir.term))
+          f.Ir.blocks
+      end)
+    m.Ir.funcs;
+  !refs
+
+(* Extract the (unoptimized) kernel into a standalone module. Globals
+   become extern declarations: the JIT runtime links them to the AOT
+   module's allocations by address at runtime. *)
+let extract_kernel (m : Ir.modul) (kernel : string) : Ir.modul =
+  let funcs = reachable_funcs m kernel in
+  let globals = referenced_globals m funcs in
+  {
+    Ir.mid = m.Ir.mid;
+    mname = m.Ir.mname ^ ".jit." ^ kernel;
+    mtarget = Ir.TDevice;
+    globals =
+      List.filter_map
+        (fun (g : Ir.gvar) ->
+          if Util.Sset.mem g.Ir.gname globals then
+            Some { g with Ir.ginit = Ir.InitZero; gextern = true }
+          else None)
+        m.Ir.globals;
+    funcs =
+      List.filter_map
+        (fun (f : Ir.func) ->
+          if Util.Sset.mem f.Ir.fname funcs then Some (Ir.clone_func f) else None)
+        m.Ir.funcs;
+    annotations = List.filter (fun (a : Ir.annotation) -> a.Ir.afunc = kernel) m.Ir.annotations;
+    ctors = [];
+  }
+
+let bitcode_of_kernel (m : Ir.modul) (kernel : string) : string =
+  Bitcode.encode_module (extract_kernel m kernel)

@@ -1,0 +1,211 @@
+(* The Proteus JIT compilation runtime library (Sec. 3.3). Installed
+   into a host program's extern table, it services __jit_launch_kernel:
+   hash the specialization, consult the two-level cache, and on a miss
+   retrieve the kernel's embedded bitcode (from the .jit.<sym> section
+   on AMD; from device memory on NVIDIA), link device globals,
+   specialize (RCF + LB), run the O3 pipeline, generate machine code
+   through the vendor backend, cache it, and launch. *)
+
+open Proteus_support
+open Proteus_ir
+open Proteus_backend
+open Proteus_gpu
+open Proteus_runtime
+
+type t = {
+  rt : Gpurt.ctx;
+  vendor : Device.vendor;
+  config : Config.t;
+  cache : Cachestore.t;
+  stats : Stats.t;
+  registered_vars : (string, unit) Hashtbl.t;
+}
+
+let create ?(config = Config.default) (rt : Gpurt.ctx) (vendor : Device.vendor) : t =
+  {
+    rt;
+    vendor;
+    config;
+    cache = Cachestore.create ?persistent_dir:config.Config.persistent_dir ();
+    stats = Stats.create ();
+    registered_vars = Hashtbl.create 8;
+  }
+
+let charge t s = Clock.advance t.rt.Gpurt.clock s
+
+(* Retrieve the extracted bitcode for [sym]. AMD: read the .jit.<sym>
+   section of the loaded module (host-side, cheap). NVIDIA: the bytes
+   live in a device global; read them back over the interconnect. *)
+let fetch_bitcode (t : t) (sym : string) : string =
+  match t.vendor with
+  | Device.Amd -> (
+      let rec find = function
+        | [] -> Util.failf "Proteus: no .jit section for kernel %s" sym
+        | (lm : Gpurt.loaded_module) :: rest -> (
+            match List.assoc_opt (Plugin.jit_section sym) lm.Gpurt.lobj.Mach.sections with
+            | Some bc -> bc
+            | None -> find rest)
+      in
+      let bc = find t.rt.Gpurt.modules in
+      charge t 10.0e-6 (* section lookup *);
+      bc)
+  | Device.Nvidia -> (
+      let gname = Plugin.jit_bc_global sym in
+      match Gpurt.get_symbol_address t.rt gname with
+      | Some addr ->
+          (* find the length from the module's global table *)
+          let rec len_of = function
+            | [] -> Util.failf "Proteus: missing device global %s" gname
+            | (lm : Gpurt.loaded_module) :: rest -> (
+                match
+                  List.find_opt
+                    (fun (g : Ir.gvar) -> g.Ir.gname = gname)
+                    lm.Gpurt.lobj.Mach.oglobals
+                with
+                | Some g -> Types.size_of g.Ir.gty
+                | None -> len_of rest)
+          in
+          let len = len_of t.rt.Gpurt.modules in
+          (* cuModuleGetGlobal + device-to-host read *)
+          Gpurt.read_device_bytes t.rt addr len
+      | None -> Util.failf "Proteus: device global %s not found (was the plugin run?)" gname)
+
+let resolve_global (t : t) (name : string) : int64 =
+  (* cudaGetSymbolAddress / hipGetSymbolAddress *)
+  match Gpurt.get_symbol_address t.rt name with
+  | Some a -> a
+  | None -> Util.failf "Proteus: cannot resolve device global %s" name
+
+(* Compile one kernel specialization to a loadable object. *)
+let compile_specialization (t : t) ~(bitcode : string) ~(sym : string)
+    ~(spec_values : (int * Konst.t) list) ~(block : int) : Mach.obj =
+  let cost = t.rt.Gpurt.cost in
+  let t0 = Unix.gettimeofday () in
+  (* parse bitcode *)
+  charge t (float_of_int (String.length bitcode) *. cost.Costmodel.bitcode_parse_per_byte_s);
+  t.stats.Stats.bitcode_bytes <- t.stats.Stats.bitcode_bytes + String.length bitcode;
+  let m = Bitcode.decode_module bitcode in
+  (* link + specialize *)
+  Specialize.apply t.config m ~kernel:sym ~spec_values ~block
+    ~resolve_global:(resolve_global t);
+  (* O3 pipeline *)
+  let pstats = Proteus_opt.Pipeline.optimize_o3 m in
+  t.stats.Stats.compile_work <- t.stats.Stats.compile_work + pstats.Proteus_opt.Pass.work;
+  charge t (float_of_int pstats.Proteus_opt.Pass.work *. cost.Costmodel.opt_per_work_s);
+  (* backend code generation *)
+  let obj =
+    match t.vendor with
+    | Device.Amd ->
+        let f = Ir.find_func m sym in
+        let mf = Gcn.lower_kernel m f in
+        charge t
+          (float_of_int (Mach.instr_count mf)
+          *. (cost.Costmodel.isel_per_instr_s +. cost.Costmodel.regalloc_per_instr_s));
+        { Mach.okind = Mach.VGcn; kernels = [ mf ]; oglobals = []; sections = [] }
+    | Device.Nvidia ->
+        (* NVPTX emits PTX text; the PTX compiler produces the binary *)
+        let ptx = Ptx.emit m in
+        charge t (float_of_int (String.length ptx) *. cost.Costmodel.ptx_emit_per_byte_s);
+        let obj = Ptxas.compile ~globals:[] ptx in
+        charge t (float_of_int (String.length ptx) *. cost.Costmodel.ptxas_per_byte_s);
+        let n =
+          List.fold_left (fun acc k -> acc + Mach.instr_count k) 0 obj.Mach.kernels
+        in
+        charge t (float_of_int n *. cost.Costmodel.regalloc_per_instr_s);
+        obj
+  in
+  t.stats.Stats.compiles <- t.stats.Stats.compiles + 1;
+  t.stats.Stats.real_compile_s <-
+    t.stats.Stats.real_compile_s +. (Unix.gettimeofday () -. t0);
+  obj
+
+(* The __jit_launch_kernel entry point. *)
+let launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : int)
+    ~(args : Konst.t array) ~(spec_mask : int64) : unit =
+  let cost = t.rt.Gpurt.cost in
+  t.stats.Stats.jit_launches <- t.stats.Stats.jit_launches + 1;
+  let clock_before = Clock.read t.rt.Gpurt.clock in
+  let spec_values =
+    if t.config.Config.enable_rcf || t.config.Config.enable_lb then
+      List.filter_map
+        (fun i -> if i <= Array.length args then Some (i, args.(i - 1)) else None)
+        (Annotate.args_of_mask spec_mask)
+    else []
+  in
+  (* Hash always encodes what the generated code depends on. *)
+  let key =
+    Speckey.compute ~mid ~sym
+      ~spec_values:(if t.config.Config.enable_rcf then spec_values else [])
+      ~launch_bounds:(if t.config.Config.enable_lb then Some block else None)
+  in
+  charge t cost.Costmodel.cache_hash_s;
+  let entry =
+    match
+      (if t.config.Config.use_mem_cache then Cachestore.lookup t.cache key
+       else Cachestore.Miss)
+    with
+    | Cachestore.Mem_hit e ->
+        t.stats.Stats.mem_hits <- t.stats.Stats.mem_hits + 1;
+        e
+    | Cachestore.Disk_hit e ->
+        t.stats.Stats.disk_hits <- t.stats.Stats.disk_hits + 1;
+        charge t
+          (cost.Costmodel.cache_disk_lat_s
+          +. (float_of_int e.Cachestore.bytes *. cost.Costmodel.cache_disk_per_byte_s));
+        charge t
+          (float_of_int e.Cachestore.bytes *. cost.Costmodel.module_load_per_byte_s);
+        e
+    | Cachestore.Miss ->
+        let bitcode = fetch_bitcode t sym in
+        let obj = compile_specialization t ~bitcode ~sym ~spec_values ~block in
+        let e = Cachestore.insert t.cache key obj in
+        t.stats.Stats.object_bytes <- t.stats.Stats.object_bytes + e.Cachestore.bytes;
+        charge t (float_of_int e.Cachestore.bytes *. cost.Costmodel.module_load_per_byte_s);
+        e
+  in
+  t.stats.Stats.jit_overhead_s <-
+    t.stats.Stats.jit_overhead_s +. (Clock.read t.rt.Gpurt.clock -. clock_before);
+  let k = Mach.find_kernel entry.Cachestore.obj sym in
+  Gpurt.launch_mfunc t.rt k ~grid ~block ~args
+
+(* --------------------------------------------------------------- *)
+(* Host extern bindings: installs __jit_launch_kernel and
+   __jit_register_var into a Hostexec run. *)
+
+let host_hook (t : t) (h : Hostexec.host_ctx) (name : string) (args : Konst.t list) :
+    Konst.t option option =
+  if name = Plugin.entry_point then begin
+    (* (mid_str, stub_addr, grid, block, shmem, kernel args..., spec_mask) *)
+    match args with
+    | mid_ptr :: stub :: grid :: block :: _shmem :: rest when rest <> [] ->
+        let mid = Hostexec.read_cstring h.Hostexec.host_mem (Konst.as_int mid_ptr) in
+        let rec split_last = function
+          | [ x ] -> ([], x)
+          | x :: tl ->
+              let init, last = split_last tl in
+              (x :: init, last)
+          | [] -> assert false
+        in
+        let kargs, mask = split_last rest in
+        let stub_addr = Konst.as_int stub in
+        let sym =
+          match Gpurt.sym_of_stub t.rt stub_addr with
+          | Some s -> s
+          | None -> Util.failf "Proteus: unregistered stub 0x%Lx" stub_addr
+        in
+        launch t ~mid ~sym
+          ~grid:(Int64.to_int (Konst.as_int grid))
+          ~block:(Int64.to_int (Konst.as_int block))
+          ~args:(Array.of_list kargs) ~spec_mask:(Konst.as_int mask);
+        Some None
+    | _ -> Util.failf "Proteus: malformed __jit_launch_kernel call"
+  end
+  else if name = Plugin.register_var_fn then begin
+    (match args with
+    | [ p ] ->
+        let vname = Hostexec.read_cstring h.Hostexec.host_mem (Konst.as_int p) in
+        Hashtbl.replace t.registered_vars vname ()
+    | _ -> ());
+    Some None
+  end
+  else None

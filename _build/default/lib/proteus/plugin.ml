@@ -1,0 +1,144 @@
+(* The AOT compilation extensions: an LLVM-plugin-pass equivalent that
+   runs during static compilation. In device mode it extracts the
+   unoptimized IR of annotated kernels (to a custom .jit.<sym> section
+   for AMD, or a __jit_bc_<sym> device global in .data for CUDA, whose
+   binary tools strip custom sections). In host mode it redirects
+   launches of annotated kernels to the JIT runtime's entry point and
+   registers device globals with the JIT runtime. *)
+
+open Proteus_ir
+
+let jit_bc_global sym = "__jit_bc_" ^ sym
+let jit_section sym = ".jit." ^ sym
+let entry_point = "__jit_launch_kernel"
+let register_var_fn = "__jit_register_var"
+
+type device_result = {
+  (* extra object sections, for toolchains that preserve them (AMD) *)
+  dsections : (string * string) list;
+  extracted : (string * string) list; (* kernel sym -> bitcode *)
+}
+
+(* Device-mode pass. [vendor] decides the embedding strategy. Must run
+   BEFORE AOT optimization: the paper extracts unoptimized IR. *)
+let run_device ~(vendor : Proteus_gpu.Device.vendor) (m : Ir.modul) : device_result =
+  let annots = Annotate.jit_annotations m in
+  let extracted =
+    List.map (fun (a : Annotate.jit_annotation) ->
+        (a.Annotate.kernel, Extract.bitcode_of_kernel m a.Annotate.kernel))
+      annots
+  in
+  (match vendor with
+  | Proteus_gpu.Device.Nvidia ->
+      (* store the byte array in a device global (standard .data) *)
+      List.iter
+        (fun (sym, bc) ->
+          m.Ir.globals <-
+            m.Ir.globals
+            @ [
+                {
+                  Ir.gname = jit_bc_global sym;
+                  gty = Types.TArr (Types.TInt 8, String.length bc);
+                  gspace = Types.AS_global;
+                  ginit = Ir.InitString bc;
+                  gconst = true;
+                  gextern = false;
+                };
+              ])
+        extracted
+  | Proteus_gpu.Device.Amd -> ());
+  {
+    dsections =
+      (match vendor with
+      | Proteus_gpu.Device.Amd -> List.map (fun (sym, bc) -> (jit_section sym, bc)) extracted
+      | Proteus_gpu.Device.Nvidia -> []);
+    extracted;
+  }
+
+(* Host-mode pass: rewrite launches of annotated kernels and register
+   device globals with the JIT runtime. *)
+let run_host ~(vendor : Proteus_gpu.Device.vendor) (m : Ir.modul) : unit =
+  let vname =
+    match vendor with Proteus_gpu.Device.Nvidia -> "cuda" | Proteus_gpu.Device.Amd -> "hip"
+  in
+  let launch_fn = vname ^ "LaunchKernel" in
+  let register_fn = "__" ^ vname ^ "RegisterVar" in
+  (* Annotated stubs. An annotate("jit") with no argument list opts into
+     automatic specialization: every scalar (non-pointer) kernel
+     argument is specialized - the paper's "automating specialization
+     decisions" future-work direction, using the obvious static policy. *)
+  let auto_args stub_name =
+    match Ir.find_func_opt m stub_name with
+    | Some stub ->
+        (* stub params: grid, block, shmem, then the kernel arguments *)
+        List.filteri (fun i _ -> i >= 3) stub.Ir.params
+        |> List.mapi (fun i (_, r) ->
+               if Types.is_ptr (Ir.reg_ty stub r) then None else Some (i + 1))
+        |> List.filter_map (fun x -> x)
+    | None -> []
+  in
+  let annotated : (string * int64) list =
+    List.filter_map
+      (fun (a : Annotate.jit_annotation) ->
+        if Annotate.is_stub a.Annotate.kernel then
+          let args =
+            if a.Annotate.spec_args = [] then auto_args a.Annotate.kernel
+            else a.Annotate.spec_args
+          in
+          Some (a.Annotate.kernel, Annotate.mask_of_args args)
+        else None)
+      (Annotate.jit_annotations m)
+  in
+  if annotated <> [] then begin
+    (* a host global carrying the module identifier *)
+    let mid_global = ".jit.mid" in
+    if Ir.find_global_opt m mid_global = None then
+      m.Ir.globals <-
+        m.Ir.globals
+        @ [
+            {
+              Ir.gname = mid_global;
+              gty = Types.TArr (Types.TInt 8, String.length m.Ir.mid + 1);
+              gspace = Types.AS_global;
+              ginit = Ir.InitString m.Ir.mid;
+              gconst = true;
+              gextern = false;
+            };
+          ];
+    (* declare the JIT runtime entry points *)
+    if Ir.find_func_opt m entry_point = None then
+      m.Ir.funcs <-
+        m.Ir.funcs
+        @ [
+            Ir.create_func ~kind:Ir.Host ~is_decl:true entry_point [] Types.TVoid;
+            Ir.create_func ~kind:Ir.Host ~is_decl:true register_var_fn [] Types.TVoid;
+          ];
+    List.iter
+      (fun (f : Ir.func) ->
+        if not f.Ir.is_decl then
+          List.iter
+            (fun (b : Ir.block) ->
+              b.Ir.insts <-
+                List.concat_map
+                  (fun i ->
+                    match i with
+                    | Ir.ICall (None, callee, (Ir.Glob stub :: _ as args))
+                      when callee = launch_fn && List.mem_assoc stub annotated ->
+                        let mask = List.assoc stub annotated in
+                        [
+                          Ir.ICall
+                            ( None,
+                              entry_point,
+                              (Ir.Glob mid_global :: args)
+                              @ [ Ir.Imm (Konst.kint ~bits:64 mask) ] );
+                        ]
+                    | Ir.ICall (None, callee, args) when callee = register_fn ->
+                        (* relay device-global registration to the JIT runtime *)
+                        [ i; Ir.ICall (None, register_var_fn, args) ]
+                    | i -> [ i ])
+                  b.Ir.insts)
+            f.Ir.blocks)
+      m.Ir.funcs
+  end
+
+let has_jit_annotations (m : Ir.modul) = Annotate.jit_annotations m <> []

@@ -1,0 +1,145 @@
+(* Dynamic specialization of extracted kernel IR:
+   - runtime constant folding (RCF): uses of designated kernel argument
+     registers are replaced by their exact runtime values;
+   - launch bounds (LB): the kernel's launch_bounds attribute is set to
+     the exact threads-per-block of this invocation (min blocks = 1),
+     which widens the backend's register budget;
+   - device-global linking: references to device globals are replaced
+     by their runtime-resolved addresses. *)
+
+open Proteus_ir
+
+(* Replace uses of specialized parameters with constants. The parameter
+   list itself is unchanged (the launch ABI stays identical). *)
+let fold_arguments (f : Ir.func) (values : (int * Konst.t) list) : unit =
+  List.iteri
+    (fun i (_, reg) ->
+      match List.assoc_opt (i + 1) values with
+      | Some k -> Ir.replace_uses f reg (Ir.Imm k)
+      | None -> ())
+    f.Ir.params
+
+let set_launch_bounds (f : Ir.func) ~(threads : int) : unit =
+  f.Ir.attrs.launch_bounds <- Some (threads, 1)
+
+(* Link device globals: substitute every reference to an extern global
+   with its queried device address. *)
+let link_globals (m : Ir.modul) (resolve : string -> int64) : unit =
+  let extern_names =
+    List.filter_map
+      (fun (g : Ir.gvar) -> if g.Ir.gextern then Some g.Ir.gname else None)
+      m.Ir.globals
+  in
+  if extern_names <> [] then begin
+    let addr_of = List.map (fun n -> (n, resolve n)) extern_names in
+    let subst = function
+      | Ir.Glob g as o -> (
+          match List.assoc_opt g addr_of with
+          | Some a -> Ir.Imm (Konst.kint ~bits:64 a)
+          | None -> o)
+      | o -> o
+    in
+    List.iter
+      (fun (f : Ir.func) ->
+        List.iter
+          (fun (b : Ir.block) ->
+            b.Ir.insts <- List.map (Ir.map_operands subst) b.Ir.insts;
+            b.Ir.term <- Ir.map_term_operands subst b.Ir.term)
+          f.Ir.blocks)
+      m.Ir.funcs;
+    m.Ir.globals <- List.filter (fun (g : Ir.gvar) -> not g.Ir.gextern) m.Ir.globals
+  end
+
+(* One subtlety: once globals are replaced by immediate addresses, GEPs
+   on them lose their element type (the base operand is now an i64
+   immediate, typed as a 64-bit integer, not a pointer). Pre-typed GEPs
+   in our IR take the element size from the base operand's static type,
+   so the substitution must instead go through a typed cast chain:
+   Imm address -> bitcast to the right pointer type. *)
+let link_globals_typed (m : Ir.modul) (resolve : string -> int64) : unit =
+  let externs =
+    List.filter_map
+      (fun (g : Ir.gvar) ->
+        if g.Ir.gextern then
+          Some
+            ( g.Ir.gname,
+              ( resolve g.Ir.gname,
+                Types.TPtr
+                  ( (match g.Ir.gty with Types.TArr (e, _) -> e | t -> t),
+                    g.Ir.gspace ) ) )
+        else None)
+      m.Ir.globals
+  in
+  if externs <> [] then begin
+    List.iter
+      (fun (f : Ir.func) ->
+        if not f.Ir.is_decl then begin
+          (* one cast register per referenced global, defined at entry *)
+          let cast_regs =
+            List.filter_map
+              (fun (name, (addr, pty)) ->
+                let used = ref false in
+                let check = function Ir.Glob g when g = name -> used := true | _ -> () in
+                List.iter
+                  (fun (b : Ir.block) ->
+                    List.iter (fun i -> List.iter check (Ir.operands_of i)) b.Ir.insts;
+                    List.iter check (Ir.term_operands b.Ir.term))
+                  f.Ir.blocks;
+                if !used then begin
+                  let r = Ir.fresh_reg f pty in
+                  Some (name, (addr, r))
+                end
+                else None)
+              externs
+          in
+          if cast_regs <> [] then begin
+            let entry = Ir.entry f in
+            let casts =
+              List.map
+                (fun (_, (addr, r)) ->
+                  Ir.ICast (r, Ops.Bitcast, Ir.Imm (Konst.kint ~bits:64 addr)))
+                cast_regs
+            in
+            (* keep phis leading the entry block (entry has no phis in
+               practice, but stay safe) *)
+            let phis, rest =
+              List.partition (function Ir.IPhi _ -> true | _ -> false) entry.Ir.insts
+            in
+            entry.Ir.insts <- phis @ casts @ rest;
+            let subst = function
+              | Ir.Glob g as o -> (
+                  match List.assoc_opt g cast_regs with
+                  | Some (_, r) -> Ir.Reg r
+                  | None -> o)
+              | o -> o
+            in
+            List.iter
+              (fun (b : Ir.block) ->
+                b.Ir.insts <-
+                  List.map
+                    (fun i ->
+                      match i with
+                      | Ir.ICast (d, op, src) when List.exists (fun (_, (_, r)) -> r = d) cast_regs
+                        ->
+                          Ir.ICast (d, op, src) (* don't rewrite our own casts *)
+                      | i -> Ir.map_operands subst i)
+                    b.Ir.insts;
+                b.Ir.term <- Ir.map_term_operands subst b.Ir.term)
+              f.Ir.blocks
+          end
+        end)
+      m.Ir.funcs;
+    m.Ir.globals <- List.filter (fun (g : Ir.gvar) -> not g.Ir.gextern) m.Ir.globals
+  end
+
+let _ = link_globals
+
+(* Full specialization entry: applies RCF/LB per config to the kernel
+   function of an extracted module. *)
+let apply (config : Config.t) (m : Ir.modul) ~(kernel : string)
+    ~(spec_values : (int * Konst.t) list) ~(block : int)
+    ~(resolve_global : string -> int64) : unit =
+  let f = Ir.find_func m kernel in
+  link_globals_typed m resolve_global;
+  if config.Config.enable_rcf then fold_arguments f spec_values;
+  if config.Config.enable_lb then set_launch_bounds f ~threads:block

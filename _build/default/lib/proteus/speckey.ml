@@ -1,0 +1,37 @@
+(* Specialization keys: a hash jointly encoding (1) the unique module
+   identifier bound to source code, (2) the kernel symbol, and (3) the
+   runtime values of specialized arguments and launch-bound values
+   (Sec. 3.3). Source changes change the module id, so stale persistent
+   entries can never be revived. *)
+
+open Proteus_support
+open Proteus_ir
+
+type t = { hash : string }
+
+let compute ~(mid : string) ~(sym : string) ~(spec_values : (int * Konst.t) list)
+    ~(launch_bounds : int option) : t =
+  let h = Util.Fnv.offset_basis in
+  let h = Util.Fnv.add_string h mid in
+  let h = Util.Fnv.add_string h sym in
+  let h =
+    List.fold_left
+      (fun h (idx, k) ->
+        let h = Util.Fnv.add_int h idx in
+        match k with
+        | Konst.KBool b -> Util.Fnv.add_int h (if b then 1 else 0)
+        | Konst.KInt (v, bits) -> Util.Fnv.add_int64 (Util.Fnv.add_int h bits) v
+        | Konst.KFloat (v, bits) ->
+            Util.Fnv.add_int64 (Util.Fnv.add_int h bits) (Int64.bits_of_float v)
+        | Konst.KNull -> Util.Fnv.add_int h 3)
+      h spec_values
+  in
+  let h =
+    match launch_bounds with
+    | Some lb -> Util.Fnv.add_int h lb
+    | None -> Util.Fnv.add_int h (-1)
+  in
+  { hash = Util.Fnv.to_hex h }
+
+let to_string t = t.hash
+let cache_filename t = Printf.sprintf "cache-jit-%s.o" t.hash

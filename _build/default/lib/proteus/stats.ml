@@ -1,0 +1,26 @@
+(* Runtime statistics of the Proteus JIT library: cache behaviour,
+   compilation overhead (simulated and real), and code-cache sizes. *)
+
+type t = {
+  mutable jit_launches : int;
+  mutable mem_hits : int;
+  mutable disk_hits : int;
+  mutable compiles : int;
+  mutable jit_overhead_s : float; (* simulated seconds spent off the critical kernel path *)
+  mutable compile_work : int; (* optimizer work units *)
+  mutable bitcode_bytes : int;
+  mutable object_bytes : int;
+  mutable real_compile_s : float; (* actual wall-clock of our pipeline *)
+}
+
+let create () =
+  {
+    jit_launches = 0; mem_hits = 0; disk_hits = 0; compiles = 0; jit_overhead_s = 0.0;
+    compile_work = 0; bitcode_bytes = 0; object_bytes = 0; real_compile_s = 0.0;
+  }
+
+let to_string s =
+  Printf.sprintf
+    "jit launches=%d mem-hits=%d disk-hits=%d compiles=%d overhead=%.3fms real-compile=%.1fms"
+    s.jit_launches s.mem_hits s.disk_hits s.compiles (s.jit_overhead_s *. 1e3)
+    (s.real_compile_s *. 1e3)

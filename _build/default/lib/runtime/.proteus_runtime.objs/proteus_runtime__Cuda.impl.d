@@ -1,0 +1,1 @@
+lib/runtime/cuda.ml: Ir List Mach Proteus_backend Proteus_gpu Proteus_ir Ptx Ptxas

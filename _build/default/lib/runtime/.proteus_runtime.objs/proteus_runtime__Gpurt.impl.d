@@ -1,0 +1,1 @@
+lib/runtime/gpurt.ml: Bytes Char Clock Costmodel Counters Device Exec Gmem Hashtbl Int64 Ir Konst L2cache List Mach Proteus_backend Proteus_gpu Proteus_ir Proteus_support String Timing Types Util

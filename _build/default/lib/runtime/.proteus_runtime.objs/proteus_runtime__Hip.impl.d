@@ -1,0 +1,1 @@
+lib/runtime/hip.ml: Gcn Ir Mach Proteus_backend Proteus_gpu Proteus_ir

@@ -1,0 +1,1 @@
+lib/runtime/hostexec.ml: Array Buffer Char Clock Costmodel Gpurt Hashtbl Int64 Interp Ir Konst List Option Printf Proteus_gpu Proteus_ir Proteus_support Scanf String Types Util

@@ -1,0 +1,10 @@
+(* Simulated wall clock. Every component (kernel execution, memcpies,
+   JIT compilation, cache loads) advances it; end-to-end program time is
+   simply the clock at exit. *)
+
+type t = { mutable now : float (* seconds *) }
+
+let create () = { now = 0.0 }
+let advance t dt = if dt > 0.0 then t.now <- t.now +. dt
+let read t = t.now
+let reset t = t.now <- 0.0

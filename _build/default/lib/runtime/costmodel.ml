@@ -1,0 +1,52 @@
+(* Cost model for everything that is not kernel execution: API call
+   overheads, PCIe transfers, and the compilation pipelines. The
+   constants are calibrated so relative magnitudes match the paper's
+   observations, rescaled to the miniaturised workloads (JIT compile
+   overhead is a small fraction of kernel-time savings, as in the
+   paper's seconds-long programs; Jitify's source-string pipeline costs
+   several times more; a warm persistent cache reduces overhead to an
+   object load). The calibration is recorded in EXPERIMENTS.md. *)
+
+type t = {
+  api_call_s : float; (* fixed overhead of a runtime API call *)
+  launch_s : float; (* host-side kernel-launch overhead *)
+  pcie_bw : float; (* bytes per second, host<->device *)
+  pcie_lat_s : float;
+  (* compilation *)
+  frontend_per_byte_s : float; (* lex/parse/sema of C source (Jitify path) *)
+  opt_per_work_s : float; (* per optimizer work unit (instruction visited) *)
+  isel_per_instr_s : float;
+  regalloc_per_instr_s : float;
+  ptx_emit_per_byte_s : float;
+  ptxas_per_byte_s : float; (* NVIDIA's extra assembly step *)
+  bitcode_parse_per_byte_s : float;
+  module_load_per_byte_s : float; (* loading a binary into the runtime *)
+  cache_hash_s : float; (* computing a specialization hash *)
+  cache_disk_per_byte_s : float; (* persistent cache read *)
+  cache_disk_lat_s : float;
+  host_instr_s : float; (* interpreted host instruction *)
+  toolchain_startup_s : float; (* spinning up a full compiler (Jitify/RTC) *)
+}
+
+let default =
+  {
+    api_call_s = 0.5e-6;
+    launch_s = 1.0e-6;
+    pcie_bw = 24.0e9;
+    pcie_lat_s = 8.0e-6;
+    frontend_per_byte_s = 3.0e-9;
+    opt_per_work_s = 0.3e-9;
+    isel_per_instr_s = 0.6e-9;
+    regalloc_per_instr_s = 1.2e-9;
+    ptx_emit_per_byte_s = 0.25e-9;
+    ptxas_per_byte_s = 0.3e-9;
+    bitcode_parse_per_byte_s = 0.15e-9;
+    module_load_per_byte_s = 0.3e-9;
+    cache_hash_s = 0.1e-6;
+    cache_disk_per_byte_s = 0.15e-9;
+    cache_disk_lat_s = 4.0e-6;
+    host_instr_s = 0.2e-9;
+    toolchain_startup_s = 0.25e-3;
+  }
+
+let xfer t bytes = t.pcie_lat_s +. (float_of_int bytes /. t.pcie_bw)

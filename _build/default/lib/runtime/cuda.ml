@@ -1,0 +1,25 @@
+(* CUDA-flavoured toolchain behaviour. The NVPTX backend emits PTX
+   text, which NVIDIA's assembler (our Ptxas) lowers to the final
+   binary; embedding into a fatbinary DISCARDS non-standard sections,
+   which is why the Proteus plugin must smuggle extracted IR through
+   device globals on this path (Sec. 3.2). *)
+
+open Proteus_ir
+open Proteus_backend
+
+let vendor = Proteus_gpu.Device.Amd (* placeholder, shadowed below *)
+let _ = vendor
+
+let device = Proteus_gpu.Device.Nvidia
+
+(* AOT device compilation: returns the loadable object and the PTX text
+   (whose size feeds the compile-time cost model). *)
+let aot_compile_device (m : Ir.modul) : Mach.obj * string =
+  let ptx = Ptx.emit m in
+  let globals = List.filter (fun (g : Ir.gvar) -> not g.Ir.gextern) m.Ir.globals in
+  let obj = Ptxas.compile ~globals ptx in
+  (obj, ptx)
+
+(* Fatbinary embedding: NVIDIA's binary tools discard non-standard
+   sections. *)
+let embed_fatbin (obj : Mach.obj) : Mach.obj = { obj with Mach.sections = [] }

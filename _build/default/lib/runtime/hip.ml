@@ -1,0 +1,15 @@
+(* HIP/ROCm-flavoured toolchain behaviour: the AMDGPU backend produces
+   binary code directly, and custom sections (such as Proteus's
+   .jit.<kernel>) survive fatbinary embedding. *)
+
+open Proteus_ir
+open Proteus_backend
+
+let device = Proteus_gpu.Device.Amd
+
+let aot_compile_device (m : Ir.modul) : Mach.obj * string =
+  let obj = Gcn.compile m in
+  (obj, "")
+
+(* Custom sections survive. *)
+let embed_fatbin (obj : Mach.obj) : Mach.obj = obj

@@ -1,0 +1,293 @@
+(* Host-module execution: interprets the host IR (main, stubs, the
+   registration constructor) with externs bound to the vendor runtime.
+   This is what makes the Proteus plugin's host-side rewriting
+   observable end to end: the rewritten __jit_launch_kernel call sites
+   actually run. *)
+
+open Proteus_support
+open Proteus_ir
+
+exception Program_exit of int
+
+type result = {
+  exit_code : int;
+  output : string;
+  end_to_end_s : float;
+  host_instrs : int;
+}
+
+(* read a NUL-terminated C string from a memory arena *)
+let read_cstring (mem : Proteus_gpu.Gmem.t) (addr : int64) : string =
+  let buf = Buffer.create 16 in
+  let rec go a =
+    let c = Proteus_gpu.Gmem.read_u8 mem a in
+    if c <> 0 then begin
+      Buffer.add_char buf (Char.chr c);
+      go (Int64.add a 1L)
+    end
+  in
+  go addr;
+  Buffer.contents buf
+
+(* Minimal printf: %d %ld %u %x %f %e %g %s %c and %% with \n literals. *)
+let format_printf (mem : Proteus_gpu.Gmem.t) (fmt : string) (args : Konst.t list) :
+    string =
+  let buf = Buffer.create 64 in
+  let args = ref args in
+  let pop () =
+    match !args with
+    | a :: rest ->
+        args := rest;
+        a
+    | [] -> Konst.kint 0L
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    let c = fmt.[!i] in
+    if c = '%' && !i + 1 < n then begin
+      (* scan flags/width/precision *)
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        && (match fmt.[!j] with
+           | '0' .. '9' | '.' | '-' | '+' | ' ' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      (* optional length modifiers *)
+      while !j < n && (fmt.[!j] = 'l' || fmt.[!j] = 'h' || fmt.[!j] = 'z') do
+        incr j
+      done;
+      if !j < n then begin
+        let spec = String.sub fmt !i (!j - !i + 1) in
+        let conv = fmt.[!j] in
+        (* rebuild an OCaml-compatible format: strip l/h/z *)
+        let clean =
+          String.concat ""
+            (List.filter
+               (fun s -> s <> "l" && s <> "h" && s <> "z")
+               (List.init (String.length spec) (fun k -> String.make 1 spec.[k])))
+        in
+        (match conv with
+        | 'd' | 'i' ->
+            let v = Konst.as_int (pop ()) in
+            let clean = String.map (fun c -> if c = 'i' then 'd' else c) clean in
+            Buffer.add_string buf (Printf.sprintf (Scanf.format_from_string (String.concat "" [String.sub clean 0 (String.length clean - 1); "Ld"]) "%Ld") v)
+        | 'u' | 'x' ->
+            let v = Konst.as_int (pop ()) in
+            Buffer.add_string buf
+              (if conv = 'x' then Printf.sprintf "%Lx" v else Printf.sprintf "%Lu" v)
+        | 'f' | 'e' | 'g' ->
+            let v = Konst.as_float (pop ()) in
+            Buffer.add_string buf
+              (Printf.sprintf (Scanf.format_from_string clean "%f") v)
+        | 's' ->
+            let a = Konst.as_int (pop ()) in
+            Buffer.add_string buf (read_cstring mem a)
+        | 'c' ->
+            let v = Konst.as_int (pop ()) in
+            Buffer.add_char buf (Char.chr (Int64.to_int v land 0xff))
+        | '%' -> Buffer.add_char buf '%'
+        | _ -> Buffer.add_string buf spec);
+        i := !j + 1
+      end
+      else begin
+        Buffer.add_char buf c;
+        incr i
+      end
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* strip a cuda/hip prefix: "cudaMalloc" -> Some "Malloc" *)
+let api_base name =
+  let pre p =
+    if String.length name > String.length p && String.sub name 0 (String.length p) = p
+    then Some (String.sub name (String.length p) (String.length name - String.length p))
+    else None
+  in
+  match pre "cuda" with
+  | Some r -> Some r
+  | None -> (
+      match pre "hip" with
+      | Some r -> Some r
+      | None -> (
+          match pre "__cuda" with
+          | Some r -> Some r
+          | None -> pre "__hip"))
+
+type host_ctx = {
+  rt : Gpurt.ctx;
+  host_mem : Proteus_gpu.Gmem.t;
+  globals : (string, int64) Hashtbl.t;
+  func_addrs : (string, int64) Hashtbl.t;
+  addr_funcs : (int64, string) Hashtbl.t;
+  out : Buffer.t;
+}
+
+let func_addr_base = 0x4000_0000_0000_0000L
+
+let build_host_ctx (rt : Gpurt.ctx) (m : Ir.modul) : host_ctx =
+  let host_mem = Proteus_gpu.Gmem.create () in
+  let globals = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Ir.gvar) ->
+      let size = max (Types.size_of g.Ir.gty) 1 in
+      let addr = Proteus_gpu.Gmem.alloc host_mem size in
+      (match g.Ir.ginit with
+      | Ir.InitZero -> ()
+      | Ir.InitString s ->
+          String.iteri
+            (fun i ch ->
+              Proteus_gpu.Gmem.write_u8 host_mem
+                (Int64.add addr (Int64.of_int i))
+                (Char.code ch))
+            s
+      | Ir.InitConsts ks ->
+          let elem_ty = match g.Ir.gty with Types.TArr (e, _) -> e | t -> t in
+          let esz = Types.size_of elem_ty in
+          List.iteri
+            (fun i k ->
+              Proteus_gpu.Gmem.write host_mem elem_ty
+                (Int64.add addr (Int64.of_int (i * esz)))
+                k)
+            ks);
+      Hashtbl.replace globals g.Ir.gname addr)
+    m.Ir.globals;
+  let func_addrs = Hashtbl.create 16 in
+  let addr_funcs = Hashtbl.create 16 in
+  List.iteri
+    (fun i (f : Ir.func) ->
+      let a = Int64.add func_addr_base (Int64.of_int (i * 8)) in
+      Hashtbl.replace func_addrs f.Ir.fname a;
+      Hashtbl.replace addr_funcs a f.Ir.fname)
+    m.Ir.funcs;
+  { rt; host_mem; globals; func_addrs; addr_funcs; out = Buffer.create 256 }
+
+(* Dispatch a host extern call to the vendor runtime / libc shims. *)
+let extern_call (h : host_ctx) (name : string) (args : Konst.t list) : Konst.t option =
+  let rt = h.rt in
+  match (api_base name, name) with
+  | Some "Malloc", _ ->
+      let bytes = Int64.to_int (Konst.as_int (List.nth args 0)) in
+      Some (Konst.kint ~bits:64 (Gpurt.dmalloc rt bytes))
+  | Some "Free", _ ->
+      Gpurt.dfree rt (Konst.as_int (List.nth args 0));
+      None
+  | Some "MemcpyHtoD", _ ->
+      let dst = Konst.as_int (List.nth args 0) in
+      let src = Konst.as_int (List.nth args 1) in
+      let bytes = Int64.to_int (Konst.as_int (List.nth args 2)) in
+      Gpurt.memcpy_h2d rt ~host:h.host_mem ~src ~dst ~bytes;
+      None
+  | Some "MemcpyDtoH", _ ->
+      let dst = Konst.as_int (List.nth args 0) in
+      let src = Konst.as_int (List.nth args 1) in
+      let bytes = Int64.to_int (Konst.as_int (List.nth args 2)) in
+      Gpurt.memcpy_d2h rt ~host:h.host_mem ~src ~dst ~bytes;
+      None
+  | Some "MemcpyDtoD", _ ->
+      let dst = Konst.as_int (List.nth args 0) in
+      let src = Konst.as_int (List.nth args 1) in
+      let bytes = Int64.to_int (Konst.as_int (List.nth args 2)) in
+      Gpurt.memcpy_d2d rt ~src ~dst ~bytes;
+      None
+  | Some "DeviceSynchronize", _ ->
+      Gpurt.charge_api rt;
+      None
+  | Some "LaunchKernel", _ -> (
+      (* (stub_addr, grid, block, shmem, kernel args...) *)
+      match args with
+      | stub :: grid :: block :: _shmem :: kargs -> (
+          let stub_addr = Konst.as_int stub in
+          match Gpurt.sym_of_stub rt stub_addr with
+          | Some sym ->
+              Gpurt.launch_kernel rt ~sym
+                ~grid:(Int64.to_int (Konst.as_int grid))
+                ~block:(Int64.to_int (Konst.as_int block))
+                ~args:(Array.of_list kargs);
+              None
+          | None -> Util.failf "launch of unregistered kernel (stub 0x%Lx)" stub_addr)
+      | _ -> Util.failf "bad LaunchKernel call")
+  | Some "RegisterFunction", _ ->
+      let stub_addr = Konst.as_int (List.nth args 0) in
+      let sym = read_cstring h.host_mem (Konst.as_int (List.nth args 1)) in
+      Gpurt.register_function rt ~stub_addr ~sym;
+      None
+  | Some "RegisterVar", _ ->
+      let sym = read_cstring h.host_mem (Konst.as_int (List.nth args 0)) in
+      Gpurt.register_var rt sym;
+      None
+  | _, "printf" -> (
+      match args with
+      | fmt :: rest ->
+          let s = format_printf h.host_mem (read_cstring h.host_mem (Konst.as_int fmt)) rest in
+          Buffer.add_string h.out s;
+          Some (Konst.kint ~bits:32 (Int64.of_int (String.length s)))
+      | [] -> Some (Konst.ki32 0))
+  | _, "malloc" ->
+      let bytes = Int64.to_int (Konst.as_int (List.nth args 0)) in
+      Some (Konst.kint ~bits:64 (Proteus_gpu.Gmem.alloc h.host_mem bytes))
+  | _, "free" ->
+      Proteus_gpu.Gmem.free h.host_mem (Konst.as_int (List.nth args 0));
+      None
+  | _, "exit" -> raise (Program_exit (Int64.to_int (Konst.as_int (List.nth args 0))))
+  | _ -> Util.failf "call to unknown extern @%s" name
+
+(* Run a host module: constructors, then main. The [extra] hook (built
+   against the live host context so it can read host memory) intercepts
+   externs before the vendor shims; returning None declines. *)
+let run
+    ?(extra : (host_ctx -> string -> Konst.t list -> Konst.t option option) option)
+    (rt : Gpurt.ctx) (m : Ir.modul) : result =
+  let h = build_host_ctx rt m in
+  let extra = Option.map (fun f -> f h) extra in
+  let global_addr name =
+    match Hashtbl.find_opt h.globals name with
+    | Some a -> a
+    | None -> (
+        match Hashtbl.find_opt h.func_addrs name with
+        | Some a -> a
+        | None -> Util.failf "unknown host symbol @%s" name)
+  in
+  let dispatch name args =
+    (* externs installed by the JIT runtime take precedence *)
+    match extra with
+    | Some hook -> (
+        match hook name args with
+        | Some result -> result
+        | None -> extern_call h name args)
+    | None -> extern_call h name args
+  in
+  let env =
+    Interp.make_env
+      ~load:(fun ty addr -> Proteus_gpu.Gmem.read h.host_mem ty addr)
+      ~store:(fun ty addr v -> Proteus_gpu.Gmem.write h.host_mem ty addr v)
+      ~extern:dispatch ~global_addr
+      ~alloca:(fun ty n -> Proteus_gpu.Gmem.alloc h.host_mem (Types.size_of ty * n))
+      ()
+  in
+  let start_fuel = env.Interp.fuel in
+  let exit_code =
+    try
+      List.iter (fun ctor -> ignore (Interp.run env m ctor [])) m.Ir.ctors;
+      match Interp.run env m "main" [] with
+      | Some k -> Int64.to_int (Konst.as_int k)
+      | None -> 0
+    with Program_exit c -> c
+  in
+  let host_instrs = start_fuel - env.Interp.fuel in
+  Clock.advance rt.Gpurt.clock
+    (float_of_int host_instrs *. rt.Gpurt.cost.Costmodel.host_instr_s);
+  {
+    exit_code;
+    output = Buffer.contents h.out;
+    end_to_end_s = Clock.read rt.Gpurt.clock;
+    host_instrs;
+  }

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ast Compile Cuda Device Gpurt Hip Hostexec Ir Lexer List Lower Parse Proteus_frontend Proteus_gpu Proteus_ir Proteus_opt Proteus_runtime String

@@ -1,0 +1,1 @@
+test/test_hecbench.ml: Alcotest App Counters Device Float Harness List Printf Proteus_gpu Proteus_hecbench Suite

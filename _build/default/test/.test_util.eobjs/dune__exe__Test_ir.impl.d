@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Bitcode Builder Cfg Dom Int32 Int64 Interp Ir Konst List Loopinfo Ops Proteus_ir Proteus_support QCheck QCheck_alcotest String Types Util Verify

@@ -1,0 +1,1 @@
+test/test_jitify.ml: Alcotest Clock Device Gpurt Int64 Jitify Konst Proteus_gpu Proteus_ir Proteus_jitify Proteus_runtime

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Int64 List Proteus_support QCheck QCheck_alcotest String Util

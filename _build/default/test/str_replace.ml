@@ -1,0 +1,7 @@
+(* tiny test helper: first-occurrence string replacement *)
+let replace (hay : string) (needle : string) (replacement : string) : string =
+  let nl = String.length needle and hl = String.length hay in
+  let rec find i = if i + nl > hl then None else if String.sub hay i nl = needle then Some i else find (i + 1) in
+  match find 0 with
+  | Some i -> String.sub hay 0 i ^ replacement ^ String.sub hay (i + nl) (hl - i - nl)
+  | None -> invalid_arg "Str_replace.replace: needle not found"

@@ -1,0 +1,313 @@
+(* Backend tests: uniformity analysis, instruction selection, register
+   allocation (with and without pressure), PTX round-tripping and the
+   vendor register-budget rules. *)
+
+open Proteus_ir
+open Proteus_frontend
+open Proteus_backend
+
+let check = Alcotest.check
+
+let device_of src =
+  let m = (Compile.compile ~vendor:Lower.Cuda src).Compile.device in
+  ignore (Proteus_opt.Pipeline.optimize_o3 m);
+  m
+
+(* ---- uniformity ---- *)
+
+let test_uniformity_basic () =
+  let m =
+    device_of
+      {|__global__ void k(float* v, int n, float a) {
+          int i = blockIdx.x * blockDim.x + threadIdx.x;
+          int scale = n * 2;
+          if (i < n) { v[i] = a * (float)scale + (float)i; }
+        }|}
+  in
+  let f = Ir.find_func m "k" in
+  let uni = Uniformity.compute f in
+  (* find the defs: tid query divergent; n*2 uniform *)
+  let div_of_call name =
+    let r = ref None in
+    Ir.iter_instrs f (fun i ->
+        match i with
+        | Ir.ICall (Some d, q, _) when q = name -> r := Some (Uniformity.is_divergent uni d)
+        | _ -> ());
+    !r
+  in
+  check Alcotest.(option bool) "tid.x divergent" (Some true) (div_of_call "gpu.tid.x");
+  check Alcotest.(option bool) "ctaid.x uniform" (Some false) (div_of_call "gpu.ctaid.x");
+  (* n*2: a Mul or Shl with uniform input *)
+  let uniform_scale = ref false in
+  Ir.iter_instrs f (fun i ->
+      match i with
+      | Ir.IBin (d, (Ops.Mul | Ops.Shl), Ir.Reg src, _)
+        when not (Uniformity.is_divergent uni src) ->
+          if not (Uniformity.is_divergent uni d) then uniform_scale := true
+      | _ -> ());
+  Alcotest.(check bool) "n*2 stays uniform" true !uniform_scale
+
+let test_uniformity_control_dependence () =
+  (* a phi fed by constants under a divergent branch is divergent *)
+  let m =
+    device_of
+      {|__global__ void k(int* v, int n) {
+          int i = blockIdx.x * blockDim.x + threadIdx.x;
+          int tag = 0;
+          if (i < n / 2) { tag = 1; } else { tag = 2; }
+          v[i] = tag;
+        }|}
+  in
+  let f = Ir.find_func m "k" in
+  let uni = Uniformity.compute f in
+  let phi_div = ref None in
+  Ir.iter_instrs f (fun i ->
+      match i with
+      | Ir.IPhi (d, _) -> phi_div := Some (Uniformity.is_divergent uni d)
+      | Ir.ISelect (d, _, _, _) -> phi_div := Some (Uniformity.is_divergent uni d)
+      | _ -> ());
+  check Alcotest.(option bool) "phi under divergent branch" (Some true) !phi_div
+
+(* ---- isel ---- *)
+
+let daxpy_src =
+  {|__global__ void daxpy(double a, double* x, double* y, int n) {
+      int i = blockIdx.x * blockDim.x + threadIdx.x;
+      if (i < n) { y[i] = a * x[i] + y[i]; }
+    }|}
+
+let test_isel_structure () =
+  let m = device_of daxpy_src in
+  let f = Ir.find_func m "daxpy" in
+  let mf = Isel.lower_func m f in
+  check Alcotest.string "symbol" "daxpy" mf.Mach.sym;
+  check Alcotest.int "4 kernel args" 4 (List.length mf.Mach.arg_tys);
+  (* entry block starts with kernarg loads *)
+  let entry = List.hd mf.Mach.blocks in
+  let args =
+    List.filter (fun (i : Mach.minstr) -> match i.Mach.op with Mach.Oarg _ -> true | _ -> false)
+      entry.Mach.code
+  in
+  check Alcotest.int "kernarg loads" 4 (List.length args);
+  Alcotest.(check bool) "has loads" true
+    (List.exists
+       (fun (b : Mach.mblock) ->
+         List.exists
+           (fun (i : Mach.minstr) -> match i.Mach.op with Mach.Old _ -> true | _ -> false)
+           b.Mach.code)
+       mf.Mach.blocks)
+
+let test_isel_frame_for_arrays () =
+  let m =
+    device_of
+      {|__global__ void k(float* out) {
+          float tmp[8];
+          int i = threadIdx.x;
+          tmp[i % 8] = (float)i;
+          out[i] = tmp[(i + 1) % 8];
+        }|}
+  in
+  let mf = Isel.lower_func m (Ir.find_func m "k") in
+  check Alcotest.int "8 floats of frame" 32 mf.Mach.frame;
+  (* array accesses classified as scratch *)
+  Alcotest.(check bool) "scratch loads present" true
+    (List.exists
+       (fun (b : Mach.mblock) ->
+         List.exists
+           (fun (i : Mach.minstr) ->
+             match i.Mach.op with Mach.Old (Mach.SScratch, _) -> true | _ -> false)
+           b.Mach.code)
+       mf.Mach.blocks)
+
+(* ---- register caps ---- *)
+
+let test_gcn_caps () =
+  check Alcotest.int "AOT default" 96 (Gcn.vgpr_cap None);
+  check Alcotest.int "LB 128" 256 (Gcn.vgpr_cap (Some (128, 1)));
+  check Alcotest.int "LB 256" 256 (Gcn.vgpr_cap (Some (256, 1)));
+  check Alcotest.int "LB 1024" 128 (Gcn.vgpr_cap (Some (1024, 1)))
+
+let test_ptxas_caps () =
+  check Alcotest.int "default heuristic" 85 (Ptxas.reg_cap None);
+  check Alcotest.int "LB 128" 255 (Ptxas.reg_cap (Some (128, 1)));
+  check Alcotest.int "LB 1024" 128 (Ptxas.reg_cap (Some (1024, 1)))
+
+(* ---- register allocation ---- *)
+
+(* a kernel with ~20 mutually-live doubles *)
+let pressure_src =
+  let terms = List.init 20 (fun j ->
+      Printf.sprintf "double t%d = v[i + %d] * %d.5 + (double)i;" j j (j + 1))
+  in
+  let reduce =
+    String.concat " + " (List.init 20 (fun j -> Printf.sprintf "t%d * t%d" j ((j + 7) mod 20)))
+  in
+  Printf.sprintf
+    {|__global__ void hot(double* v, double* out, int n) {
+        int i = blockIdx.x * blockDim.x + threadIdx.x;
+        if (i < n - 32) {
+          %s
+          out[i] = %s;
+        }
+      }|}
+    (String.concat "\n" terms) reduce
+
+let alloc_with cap =
+  let m = device_of pressure_src in
+  let mf = Isel.lower_func m (Ir.find_func m "hot") in
+  Regalloc.apply mf
+    { Regalloc.cap_v = cap; cap_s = 102; rematerialize = false;
+      reg_units = (fun ty -> max 1 (Types.size_of ty / 4)) };
+  mf
+
+let test_regalloc_no_spill_with_big_cap () =
+  let mf = alloc_with 256 in
+  check Alcotest.int "no spills" 0 mf.Mach.spill_slots;
+  Alcotest.(check bool) "uses a sane number of registers" true
+    (mf.Mach.vregs > 10 && mf.Mach.vregs <= 256)
+
+let test_regalloc_spills_under_pressure () =
+  let free = alloc_with 256 in
+  let tight = alloc_with 32 in
+  Alcotest.(check bool) "spills appear" true (tight.Mach.spill_slots > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "pressure measured (%d)" free.Mach.max_pressure_v)
+    true
+    (free.Mach.max_pressure_v > 32)
+
+(* spilled code must still compute the same thing: execute both via the
+   GPU executor and compare the output buffers *)
+let run_mfunc mf ~n =
+  let dev = Proteus_gpu.Device.mi250x in
+  let mem = Proteus_gpu.Gmem.create () in
+  let l2 = Proteus_gpu.L2cache.create dev in
+  let v = Proteus_gpu.Gmem.alloc mem ((n + 64) * 8) in
+  let out = Proteus_gpu.Gmem.alloc mem (n * 8) in
+  for i = 0 to n + 63 do
+    Proteus_gpu.Gmem.write_f64 mem (Int64.add v (Int64.of_int (i * 8)))
+      (0.01 *. float_of_int i)
+  done;
+  let args = [| Konst.kint ~bits:64 v; Konst.kint ~bits:64 out; Konst.ki32 n |] in
+  ignore
+    (Proteus_gpu.Exec.launch ~device:dev ~mem ~l2
+       ~symbols:(fun s -> Alcotest.failf "symbol %s" s)
+       mf ~grid:((n + 63) / 64) ~block:64 ~args);
+  List.init n (fun i -> Proteus_gpu.Gmem.read_f64 mem (Int64.add out (Int64.of_int (i * 8))))
+
+let test_spilled_code_correct () =
+  let n = 128 in
+  let a = run_mfunc (alloc_with 256) ~n in
+  let b = run_mfunc (alloc_with 32) ~n in
+  List.iter2
+    (fun x y ->
+      if x <> y then Alcotest.failf "spilled kernel diverged: %.17g vs %.17g" x y)
+    a b
+
+(* ---- PTX round trip ---- *)
+
+let test_ptx_roundtrip () =
+  let m = device_of daxpy_src in
+  let ptx = Ptx.emit m in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions the kernel" true (contains ptx "daxpy");
+  let parsed = Ptx.parse ptx in
+  check Alcotest.int "one kernel parsed" 1 (List.length parsed.Ptx.pfuncs);
+  let mf = List.hd parsed.Ptx.pfuncs in
+  check Alcotest.string "name" "daxpy" mf.Mach.sym;
+  check Alcotest.int "args" 4 (List.length mf.Mach.arg_tys);
+  (* emitting the parsed function again is a fixpoint *)
+  let ptx2 = Ptx.emit_machine [ mf ] in
+  let parsed2 = Ptx.parse ptx2 in
+  let count_instrs (f : Mach.mfunc) =
+    List.fold_left (fun a (b : Mach.mblock) -> a + List.length b.Mach.code) 0 f.Mach.blocks
+  in
+  check Alcotest.int "instruction count stable" (count_instrs mf)
+    (count_instrs (List.hd parsed2.Ptx.pfuncs))
+
+let test_ptx_src_syntax () =
+  List.iter
+    (fun s ->
+      let src = Ptx.parse_src s in
+      check Alcotest.string "roundtrip" s (Ptx.src_str src))
+    [ "%v3"; "%s12"; "#s32:-5"; "#s64:123456789"; "#b:1"; "#null"; "@glob" ]
+
+let test_ptxas_assembles () =
+  let m = device_of daxpy_src in
+  let ptx = Ptx.emit m in
+  let obj = Ptxas.compile ptx in
+  check Alcotest.int "one kernel" 1 (List.length obj.Mach.kernels);
+  let k = Mach.find_kernel obj "daxpy" in
+  (* after SASS unification there is no scalar class *)
+  check Alcotest.int "no scalar registers" 0 k.Mach.sregs;
+  Alcotest.(check bool) "physical registers bounded" true (k.Mach.vregs <= 255)
+
+let test_remat_reduces_movs () =
+  let m = device_of daxpy_src in
+  let mf1 = Isel.lower_func m (Ir.find_func m "daxpy") in
+  let mf2 = Isel.lower_func m (Ir.find_func m "daxpy") in
+  let count (f : Mach.mfunc) =
+    List.fold_left (fun a (b : Mach.mblock) -> a + List.length b.Mach.code) 0 f.Mach.blocks
+  in
+  Regalloc.apply mf1
+    { Regalloc.cap_v = 255; cap_s = 102; rematerialize = false;
+      reg_units = (fun _ -> 1) };
+  Regalloc.apply mf2
+    { Regalloc.cap_v = 255; cap_s = 102; rematerialize = true;
+      reg_units = (fun _ -> 1) };
+  Alcotest.(check bool) "remat never adds instructions" true (count mf2 <= count mf1)
+
+(* ---- object encode/decode ---- *)
+
+let test_obj_roundtrip () =
+  let m = device_of daxpy_src in
+  let obj = Gcn.compile m in
+  let obj = { obj with Mach.sections = [ (".jit.daxpy", "some bitcode bytes") ] } in
+  let bytes = Mach.encode_obj obj in
+  let obj' = Mach.decode_obj bytes in
+  check Alcotest.int "kernels" 1 (List.length obj'.Mach.kernels);
+  check Alcotest.(list (pair string string)) "sections survive"
+    [ (".jit.daxpy", "some bitcode bytes") ]
+    obj'.Mach.sections;
+  let k = Mach.find_kernel obj' "daxpy" in
+  let k0 = Mach.find_kernel obj "daxpy" in
+  check Alcotest.int "vregs preserved" k0.Mach.vregs k.Mach.vregs;
+  check Alcotest.int "blocks preserved" (List.length k0.Mach.blocks)
+    (List.length k.Mach.blocks)
+
+let () =
+  Alcotest.run "backend"
+    [
+      ( "uniformity",
+        [
+          Alcotest.test_case "tid divergent, block-level uniform" `Quick test_uniformity_basic;
+          Alcotest.test_case "control dependence" `Quick test_uniformity_control_dependence;
+        ] );
+      ( "isel",
+        [
+          Alcotest.test_case "structure" `Quick test_isel_structure;
+          Alcotest.test_case "frames for local arrays" `Quick test_isel_frame_for_arrays;
+        ] );
+      ( "caps",
+        [
+          Alcotest.test_case "GCN budgets" `Quick test_gcn_caps;
+          Alcotest.test_case "ptxas budgets" `Quick test_ptxas_caps;
+        ] );
+      ( "regalloc",
+        [
+          Alcotest.test_case "no spill with big cap" `Quick test_regalloc_no_spill_with_big_cap;
+          Alcotest.test_case "spills under pressure" `Quick test_regalloc_spills_under_pressure;
+          Alcotest.test_case "spilled code is correct" `Quick test_spilled_code_correct;
+          Alcotest.test_case "rematerialization" `Quick test_remat_reduces_movs;
+        ] );
+      ( "ptx",
+        [
+          Alcotest.test_case "emit/parse roundtrip" `Quick test_ptx_roundtrip;
+          Alcotest.test_case "operand syntax" `Quick test_ptx_src_syntax;
+          Alcotest.test_case "ptxas assembles" `Quick test_ptxas_assembles;
+        ] );
+      ("objects", [ Alcotest.test_case "encode/decode" `Quick test_obj_roundtrip ]);
+    ]

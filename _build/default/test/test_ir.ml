@@ -1,0 +1,456 @@
+(* Tests for the IR: types, constants, construction, verifier, bitcode,
+   CFG analyses (dominators, loops) and the reference interpreter. *)
+
+open Proteus_support
+open Proteus_ir
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let test_type_sizes () =
+  check Alcotest.int "i32" 4 (Types.size_of Types.i32);
+  check Alcotest.int "i64" 8 (Types.size_of Types.i64);
+  check Alcotest.int "f32" 4 (Types.size_of Types.f32);
+  check Alcotest.int "f64" 8 (Types.size_of Types.f64);
+  check Alcotest.int "ptr" 8 (Types.size_of (Types.ptr Types.f64));
+  check Alcotest.int "bool" 1 (Types.size_of Types.TBool);
+  check Alcotest.int "array" 32 (Types.size_of (Types.TArr (Types.f64, 4)))
+
+let test_type_equal () =
+  Alcotest.(check bool) "ptr eq" true
+    (Types.equal (Types.ptr Types.f32) (Types.ptr Types.f32));
+  Alcotest.(check bool) "ptr ne pointee" false
+    (Types.equal (Types.ptr Types.f32) (Types.ptr Types.f64));
+  Alcotest.(check bool) "space matters" false
+    (Types.equal (Types.ptr ~space:Types.AS_shared Types.f32) (Types.ptr Types.f32))
+
+let test_type_roundtrip () =
+  List.iter
+    (fun t ->
+      let w = Util.Bytesio.W.create () in
+      Types.encode w t;
+      let r = Util.Bytesio.R.create (Util.Bytesio.W.contents w) in
+      Alcotest.(check bool) (Types.to_string t) true (Types.equal t (Types.decode r)))
+    [ Types.TVoid; Types.TBool; Types.i32; Types.i64; Types.f32; Types.f64;
+      Types.ptr Types.f64; Types.TArr (Types.TInt 8, 17);
+      Types.TPtr (Types.TPtr (Types.i32, Types.AS_global), Types.AS_scratch) ]
+
+(* ------------------------------------------------------------------ *)
+(* Constants *)
+
+let test_konst_int_norm () =
+  match Konst.kint ~bits:32 0xFFFFFFFFL with
+  | Konst.KInt (v, 32) -> check Alcotest.int64 "wraps to -1" (-1L) v
+  | _ -> Alcotest.fail "expected KInt"
+
+let test_konst_binops () =
+  let i32 v = Konst.kint ~bits:32 v in
+  check Alcotest.int64 "add wraps" (Int64.of_int32 (Int32.add Int32.max_int 1l))
+    (Konst.as_int (Konst.binop Ops.Add (i32 (Int64.of_int32 Int32.max_int)) (i32 1L)));
+  check Alcotest.int64 "sdiv by zero is 0 (GPU semantics)" 0L
+    (Konst.as_int (Konst.binop Ops.SDiv (i32 5L) (i32 0L)));
+  check Alcotest.int64 "srem" 2L (Konst.as_int (Konst.binop Ops.SRem (i32 17L) (i32 5L)));
+  check Alcotest.int64 "shl masks shift amount" 2L
+    (Konst.as_int (Konst.binop Ops.Shl (i32 1L) (i32 33L)));
+  check Alcotest.int64 "lshr is unsigned" 0x7FFFFFFFL
+    (Konst.as_int (Konst.binop Ops.LShr (i32 (-1L)) (i32 1L)));
+  check Alcotest.int64 "ashr is signed" (-1L)
+    (Konst.as_int (Konst.binop Ops.AShr (i32 (-1L)) (i32 1L)))
+
+let test_konst_float_f32_rounds () =
+  let a = Konst.kf32 0.1 and b = Konst.kf32 0.2 in
+  match Konst.binop Ops.FAdd a b with
+  | Konst.KFloat (v, 32) ->
+      Alcotest.(check bool) "result is f32-rounded" true (v = Util.to_f32 v)
+  | _ -> Alcotest.fail "expected f32"
+
+let test_konst_cmp () =
+  Alcotest.(check bool) "slt" true
+    (Konst.as_bool (Konst.cmpop Ops.CLt (Konst.ki32 (-3)) (Konst.ki32 2)));
+  Alcotest.(check bool) "float eq" false
+    (Konst.as_bool (Konst.cmpop Ops.CEq (Konst.kf64 0.1) (Konst.kf64 0.2)))
+
+let test_konst_cast () =
+  check Alcotest.int64 "trunc i64->i32" (-1L)
+    (Konst.as_int (Konst.cast Ops.Trunc (Konst.kint ~bits:64 0xFFFFFFFFL) Types.i32));
+  check Alcotest.int64 "fptosi" 3L
+    (Konst.as_int (Konst.cast Ops.FpToSi (Konst.kf64 3.7) Types.i64));
+  (match Konst.cast Ops.SiToFp (Konst.ki32 7) Types.f32 with
+  | Konst.KFloat (7.0, 32) -> ()
+  | k -> Alcotest.failf "sitofp got %s" (Konst.to_string k));
+  check Alcotest.int64 "zext i32->i64 (unsigned)" 0xFFFFFFFFL
+    (Konst.as_int (Konst.cast Ops.Zext (Konst.kint ~bits:32 (-1L)) Types.i64));
+  check Alcotest.int64 "sext i32->i64 (signed)" (-1L)
+    (Konst.as_int (Konst.cast Ops.Sext (Konst.kint ~bits:32 (-1L)) Types.i64))
+
+let qcheck_konst_add_matches_int32 =
+  QCheck.Test.make ~name:"i32 add matches Int32 semantics" ~count:500
+    QCheck.(pair int32 int32)
+    (fun (a, b) ->
+      let k =
+        Konst.binop Ops.Add
+          (Konst.kint ~bits:32 (Int64.of_int32 a))
+          (Konst.kint ~bits:32 (Int64.of_int32 b))
+      in
+      Int64.equal (Konst.as_int k) (Int64.of_int32 (Int32.add a b)))
+
+let qcheck_konst_mul_matches_int32 =
+  QCheck.Test.make ~name:"i32 mul matches Int32 semantics" ~count:500
+    QCheck.(pair int32 int32)
+    (fun (a, b) ->
+      let k =
+        Konst.binop Ops.Mul
+          (Konst.kint ~bits:32 (Int64.of_int32 a))
+          (Konst.kint ~bits:32 (Int64.of_int32 b))
+      in
+      Int64.equal (Konst.as_int k) (Int64.of_int32 (Int32.mul a b)))
+
+let qcheck_konst_roundtrip =
+  let gen =
+    QCheck.oneof
+      [
+        QCheck.map (fun b -> Konst.kbool b) QCheck.bool;
+        QCheck.map (fun v -> Konst.kint ~bits:32 (Int64.of_int32 v)) QCheck.int32;
+        QCheck.map (fun v -> Konst.kint ~bits:64 v) QCheck.int64;
+        QCheck.map (fun v -> Konst.kf64 v) QCheck.float;
+      ]
+  in
+  QCheck.Test.make ~name:"konst encode/decode roundtrip" ~count:300 gen (fun k ->
+      let w = Util.Bytesio.W.create () in
+      Konst.encode w k;
+      let r = Util.Bytesio.R.create (Util.Bytesio.W.contents w) in
+      Konst.equal k (Konst.decode r))
+
+(* ------------------------------------------------------------------ *)
+(* Module construction helpers *)
+
+let build_abs_add () =
+  let f =
+    Ir.create_func ~kind:Ir.Device "abs_add"
+      [ ("x", Types.i32); ("y", Types.i32) ]
+      Types.i32
+  in
+  let b = Builder.create f in
+  let x = Ir.Reg (snd (List.nth f.Ir.params 0)) in
+  let y = Ir.Reg (snd (List.nth f.Ir.params 1)) in
+  let neg = Builder.new_block b "neg" in
+  let join = Builder.new_block b "join" in
+  let c = Builder.cmp b Ops.CLt x (Ir.Imm (Konst.ki32 0)) in
+  Builder.cond_br b c neg.Ir.label join.Ir.label;
+  Builder.position_at b neg;
+  let nx = Builder.bin b Ops.Sub Types.i32 (Ir.Imm (Konst.ki32 0)) x in
+  Builder.br b join.Ir.label;
+  Builder.position_at b join;
+  let phi = Builder.phi b Types.i32 [ ("entry", x); ("neg", nx) ] in
+  let r = Builder.bin b Ops.Add Types.i32 phi y in
+  Builder.ret b (Some r);
+  f
+
+let module_with fs =
+  { Ir.mid = "test"; mname = "test"; mtarget = Ir.TDevice; globals = []; funcs = fs;
+    annotations = []; ctors = [] }
+
+let null_env () =
+  Interp.make_env
+    ~load:(fun _ _ -> Alcotest.fail "no memory in this test")
+    ~store:(fun _ _ _ -> Alcotest.fail "no memory in this test")
+    ~extern:(fun n _ -> Alcotest.failf "unexpected extern %s" n)
+    ~global_addr:(fun n -> Alcotest.failf "unexpected global %s" n)
+    ~alloca:(fun _ _ -> Alcotest.fail "no alloca in this test")
+    ()
+
+let test_build_and_interp () =
+  let f = build_abs_add () in
+  let m = module_with [ f ] in
+  Verify.verify_module m;
+  let run x y =
+    match Interp.run (null_env ()) m "abs_add" [ Konst.ki32 x; Konst.ki32 y ] with
+    | Some k -> Int64.to_int (Konst.as_int k)
+    | None -> Alcotest.fail "no result"
+  in
+  check Alcotest.int "abs(-5)+3" 8 (run (-5) 3);
+  check Alcotest.int "abs(4)+1" 5 (run 4 1)
+
+let qcheck_abs_add =
+  let f = build_abs_add () in
+  let m = module_with [ f ] in
+  QCheck.Test.make ~name:"abs_add agrees with spec" ~count:200
+    QCheck.(pair (int_range (-10000) 10000) (int_range (-10000) 10000))
+    (fun (x, y) ->
+      match Interp.run (null_env ()) m "abs_add" [ Konst.ki32 x; Konst.ki32 y ] with
+      | Some k -> Int64.to_int (Konst.as_int k) = abs x + y
+      | None -> false)
+
+let test_use_counts_and_replace () =
+  let f = build_abs_add () in
+  let x_reg = snd (List.nth f.Ir.params 0) in
+  let uses = Ir.use_counts f in
+  check Alcotest.int "x used 3 times" 3 uses.(x_reg);
+  Ir.replace_uses f x_reg (Ir.Imm (Konst.ki32 7));
+  let uses' = Ir.use_counts f in
+  check Alcotest.int "x uses gone" 0 uses'.(x_reg)
+
+let test_clone_independent () =
+  let f = build_abs_add () in
+  let g = Ir.clone_func f in
+  (Ir.entry g).Ir.insts <- [];
+  Alcotest.(check bool) "original keeps instructions" true
+    ((Ir.entry f).Ir.insts <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Verifier *)
+
+let expect_invalid name f =
+  let m = module_with [ f ] in
+  match Verify.check m with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "%s: verifier accepted invalid IR" name
+
+let test_verify_undefined_reg () =
+  let f = Ir.create_func "bad" [] Types.i32 in
+  let b = Builder.create f in
+  let bogus = Ir.fresh_reg f Types.i32 in
+  Builder.ret b (Some (Ir.Reg bogus));
+  expect_invalid "undefined reg" f
+
+let test_verify_type_mismatch () =
+  let f = Ir.create_func "bad" [ ("x", Types.f64) ] Types.f64 in
+  let b = Builder.create f in
+  let x = Ir.Reg (snd (List.hd f.Ir.params)) in
+  let d = Ir.fresh_reg f Types.f64 in
+  Builder.add_instr b (Ir.IBin (d, Ops.Add, x, x));
+  Builder.ret b (Some (Ir.Reg d));
+  expect_invalid "int op on float" f
+
+let test_verify_bad_branch () =
+  let f = Ir.create_func "bad" [] Types.TVoid in
+  let b = Builder.create f in
+  Builder.br b "nowhere";
+  expect_invalid "branch to unknown label" f
+
+let test_verify_ret_type () =
+  let f = Ir.create_func "bad" [] Types.i32 in
+  let b = Builder.create f in
+  Builder.ret b (Some (Ir.Imm (Konst.kf64 1.0)));
+  expect_invalid "wrong return type" f
+
+let test_verify_double_def () =
+  let f = Ir.create_func "bad" [] Types.TVoid in
+  let b = Builder.create f in
+  let d = Ir.fresh_reg f Types.i32 in
+  Builder.add_instr b (Ir.IBin (d, Ops.Add, Ir.Imm (Konst.ki32 1), Ir.Imm (Konst.ki32 2)));
+  Builder.add_instr b (Ir.IBin (d, Ops.Add, Ir.Imm (Konst.ki32 3), Ir.Imm (Konst.ki32 4)));
+  Builder.ret b None;
+  expect_invalid "register defined twice" f
+
+let test_verify_phi_after_nonphi () =
+  let f = Ir.create_func "bad" [] Types.TVoid in
+  let b = Builder.create f in
+  let d = Ir.fresh_reg f Types.i32 in
+  Builder.add_instr b (Ir.IBin (d, Ops.Add, Ir.Imm (Konst.ki32 1), Ir.Imm (Konst.ki32 2)));
+  let p = Ir.fresh_reg f Types.i32 in
+  Builder.add_instr b (Ir.IPhi (p, [ ("entry", Ir.Imm (Konst.ki32 0)) ]));
+  Builder.ret b None;
+  expect_invalid "phi after non-phi" f
+
+let test_verify_accepts_good () =
+  let m = module_with [ build_abs_add () ] in
+  match Verify.check m with
+  | Ok () -> ()
+  | Error errs -> Alcotest.failf "unexpected: %s" (String.concat "; " errs)
+
+(* ------------------------------------------------------------------ *)
+(* Bitcode *)
+
+let test_bitcode_roundtrip () =
+  let m = module_with [ build_abs_add () ] in
+  m.Ir.globals <-
+    [
+      { Ir.gname = "table"; gty = Types.TArr (Types.f64, 4); gspace = Types.AS_global;
+        ginit = Ir.InitConsts [ Konst.kf64 1.0; Konst.kf64 2.0 ]; gconst = false;
+        gextern = false };
+      { Ir.gname = "msg"; gty = Types.TArr (Types.TInt 8, 6); gspace = Types.AS_global;
+        ginit = Ir.InitString "hello"; gconst = true; gextern = false };
+    ];
+  m.Ir.annotations <- [ { Ir.afunc = "abs_add"; akey = "jit"; aargs = [ 1; 2 ] } ];
+  let bytes = Bitcode.encode_module m in
+  let m' = Bitcode.decode_module bytes in
+  check Alcotest.string "mid" m.Ir.mid m'.Ir.mid;
+  check Alcotest.int "globals" 2 (List.length m'.Ir.globals);
+  check Alcotest.int "funcs" 1 (List.length m'.Ir.funcs);
+  check Alcotest.(list int) "annotation args" [ 1; 2 ]
+    (List.hd m'.Ir.annotations).Ir.aargs;
+  Verify.verify_module m';
+  match Interp.run (null_env ()) m' "abs_add" [ Konst.ki32 (-9); Konst.ki32 1 ] with
+  | Some k -> check Alcotest.int64 "semantics preserved" 10L (Konst.as_int k)
+  | None -> Alcotest.fail "no result"
+
+let test_bitcode_bad_magic () =
+  Alcotest.check_raises "bad magic" (Failure "Bitcode.decode_module: bad magic")
+    (fun () -> ignore (Bitcode.decode_module "garbage data here"))
+
+(* ------------------------------------------------------------------ *)
+(* CFG / dominators / loops *)
+
+let build_diamond () =
+  let f = Ir.create_func "diamond" [ ("c", Types.TBool) ] Types.TVoid in
+  let b = Builder.create f in
+  let l = Builder.new_block b "l" in
+  let r = Builder.new_block b "r" in
+  let j = Builder.new_block b "j" in
+  Builder.cond_br b (Ir.Reg (snd (List.hd f.Ir.params))) l.Ir.label r.Ir.label;
+  Builder.position_at b l;
+  Builder.br b j.Ir.label;
+  Builder.position_at b r;
+  Builder.br b j.Ir.label;
+  Builder.position_at b j;
+  Builder.ret b None;
+  f
+
+let test_cfg_diamond () =
+  let f = build_diamond () in
+  let cfg = Cfg.build f in
+  check Alcotest.(slist string compare) "entry succs" [ "l"; "r" ] (Cfg.succs cfg "entry");
+  check Alcotest.(slist string compare) "join preds" [ "l"; "r" ] (Cfg.preds cfg "j");
+  check Alcotest.int "all reachable" 4 (List.length cfg.Cfg.rpo)
+
+let test_dom_diamond () =
+  let f = build_diamond () in
+  let dom = Dom.compute (Cfg.build f) in
+  check Alcotest.(option string) "idom(l)" (Some "entry") (Dom.idom dom "l");
+  check Alcotest.(option string) "idom(j)" (Some "entry") (Dom.idom dom "j");
+  Alcotest.(check bool) "entry dominates j" true (Dom.dominates dom "entry" "j");
+  Alcotest.(check bool) "l does not dominate j" false (Dom.dominates dom "l" "j");
+  Alcotest.(check bool) "j in DF(l)" true (Util.Sset.mem "j" (Dom.frontier dom "l"))
+
+let build_loop () =
+  let f = Ir.create_func "looper" [ ("n", Types.i32) ] Types.i32 in
+  let b = Builder.create f in
+  let header = Builder.new_block b "header" in
+  let body = Builder.new_block b "body" in
+  let exit_ = Builder.new_block b "exit" in
+  Builder.br b header.Ir.label;
+  Builder.position_at b header;
+  let i = Ir.fresh_reg f Types.i32 in
+  let acc = Ir.fresh_reg f Types.i32 in
+  let c = Builder.cmp b Ops.CLt (Ir.Reg i) (Ir.Reg (snd (List.hd f.Ir.params))) in
+  Builder.cond_br b c body.Ir.label exit_.Ir.label;
+  Builder.position_at b body;
+  let acc' = Builder.bin b Ops.Add Types.i32 (Ir.Reg acc) (Ir.Reg i) in
+  let i' = Builder.bin b Ops.Add Types.i32 (Ir.Reg i) (Ir.Imm (Konst.ki32 1)) in
+  Builder.br b header.Ir.label;
+  header.Ir.insts <-
+    Ir.IPhi (i, [ ("entry", Ir.Imm (Konst.ki32 0)); ("body", i') ])
+    :: Ir.IPhi (acc, [ ("entry", Ir.Imm (Konst.ki32 0)); ("body", acc') ])
+    :: header.Ir.insts;
+  Builder.position_at b exit_;
+  Builder.ret b (Some (Ir.Reg acc));
+  f
+
+let test_loopinfo () =
+  let f = build_loop () in
+  Verify.verify_module (module_with [ f ]);
+  let cfg = Cfg.build f in
+  let dom = Dom.compute cfg in
+  let li = Loopinfo.compute cfg dom in
+  check Alcotest.int "one loop" 1 (List.length li.Loopinfo.loops);
+  let l = List.hd li.Loopinfo.loops in
+  check Alcotest.string "header" "header" l.Loopinfo.header;
+  check Alcotest.(list string) "latch" [ "body" ] l.Loopinfo.latches;
+  check Alcotest.int "depth" 1 l.Loopinfo.depth;
+  check Alcotest.(slist string compare) "exiting" [ "header" ]
+    (Loopinfo.exiting_blocks cfg l)
+
+let test_loop_interp () =
+  let f = build_loop () in
+  let m = module_with [ f ] in
+  match Interp.run (null_env ()) m "looper" [ Konst.ki32 10 ] with
+  | Some k -> check Alcotest.int64 "sum 0..9" 45L (Konst.as_int k)
+  | None -> Alcotest.fail "no result"
+
+let test_remove_unreachable () =
+  let f = build_diamond () in
+  let dead = Ir.add_block f "dead" in
+  dead.Ir.term <- Ir.TBr "j";
+  Alcotest.(check bool) "removed something" true (Cfg.remove_unreachable f);
+  check Alcotest.int "back to 4 blocks" 4 (List.length f.Ir.blocks)
+
+let test_interp_fuel () =
+  let f = Ir.create_func "spin" [] Types.TVoid in
+  let b = Builder.create f in
+  let loop = Builder.new_block b "loop" in
+  Builder.br b loop.Ir.label;
+  Builder.position_at b loop;
+  let d = Ir.fresh_reg f Types.i32 in
+  Builder.add_instr b (Ir.IBin (d, Ops.Add, Ir.Imm (Konst.ki32 1), Ir.Imm (Konst.ki32 1)));
+  Builder.br b loop.Ir.label;
+  (* note: d redefined each iteration is fine for the interpreter, but
+     we only care about fuel here; keep the verifier out of it *)
+  let m = module_with [ f ] in
+  let env =
+    Interp.make_env ~fuel:1000
+      ~load:(fun _ _ -> Konst.ki32 0)
+      ~store:(fun _ _ _ -> ())
+      ~extern:(fun _ _ -> None)
+      ~global_addr:(fun _ -> 0L)
+      ~alloca:(fun _ _ -> 0L)
+      ()
+  in
+  Alcotest.check_raises "out of fuel" Interp.Out_of_fuel (fun () ->
+      ignore (Interp.run env m "spin" []))
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "sizes" `Quick test_type_sizes;
+          Alcotest.test_case "equality" `Quick test_type_equal;
+          Alcotest.test_case "encode/decode" `Quick test_type_roundtrip;
+        ] );
+      ( "konst",
+        [
+          Alcotest.test_case "i32 normalisation" `Quick test_konst_int_norm;
+          Alcotest.test_case "binops" `Quick test_konst_binops;
+          Alcotest.test_case "f32 rounding" `Quick test_konst_float_f32_rounds;
+          Alcotest.test_case "comparisons" `Quick test_konst_cmp;
+          Alcotest.test_case "casts" `Quick test_konst_cast;
+          qtest qcheck_konst_add_matches_int32;
+          qtest qcheck_konst_mul_matches_int32;
+          qtest qcheck_konst_roundtrip;
+        ] );
+      ( "construction",
+        [
+          Alcotest.test_case "build + interpret" `Quick test_build_and_interp;
+          Alcotest.test_case "use counts / replace" `Quick test_use_counts_and_replace;
+          Alcotest.test_case "clone independence" `Quick test_clone_independent;
+          qtest qcheck_abs_add;
+        ] );
+      ( "verifier",
+        [
+          Alcotest.test_case "accepts valid IR" `Quick test_verify_accepts_good;
+          Alcotest.test_case "undefined register" `Quick test_verify_undefined_reg;
+          Alcotest.test_case "type mismatch" `Quick test_verify_type_mismatch;
+          Alcotest.test_case "bad branch target" `Quick test_verify_bad_branch;
+          Alcotest.test_case "wrong return type" `Quick test_verify_ret_type;
+          Alcotest.test_case "double definition" `Quick test_verify_double_def;
+          Alcotest.test_case "phi placement" `Quick test_verify_phi_after_nonphi;
+        ] );
+      ( "bitcode",
+        [
+          Alcotest.test_case "module roundtrip" `Quick test_bitcode_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_bitcode_bad_magic;
+        ] );
+      ( "analyses",
+        [
+          Alcotest.test_case "cfg diamond" `Quick test_cfg_diamond;
+          Alcotest.test_case "dominators" `Quick test_dom_diamond;
+          Alcotest.test_case "loop info" `Quick test_loopinfo;
+          Alcotest.test_case "loop semantics" `Quick test_loop_interp;
+          Alcotest.test_case "unreachable removal" `Quick test_remove_unreachable;
+          Alcotest.test_case "interpreter fuel" `Quick test_interp_fuel;
+        ] );
+    ]

@@ -1,0 +1,95 @@
+(* Jitify baseline tests: source-string compilation, instantiation
+   caching, platform restrictions and correctness against AOT. *)
+
+open Proteus_ir
+open Proteus_gpu
+open Proteus_runtime
+open Proteus_jitify
+
+let check = Alcotest.check
+
+let kernel_src =
+  {|__global__ __attribute__((annotate("jit", 1, 4)))
+    void daxpy(double a, double* x, double* y, int n) {
+      int i = blockIdx.x * blockDim.x + threadIdx.x;
+      if (i < n) { y[i] = a * x[i] + y[i]; }
+    }|}
+
+let test_nvidia_only () =
+  let rt = Gpurt.create (Device.by_vendor Device.Amd) in
+  Alcotest.(check bool) "AMD rejected" true
+    (try ignore (Jitify.create rt); false with Jitify.Unsupported _ -> true)
+
+let test_launch_and_cache () =
+  let rt = Gpurt.create (Device.by_vendor Device.Nvidia) in
+  let jt = Jitify.create rt in
+  let prog = Jitify.program ~name:"daxpy" kernel_src in
+  let n = 128 in
+  let x = Gpurt.dmalloc rt (n * 8) and y = Gpurt.dmalloc rt (n * 8) in
+  for i = 0 to n - 1 do
+    Proteus_gpu.Gmem.write_f64 rt.Gpurt.mem (Int64.add x (Int64.of_int (i * 8))) (float_of_int i);
+    Proteus_gpu.Gmem.write_f64 rt.Gpurt.mem (Int64.add y (Int64.of_int (i * 8))) 0.5
+  done;
+  let launch () =
+    Jitify.launch jt prog ~sym:"daxpy"
+      ~consts:[ (1, Konst.kf64 2.0); (4, Konst.ki32 n) ]
+      ~grid:2 ~block:64
+      ~args:[| Konst.kf64 2.0; Konst.kint ~bits:64 x; Konst.kint ~bits:64 y; Konst.ki32 n |]
+  in
+  launch ();
+  check Alcotest.int "first launch compiles" 1 jt.Jitify.compiles;
+  launch ();
+  check Alcotest.int "second launch cached" 1 jt.Jitify.compiles;
+  (* different template constant: new instantiation *)
+  Jitify.launch jt prog ~sym:"daxpy"
+    ~consts:[ (1, Konst.kf64 3.0); (4, Konst.ki32 n) ]
+    ~grid:2 ~block:64
+    ~args:[| Konst.kf64 3.0; Konst.kint ~bits:64 x; Konst.kint ~bits:64 y; Konst.ki32 n |];
+  check Alcotest.int "new constants recompile" 2 jt.Jitify.compiles;
+  (* value check: y = 0.5 + 2i + 2i + 3i = 0.5 + 7i *)
+  for i = 0 to n - 1 do
+    let v = Proteus_gpu.Gmem.read_f64 rt.Gpurt.mem (Int64.add y (Int64.of_int (i * 8))) in
+    if v <> 0.5 +. (7.0 *. float_of_int i) then Alcotest.failf "i=%d v=%g" i v
+  done
+
+let test_unknown_kernel () =
+  let rt = Gpurt.create (Device.by_vendor Device.Nvidia) in
+  let jt = Jitify.create rt in
+  let prog = Jitify.program ~name:"p" kernel_src in
+  Alcotest.(check bool) "unknown symbol" true
+    (try ignore (Jitify.instantiate jt prog ~sym:"nope" ~consts:[]); false
+     with Jitify.Unsupported _ -> true)
+
+let test_device_globals_unsupported () =
+  let rt = Gpurt.create (Device.by_vendor Device.Nvidia) in
+  let jt = Jitify.create rt in
+  let prog =
+    Jitify.program ~name:"g"
+      {|__device__ double knob;
+        __global__ void k(double* o) { o[0] = knob; }|}
+  in
+  Alcotest.(check bool) "device globals rejected (LULESH mechanism)" true
+    (try ignore (Jitify.instantiate jt prog ~sym:"k" ~consts:[]); false
+     with Jitify.Unsupported _ -> true)
+
+let test_overhead_charged () =
+  let rt = Gpurt.create (Device.by_vendor Device.Nvidia) in
+  let jt = Jitify.create rt in
+  let prog = Jitify.program ~name:"d" kernel_src in
+  let t0 = Clock.read rt.Gpurt.clock in
+  ignore (Jitify.instantiate jt prog ~sym:"daxpy" ~consts:[]);
+  Alcotest.(check bool) "clock charged" true (Clock.read rt.Gpurt.clock > t0);
+  Alcotest.(check bool) "overhead recorded" true (jt.Jitify.compile_overhead_s > 0.0)
+
+let () =
+  Alcotest.run "jitify"
+    [
+      ( "jitify",
+        [
+          Alcotest.test_case "NVIDIA only" `Quick test_nvidia_only;
+          Alcotest.test_case "launch + instantiation cache" `Quick test_launch_and_cache;
+          Alcotest.test_case "unknown kernel" `Quick test_unknown_kernel;
+          Alcotest.test_case "device globals unsupported" `Quick test_device_globals_unsupported;
+          Alcotest.test_case "overhead charged" `Quick test_overhead_charged;
+        ] );
+    ]

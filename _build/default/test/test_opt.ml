@@ -1,0 +1,424 @@
+(* Optimizer tests: each pass in isolation plus semantic preservation of
+   the whole O3 pipeline (differential against the unoptimized IR). *)
+
+open Proteus_ir
+open Proteus_frontend
+open Proteus_opt
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let device_of src =
+  (Compile.compile ~vendor:Lower.Cuda src).Compile.device
+
+let host_of src = (Compile.compile ~vendor:Lower.Cuda src).Compile.host
+
+let instr_count (f : Ir.func) =
+  List.fold_left (fun acc (b : Ir.block) -> acc + List.length b.Ir.insts) 0 f.Ir.blocks
+
+let count_matching f pred =
+  let n = ref 0 in
+  Ir.iter_instrs f (fun i -> if pred i then incr n);
+  !n
+
+let stats = Pass.mk_stats ()
+
+(* simple memory for interpreting device functions standalone *)
+let mem_env () =
+  let mem = Proteus_gpu.Gmem.create () in
+  ( mem,
+    Interp.make_env
+      ~load:(fun ty a -> Proteus_gpu.Gmem.read mem ty a)
+      ~store:(fun ty a v -> Proteus_gpu.Gmem.write mem ty a v)
+      ~extern:(fun n _ -> Alcotest.failf "extern %s" n)
+      ~global_addr:(fun n -> Alcotest.failf "global %s" n)
+      ~alloca:(fun ty n -> Proteus_gpu.Gmem.alloc mem (Types.size_of ty * n))
+      () )
+
+(* ---- mem2reg ---- *)
+
+let test_mem2reg_promotes () =
+  let m =
+    device_of
+      {|__device__ int f(int x) {
+          int a = x + 1;
+          int b = a * 2;
+          a = b - x;
+          return a + b;
+        }|}
+  in
+  let f = Ir.find_func m "f" in
+  ignore (Pass.run_pass stats Mem2reg.pass m);
+  check Alcotest.int "no allocas left" 0
+    (count_matching f (function Ir.IAlloca _ -> true | _ -> false));
+  check Alcotest.int "no loads left" 0
+    (count_matching f (function Ir.ILoad _ -> true | _ -> false));
+  Verify.verify_module m;
+  (* semantics: a=x+1, b=2x+2, a=x+2 -> a+b = 3x+4 *)
+  let _, env = mem_env () in
+  match Interp.run env m "f" [ Konst.ki32 10 ] with
+  | Some k -> check Alcotest.int64 "3*10+4" 34L (Konst.as_int k)
+  | None -> Alcotest.fail "no result"
+
+let test_mem2reg_keeps_escaping () =
+  let m =
+    device_of
+      {|__device__ float g(float* p) { return p[0]; }
+        __device__ float f(float x) {
+          float a[2];
+          a[0] = x;
+          return g(a);
+        }|}
+  in
+  let f = Ir.find_func m "f" in
+  ignore (Pass.run_pass stats Mem2reg.pass m);
+  (* the array alloca escapes into g and must survive *)
+  check Alcotest.int "array alloca kept" 1
+    (count_matching f (function Ir.IAlloca _ -> true | _ -> false))
+
+(* ---- constant folding / instcombine ---- *)
+
+let fold_result src fname args expected =
+  let m = device_of src in
+  ignore (Pipeline.optimize_o3 m);
+  let _, env = mem_env () in
+  match Interp.run env m fname args with
+  | Some k -> check Alcotest.string "result" expected (Konst.to_string k)
+  | None -> Alcotest.fail "no result"
+
+let test_constant_folding () =
+  let m = device_of {|__device__ int f() { return 2 * 21 + (10 / 3); }|} in
+  ignore (Pipeline.optimize_o3 m);
+  let f = Ir.find_func m "f" in
+  check Alcotest.int "folded to a constant return" 0 (instr_count f);
+  fold_result {|__device__ int f() { return 2 * 21 + (10 / 3); }|} "f" [] "45"
+
+let test_algebraic_identities () =
+  let m =
+    device_of
+      {|__device__ int f(int x) {
+          int a = x + 0;
+          int b = a * 1;
+          int c = b * 8;      // becomes a shift
+          int d = c / 1;
+          return d;
+        }|}
+  in
+  ignore (Pipeline.optimize_o3 m);
+  let f = Ir.find_func m "f" in
+  check Alcotest.int "mul-by-8 strength-reduced to shl" 1
+    (count_matching f (function Ir.IBin (_, Ops.Shl, _, _) -> true | _ -> false));
+  check Alcotest.int "no multiplies left" 0
+    (count_matching f (function Ir.IBin (_, Ops.Mul, _, _) -> true | _ -> false))
+
+let test_fastmath_rules () =
+  let m =
+    device_of
+      {|__device__ double f(double x, double y) {
+          double a = x * 0.0;    // fast-math: 0
+          double b = y + a;      // y
+          double c = b / 4.0;    // becomes * 0.25
+          return c * 1.0;
+        }|}
+  in
+  ignore (Pipeline.optimize_o3 m);
+  let f = Ir.find_func m "f" in
+  check Alcotest.int "division became multiply" 0
+    (count_matching f (function Ir.IBin (_, Ops.FDiv, _, _) -> true | _ -> false));
+  let _, env = mem_env () in
+  match Interp.run env m "f" [ Konst.kf64 99.0; Konst.kf64 8.0 ] with
+  | Some k -> check Alcotest.string "value" "2" (Konst.to_string k)
+  | None -> Alcotest.fail "no result"
+
+let test_math_intrinsic_folding () =
+  fold_result {|__device__ double f() { return sqrt(16.0) + pow(2.0, 3.0); }|} "f" [] "12"
+
+(* ---- SCCP ---- *)
+
+let test_sccp_kills_dead_branch () =
+  let m =
+    device_of
+      {|__device__ int f(int x) {
+          int mode = 3;
+          if (mode == 2) { x = x * 1000; } else { x = x + 1; }
+          return x;
+        }|}
+  in
+  ignore (Pipeline.optimize_o3 m);
+  let f = Ir.find_func m "f" in
+  check Alcotest.int "single straight-line block" 1 (List.length f.Ir.blocks);
+  check Alcotest.int "the *1000 is gone" 0
+    (count_matching f (function Ir.IBin (_, Ops.Mul, _, _) | Ir.IBin (_, Ops.Shl, _, _) -> true | _ -> false))
+
+(* ---- DCE ---- *)
+
+let test_dce () =
+  let m =
+    device_of
+      {|__device__ int f(int x) {
+          int unused = x * 77 + 123;
+          int unused2 = unused - 1;
+          return x;
+        }|}
+  in
+  ignore (Pipeline.optimize_o3 m);
+  check Alcotest.int "dead code removed" 0 (instr_count (Ir.find_func m "f"))
+
+let test_dce_keeps_stores () =
+  let m =
+    device_of
+      {|__device__ void f(int* p, int x) {
+          int v = x * 2;
+          p[0] = v;
+        }|}
+  in
+  ignore (Pipeline.optimize_o3 m);
+  check Alcotest.int "store survives" 1
+    (count_matching (Ir.find_func m "f") (function Ir.IStore _ -> true | _ -> false))
+
+(* ---- GVN ---- *)
+
+let test_gvn_dedups () =
+  let m =
+    device_of
+      {|__device__ int f(int x, int y) {
+          int a = x * y + 3;
+          int b = x * y + 3;
+          return a + b;
+        }|}
+  in
+  ignore (Pipeline.optimize_o3 m);
+  let f = Ir.find_func m "f" in
+  (* one multiply, one (+3), one final add... the a+b may fold to shl *)
+  check Alcotest.int "single multiply" 1
+    (count_matching f (function Ir.IBin (_, Ops.Mul, _, _) -> true | _ -> false))
+
+(* ---- LICM ---- *)
+
+let test_licm_hoists () =
+  let m =
+    device_of
+      {|__device__ double f(double* v, int n, double a) {
+          double s = 0.0;
+          for (int i = 0; i < n; i++) {
+            s = s + v[i] * (a * a * 2.0);   // a*a*2 is invariant
+          }
+          return s;
+        }|}
+  in
+  let stats = Pass.mk_stats () in
+  Pass.run_pipeline stats [ Simplifycfg.pass; Mem2reg.pass; Simplify.pass ] m;
+  let f = Ir.find_func m "f" in
+  let cfg = Cfg.build f in
+  let dom = Dom.compute cfg in
+  let li = Loopinfo.compute cfg dom in
+  let l = List.hd li.Loopinfo.loops in
+  let muls_in_loop () =
+    Proteus_support.Util.Sset.fold
+      (fun lbl acc ->
+        acc
+        + List.length
+            (List.filter
+               (function Ir.IBin (_, (Ops.FMul | Ops.FAdd), _, _) -> true | _ -> false)
+               (Ir.find_block f lbl).Ir.insts))
+      l.Loopinfo.body 0
+  in
+  let before = muls_in_loop () in
+  ignore (Pass.run_pass stats Licm.pass m);
+  let after = muls_in_loop () in
+  Alcotest.(check bool)
+    (Printf.sprintf "loop body float ops reduced (%d -> %d)" before after)
+    true (after < before);
+  Verify.verify_module m
+
+(* ---- unrolling ---- *)
+
+let test_unroll_constant_trip () =
+  let m =
+    device_of
+      {|__device__ int f(int x) {
+          int s = x;
+          for (int i = 0; i < 5; i++) { s = s * 2 + 1; }
+          return s;
+        }|}
+  in
+  ignore (Pipeline.optimize_o3 m);
+  let f = Ir.find_func m "f" in
+  (* fully unrolled: no loops remain *)
+  let cfg = Cfg.build f in
+  let li = Loopinfo.compute cfg (Dom.compute cfg) in
+  check Alcotest.int "no loops" 0 (List.length li.Loopinfo.loops);
+  let _, env = mem_env () in
+  match Interp.run env m "f" [ Konst.ki32 1 ] with
+  | Some k -> check Alcotest.int64 "((((1*2+1)...))) = 63" 63L (Konst.as_int k)
+  | None -> Alcotest.fail "no result"
+
+let test_no_unroll_runtime_trip () =
+  let m =
+    device_of
+      {|__device__ int f(int n) {
+          int s = 0;
+          for (int i = 0; i < n; i++) { s += i; }
+          return s;
+        }|}
+  in
+  ignore (Pipeline.optimize_o3 m);
+  let f = Ir.find_func m "f" in
+  let cfg = Cfg.build f in
+  let li = Loopinfo.compute cfg (Dom.compute cfg) in
+  check Alcotest.int "loop stays" 1 (List.length li.Loopinfo.loops)
+
+let test_no_unroll_above_threshold () =
+  let m =
+    device_of
+      {|__device__ int f() {
+          int s = 0;
+          for (int i = 0; i < 1000; i++) { s += i; }
+          return s;
+        }|}
+  in
+  let stats = Pass.mk_stats () in
+  Pass.run_pipeline stats [ Simplifycfg.pass; Mem2reg.pass ] m;
+  Alcotest.(check bool) "1000 trips not unrolled" false
+    (Pass.run_pass stats Unroll.pass m)
+
+(* ---- inlining ---- *)
+
+let test_inline_device_calls () =
+  let m =
+    device_of
+      {|__device__ int dbl(int x) { return x + x; }
+        __device__ int f(int x) { return dbl(dbl(x)) + dbl(1); }|}
+  in
+  ignore (Pipeline.optimize_o3 m);
+  let f = Ir.find_func m "f" in
+  check Alcotest.int "no calls left" 0
+    (count_matching f (function Ir.ICall _ -> true | _ -> false));
+  let _, env = mem_env () in
+  match Interp.run env m "f" [ Konst.ki32 5 ] with
+  | Some k -> check Alcotest.int64 "4x+2" 22L (Konst.as_int k)
+  | None -> Alcotest.fail "no result"
+
+let test_inline_refuses_recursion () =
+  let m =
+    device_of
+      {|__device__ int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }|}
+  in
+  ignore (Pipeline.optimize_o3 m);
+  let f = Ir.find_func m "fact" in
+  Alcotest.(check bool) "recursive call survives" true
+    (count_matching f (function Ir.ICall (_, "fact", _) -> true | _ -> false) > 0)
+
+(* ---- semantic preservation of O3, differential ---- *)
+
+(* run the "sum3" device function before and after O3 over random inputs *)
+let qcheck_o3_preserves_semantics =
+  let src =
+    {|__device__ int work(int x, int y) {
+        int s = 0;
+        for (int i = 0; i < 7; i++) {
+          if ((x + i) % 3 == 0) { s += (y << 1) + i; }
+          else { s -= y / (i + 1); }
+        }
+        int t = x * y + s;
+        return t > 0 && s < 100 ? t : s - t;
+      }|}
+  in
+  let m_ref = device_of src in
+  let m_opt = device_of src in
+  ignore (Pipeline.optimize_o3 m_opt);
+  Verify.verify_module m_opt;
+  QCheck.Test.make ~name:"O3 preserves semantics (loops+branches)" ~count:300
+    QCheck.(pair (int_range (-500) 500) (int_range (-500) 500))
+    (fun (x, y) ->
+      let _, env1 = mem_env () in
+      let _, env2 = mem_env () in
+      let r1 = Interp.run env1 m_ref "work" [ Konst.ki32 x; Konst.ki32 y ] in
+      let r2 = Interp.run env2 m_opt "work" [ Konst.ki32 x; Konst.ki32 y ] in
+      match (r1, r2) with
+      | Some a, Some b -> Konst.equal a b
+      | _ -> false)
+
+(* the simplifycfg regression: && + ternary inside a loop, through O3 *)
+let test_sc_ternary_regression () =
+  let src =
+    {|__device__ int f(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i++) {
+          acc += (i > 4 && i < 9) ? 100 : 1;
+        }
+        return acc;
+      }|}
+  in
+  let m = device_of src in
+  ignore (Pipeline.optimize_o3 m);
+  Verify.verify_module m;
+  let _, env = mem_env () in
+  match Interp.run env m "f" [ Konst.ki32 20 ] with
+  | Some k -> check Alcotest.int64 "4 hits of 100 + 16 ones" 416L (Konst.as_int k)
+  | None -> Alcotest.fail "no result"
+
+let test_o3_on_host_modules () =
+  (* host modules with printf/malloc must survive O3 and verify *)
+  let m =
+    host_of
+      {|int main() {
+          double* a = (double*)malloc(64);
+          double t = 0.0;
+          for (int i = 0; i < 8; i++) { a[i] = (i % 2 == 0 && i > 3) ? 1.0 : 0.5; }
+          for (int i = 0; i < 8; i++) { t += a[i]; }
+          printf("%g\n", t);
+          return 0;
+        }|}
+  in
+  ignore (Pipeline.optimize_o3 m);
+  Verify.verify_module m
+
+let test_pass_work_accounting () =
+  let m = device_of {|__device__ int f(int x) { return x * 2 + 1; }|} in
+  let s = Pipeline.optimize_o3 m in
+  Alcotest.(check bool) "work units recorded" true (s.Pass.work > 0);
+  Alcotest.(check bool) "passes ran" true (List.length s.Pass.runs > 3)
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "mem2reg",
+        [
+          Alcotest.test_case "promotes scalars" `Quick test_mem2reg_promotes;
+          Alcotest.test_case "keeps escaping allocas" `Quick test_mem2reg_keeps_escaping;
+        ] );
+      ( "fold",
+        [
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "algebraic identities" `Quick test_algebraic_identities;
+          Alcotest.test_case "fast-math rules" `Quick test_fastmath_rules;
+          Alcotest.test_case "math intrinsics" `Quick test_math_intrinsic_folding;
+        ] );
+      ( "sccp", [ Alcotest.test_case "dead branch elimination" `Quick test_sccp_kills_dead_branch ] );
+      ( "dce",
+        [
+          Alcotest.test_case "removes dead code" `Quick test_dce;
+          Alcotest.test_case "keeps stores" `Quick test_dce_keeps_stores;
+        ] );
+      ("gvn", [ Alcotest.test_case "dedups expressions" `Quick test_gvn_dedups ]);
+      ("licm", [ Alcotest.test_case "hoists invariants" `Quick test_licm_hoists ]);
+      ( "unroll",
+        [
+          Alcotest.test_case "constant trip count" `Quick test_unroll_constant_trip;
+          Alcotest.test_case "runtime trip stays" `Quick test_no_unroll_runtime_trip;
+          Alcotest.test_case "threshold respected" `Quick test_no_unroll_above_threshold;
+        ] );
+      ( "inline",
+        [
+          Alcotest.test_case "inlines device calls" `Quick test_inline_device_calls;
+          Alcotest.test_case "refuses recursion" `Quick test_inline_refuses_recursion;
+        ] );
+      ( "pipeline",
+        [
+          qtest qcheck_o3_preserves_semantics;
+          Alcotest.test_case "sc+ternary regression" `Quick test_sc_ternary_regression;
+          Alcotest.test_case "host module O3" `Quick test_o3_on_host_modules;
+          Alcotest.test_case "work accounting" `Quick test_pass_work_accounting;
+        ] );
+    ]

@@ -1,0 +1,225 @@
+(* Tests for the support library: hashing, vectors, byte IO, RNG. *)
+
+open Proteus_support
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- FNV hashing ---- *)
+
+let test_fnv_deterministic () =
+  check Alcotest.string "same input, same hash" (Util.hash_hex "proteus")
+    (Util.hash_hex "proteus")
+
+let test_fnv_distinguishes () =
+  Alcotest.(check bool)
+    "different inputs differ" false
+    (Util.hash_hex "daxpy" = Util.hash_hex "daxpz")
+
+let test_fnv_empty () =
+  check Alcotest.string "empty string hashes the offset basis"
+    (Util.Fnv.to_hex Util.Fnv.offset_basis)
+    (Util.hash_hex "")
+
+let test_fnv_int64_order () =
+  let h1 = Util.Fnv.add_int64 (Util.Fnv.add_int64 Util.Fnv.offset_basis 1L) 2L in
+  let h2 = Util.Fnv.add_int64 (Util.Fnv.add_int64 Util.Fnv.offset_basis 2L) 1L in
+  Alcotest.(check bool) "order matters" false (Int64.equal h1 h2)
+
+let qcheck_fnv_hex_len =
+  QCheck.Test.make ~name:"fnv hex digest is 16 chars" ~count:200
+    QCheck.string
+    (fun s -> String.length (Util.hash_hex s) = 16)
+
+(* ---- Vec ---- *)
+
+let test_vec_push_get () =
+  let v = Util.Vec.create 0 in
+  for i = 0 to 99 do
+    Util.Vec.push v (i * i)
+  done;
+  check Alcotest.int "length" 100 (Util.Vec.length v);
+  check Alcotest.int "get 7" 49 (Util.Vec.get v 7);
+  Util.Vec.set v 7 1234;
+  check Alcotest.int "set/get" 1234 (Util.Vec.get v 7)
+
+let test_vec_bounds () =
+  let v = Util.Vec.create 0 in
+  Util.Vec.push v 1;
+  Alcotest.check_raises "get out of bounds" (Failure "Vec.get: index 1 out of bounds 1")
+    (fun () -> ignore (Util.Vec.get v 1))
+
+let test_vec_copy_independent () =
+  let v = Util.Vec.of_list 0 [ 1; 2; 3 ] in
+  let w = Util.Vec.copy v in
+  Util.Vec.set w 0 99;
+  check Alcotest.int "original unchanged" 1 (Util.Vec.get v 0);
+  check Alcotest.int "copy changed" 99 (Util.Vec.get w 0)
+
+let test_vec_to_list () =
+  let v = Util.Vec.of_list 0 [ 5; 6; 7 ] in
+  check Alcotest.(list int) "roundtrip" [ 5; 6; 7 ] (Util.Vec.to_list v)
+
+(* ---- Bytesio ---- *)
+
+let roundtrip_w_r fw fr x =
+  let w = Util.Bytesio.W.create () in
+  fw w x;
+  let r = Util.Bytesio.R.create (Util.Bytesio.W.contents w) in
+  fr r
+
+let test_bytesio_ints () =
+  List.iter
+    (fun x ->
+      let y = roundtrip_w_r Util.Bytesio.W.u64 Util.Bytesio.R.u64 x in
+      check Alcotest.int64 "u64 roundtrip" x y)
+    [ 0L; 1L; -1L; Int64.max_int; Int64.min_int; 0xdeadbeefL ]
+
+let test_bytesio_str () =
+  List.iter
+    (fun s ->
+      let t = roundtrip_w_r Util.Bytesio.W.str Util.Bytesio.R.str s in
+      check Alcotest.string "str roundtrip" s t)
+    [ ""; "a"; "hello\000world"; String.make 1000 'x' ]
+
+let test_bytesio_truncated () =
+  let r = Util.Bytesio.R.create "\001" in
+  Alcotest.check_raises "truncated u64"
+    (Failure "Bytesio.R.u8: truncated input")
+    (fun () -> ignore (Util.Bytesio.R.u64 r))
+
+let qcheck_bytesio_i64 =
+  QCheck.Test.make ~name:"bytesio u64 roundtrip" ~count:500 QCheck.int64 (fun x ->
+      Int64.equal x (roundtrip_w_r Util.Bytesio.W.u64 Util.Bytesio.R.u64 x))
+
+let qcheck_bytesio_f64 =
+  QCheck.Test.make ~name:"bytesio f64 roundtrip" ~count:500 QCheck.float (fun x ->
+      let y = roundtrip_w_r Util.Bytesio.W.f64 Util.Bytesio.R.f64 x in
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+
+let qcheck_bytesio_list =
+  QCheck.Test.make ~name:"bytesio string list roundtrip" ~count:200
+    QCheck.(small_list string)
+    (fun xs ->
+      let w = Util.Bytesio.W.create () in
+      Util.Bytesio.W.list w Util.Bytesio.W.str xs;
+      let r = Util.Bytesio.R.create (Util.Bytesio.W.contents w) in
+      Util.Bytesio.R.list r Util.Bytesio.R.str = xs)
+
+let test_bytesio_option () =
+  let t v =
+    let w = Util.Bytesio.W.create () in
+    Util.Bytesio.W.option w Util.Bytesio.W.int v;
+    let r = Util.Bytesio.R.create (Util.Bytesio.W.contents w) in
+    check Alcotest.(option int) "option" v (Util.Bytesio.R.option r Util.Bytesio.R.int)
+  in
+  t None;
+  t (Some 42);
+  t (Some (-7))
+
+(* ---- misc helpers ---- *)
+
+let test_to_f32 () =
+  (* 0.1 is not representable in f32; check it rounds *)
+  Alcotest.(check bool) "f32 rounding" false (Util.to_f32 0.1 = 0.1);
+  Alcotest.(check (float 0.0)) "exact halves survive" 0.5 (Util.to_f32 0.5)
+
+let test_pow2_log2 () =
+  check Alcotest.(option int) "8" (Some 3) (Util.pow2_log2 8L);
+  check Alcotest.(option int) "1" (Some 0) (Util.pow2_log2 1L);
+  check Alcotest.(option int) "6" None (Util.pow2_log2 6L);
+  check Alcotest.(option int) "0" None (Util.pow2_log2 0L);
+  check Alcotest.(option int) "-8" None (Util.pow2_log2 (-8L));
+  check Alcotest.(option int) "2^40" (Some 40) (Util.pow2_log2 (Int64.shift_left 1L 40))
+
+let test_round_up () =
+  check Alcotest.int "round up" 16 (Util.round_up 9 8);
+  check Alcotest.int "already aligned" 8 (Util.round_up 8 8);
+  check Alcotest.int "zero" 0 (Util.round_up 0 8)
+
+let test_clamp () =
+  check Alcotest.int "low" 1 (Util.clamp 1 5 0);
+  check Alcotest.int "high" 5 (Util.clamp 1 5 9);
+  check Alcotest.int "mid" 3 (Util.clamp 1 5 3)
+
+let test_human_bytes () =
+  check Alcotest.string "bytes" "512B" (Util.human_bytes 512);
+  check Alcotest.string "kb" "5.9KB" (Util.human_bytes 6041);
+  check Alcotest.string "mb" "2.0MB" (Util.human_bytes (2 * 1024 * 1024))
+
+let test_list_index_of () =
+  check Alcotest.(option int) "found" (Some 1) (Util.list_index_of (( = ) 5) [ 4; 5; 6 ]);
+  check Alcotest.(option int) "missing" None (Util.list_index_of (( = ) 9) [ 4; 5; 6 ])
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Util.Rng.create 42 and b = Util.Rng.create 42 in
+  for _ = 1 to 10 do
+    check Alcotest.int64 "same stream" (Util.Rng.next a) (Util.Rng.next b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Util.Rng.create 1 and b = Util.Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false
+    (Int64.equal (Util.Rng.next a) (Util.Rng.next b))
+
+let qcheck_rng_float_range =
+  QCheck.Test.make ~name:"rng float in [0,1)" ~count:200 QCheck.small_int (fun seed ->
+      let r = Util.Rng.create seed in
+      let x = Util.Rng.float r in
+      x >= 0.0 && x < 1.0)
+
+let qcheck_rng_int_range =
+  QCheck.Test.make ~name:"rng int in [0,bound)" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Util.Rng.create seed in
+      let x = Util.Rng.int r bound in
+      x >= 0 && x < bound)
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "fnv",
+        [
+          Alcotest.test_case "deterministic" `Quick test_fnv_deterministic;
+          Alcotest.test_case "distinguishes" `Quick test_fnv_distinguishes;
+          Alcotest.test_case "empty" `Quick test_fnv_empty;
+          Alcotest.test_case "order-sensitive" `Quick test_fnv_int64_order;
+          qtest qcheck_fnv_hex_len;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push/get/set" `Quick test_vec_push_get;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "copy independence" `Quick test_vec_copy_independent;
+          Alcotest.test_case "to_list" `Quick test_vec_to_list;
+        ] );
+      ( "bytesio",
+        [
+          Alcotest.test_case "ints" `Quick test_bytesio_ints;
+          Alcotest.test_case "strings" `Quick test_bytesio_str;
+          Alcotest.test_case "truncated input" `Quick test_bytesio_truncated;
+          Alcotest.test_case "options" `Quick test_bytesio_option;
+          qtest qcheck_bytesio_i64;
+          qtest qcheck_bytesio_f64;
+          qtest qcheck_bytesio_list;
+        ] );
+      ( "helpers",
+        [
+          Alcotest.test_case "to_f32" `Quick test_to_f32;
+          Alcotest.test_case "pow2_log2" `Quick test_pow2_log2;
+          Alcotest.test_case "round_up" `Quick test_round_up;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "human_bytes" `Quick test_human_bytes;
+          Alcotest.test_case "list_index_of" `Quick test_list_index_of;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed-sensitive" `Quick test_rng_seed_sensitivity;
+          qtest qcheck_rng_float_range;
+          qtest qcheck_rng_int_range;
+        ] );
+    ]
