@@ -4,7 +4,11 @@
    costs of the JIT pipeline stages.
 
    Usage: main.exe [all|table1|table2|table3|fig3|fig4|fig5|fig6|
-                    fig7|fig8|fig9|fig10|fig11|micro]               *)
+                    fig7|fig8|fig9|fig10|fig11|micro|--inject-faults]
+
+   --inject-faults runs the HeCBench suite with a deterministic fault
+   forced at every JIT stage in turn and exits non-zero unless every
+   program completes with AOT-identical output (robustness gate).    *)
 
 open Proteus_gpu
 open Proteus_hecbench
@@ -320,6 +324,66 @@ int main() { return 0; }
   List.iter benchmark tests
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection sweep (--inject-faults): run the whole HeCBench
+   suite with a failure forced at every JIT stage in turn and verify
+   the robustness contract — every program completes with output
+   identical to the AOT baseline, and the failures appear in Stats as
+   contained fallbacks. Any crash or output divergence fails the run
+   (exit 1), so automation can gate on it.                            *)
+
+let inject_faults () =
+  header "Fault-injection sweep: AOT-equivalence under per-stage JIT failures";
+  let open Proteus_core in
+  let failures = ref 0 in
+  let cell_count = ref 0 in
+  List.iter
+    (fun vendor ->
+      List.iter
+        (fun (a : App.t) ->
+          let aot = Harness.run a vendor Harness.AOT in
+          List.iter
+            (fun point ->
+              incr cell_count;
+              let config =
+                { Config.default with Config.fault_plan = [ (point, Fault.Always) ] }
+              in
+              let tag =
+                Printf.sprintf "%-8s %-7s fault=%-13s" a.App.name (vname vendor)
+                  (Fault.point_name point)
+              in
+              match Harness.run ~config a vendor Harness.Proteus_cold with
+              | m ->
+                  let same = m.Harness.output = aot.Harness.output in
+                  let contained =
+                    match m.Harness.stats with
+                    | Some s ->
+                        s.Stats.fallbacks + s.Stats.quarantined_launches
+                        >= s.Stats.jit_launches
+                        && Stats.failures_total s > 0
+                    | None -> false
+                  in
+                  if same && m.Harness.ok && contained then
+                    Printf.printf "%s ok  (fallbacks=%d quarantined=%d)\n" tag
+                      (match m.Harness.stats with Some s -> s.Stats.fallbacks | None -> 0)
+                      (match m.Harness.stats with
+                      | Some s -> s.Stats.quarantined_launches
+                      | None -> 0)
+                  else begin
+                    incr failures;
+                    Printf.printf "%s FAILED (output-match=%b ok=%b contained=%b)\n" tag
+                      same m.Harness.ok contained
+                  end
+              | exception e ->
+                  incr failures;
+                  Printf.printf "%s CRASHED (%s)\n" tag (Printexc.to_string e))
+            Fault.all_points)
+        Suite.apps)
+    vendors;
+  Printf.printf "\n%d/%d cells survived injected faults\n" (!cell_count - !failures)
+    !cell_count;
+  if !failures > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -338,6 +402,7 @@ let () =
     | "fig10" -> fig10 ()
     | "fig11" -> fig11 ()
     | "micro" -> micro ()
+    | "--inject-faults" | "inject-faults" | "faults" -> inject_faults ()
     | "all" ->
         table1 ();
         table2 ();
@@ -354,7 +419,8 @@ let () =
         micro ()
     | w ->
         Printf.eprintf
-          "unknown target %s (use all|table1|table2|table3|fig3..fig11|micro)\n" w;
+          "unknown target %s (use all|table1|table2|table3|fig3..fig11|micro|--inject-faults)\n"
+          w;
         exit 2
   in
   run what;

@@ -100,6 +100,7 @@ let run_cmd =
     in
     let config =
       {
+        Proteus_core.Config.default with
         Proteus_core.Config.enable_rcf = not no_rcf;
         enable_lb = not no_lb;
         use_mem_cache = true;
@@ -114,7 +115,28 @@ let run_cmd =
       (r.Proteus_driver.Driver.kernel_time_s *. 1e3);
     (if stats then
        match r.Proteus_driver.Driver.jit with
-       | Some s -> Printf.printf "[%s]\n" (Proteus_core.Stats.to_string s)
+       | Some s ->
+           Printf.printf "[%s]\n" (Proteus_core.Stats.to_string s);
+           (* fault-containment report: only when something happened *)
+           if s.Proteus_core.Stats.fallbacks > 0 then
+             Printf.printf "[fallbacks to AOT: %d (%s)]\n"
+               s.Proteus_core.Stats.fallbacks
+               (String.concat ", "
+                  (List.map
+                     (fun (stage, n) -> Printf.sprintf "%s: %d" stage n)
+                     (Proteus_core.Stats.stage_failures s)));
+           if s.Proteus_core.Stats.quarantine_events > 0 then
+             Printf.printf
+               "[quarantine: %d events, %d launches served AOT, %d retries]\n"
+               s.Proteus_core.Stats.quarantine_events
+               s.Proteus_core.Stats.quarantined_launches
+               s.Proteus_core.Stats.quarantine_retries;
+           if s.Proteus_core.Stats.cache_corruptions > 0 then
+             Printf.printf "[persistent cache: %d corrupt entries discarded]\n"
+               s.Proteus_core.Stats.cache_corruptions;
+           if s.Proteus_core.Stats.host_hook_errors > 0 then
+             Printf.printf "[host hook: %d malformed/unregistered launch calls]\n"
+               s.Proteus_core.Stats.host_hook_errors
        | None -> Printf.printf "[no JIT: AOT executable]\n");
     exit r.Proteus_driver.Driver.exit_code
   in

@@ -1,1 +1,1 @@
-lib/proteus/cachestore.ml: Array Filename Hashtbl List Mach Option Proteus_backend Proteus_support Speckey String Sys Unix Util
+lib/proteus/cachestore.ml: Array Buffer Filename Fun Hashtbl Int64 List Mach Option Printf Proteus_backend Proteus_support Speckey String Sys Unix Util

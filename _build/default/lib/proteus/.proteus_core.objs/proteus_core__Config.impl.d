@@ -1,1 +1,1 @@
-lib/proteus/config.ml:
+lib/proteus/config.ml: Fault String Sys

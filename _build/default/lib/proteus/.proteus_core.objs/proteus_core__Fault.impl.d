@@ -1,0 +1,1 @@
+lib/proteus/fault.ml: List Printf String Sys

@@ -1,1 +1,1 @@
-lib/proteus/stats.ml: Printf
+lib/proteus/stats.ml: Hashtbl List Option Printf String

@@ -6,7 +6,14 @@
    paper's Sec. 3.4 describes this as in-development work; this
    reproduction includes it). Limits come from the constructor or the
    PROTEUS_MEM_CACHE_LIMIT / PROTEUS_DISK_CACHE_LIMIT environment
-   variables (bytes; 0 or unset = unlimited). *)
+   variables (bytes; 0 or unset = unlimited).
+
+   Persistent entries are integrity-protected: each file carries a
+   versioned header (magic, format version, payload length, CRC32) and
+   is written atomically (.tmp + rename). A corrupt, truncated or
+   undecodable file is deleted on lookup and reported as a Miss — the
+   JIT recompiles and heals the cache; on-disk damage can never crash
+   the host program. *)
 
 open Proteus_support
 open Proteus_backend
@@ -25,6 +32,7 @@ type t = {
   mutable evictions_mem : int;
   mutable evictions_disk : int;
   mutable stored_bytes : int; (* bytes written to the persistent cache this run *)
+  mutable corruptions : int; (* corrupt/truncated/unreadable entries discarded *)
 }
 
 let env_limit name =
@@ -33,9 +41,9 @@ let env_limit name =
   | None -> 0
 
 let create ?(persistent_dir : string option) ?mem_limit ?disk_limit () =
-  (match persistent_dir with
-  | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
-  | _ -> ());
+  (* Recursive, race-tolerant creation: a missing parent or a
+     concurrent creator must not kill the host program. *)
+  Option.iter Util.mkdir_p persistent_dir;
   {
     mem = Hashtbl.create 32;
     persistent_dir;
@@ -48,6 +56,7 @@ let create ?(persistent_dir : string option) ?mem_limit ?disk_limit () =
     evictions_mem = 0;
     evictions_disk = 0;
     stored_bytes = 0;
+    corruptions = 0;
   }
 
 let touch t e =
@@ -104,9 +113,58 @@ let enforce_disk_limit t =
 let path_for t (key : Speckey.t) =
   Option.map (fun d -> Filename.concat d (Speckey.cache_filename key)) t.persistent_dir
 
+(* ---- persistent entry format ----
+   magic "PJTC" | u32 format version | u64 payload length |
+   u32 CRC32(payload) | payload (Mach.encode_obj bytes) *)
+
+let magic = "PJTC"
+let format_version = 1l
+let header_bytes = 4 + 4 + 8 + 4
+
+let encode_entry (payload : string) : string =
+  let b = Buffer.create (header_bytes + String.length payload) in
+  Buffer.add_string b magic;
+  let w = Util.Bytesio.W.create () in
+  Util.Bytesio.W.u32 w format_version;
+  Util.Bytesio.W.u64 w (Int64.of_int (String.length payload));
+  Util.Bytesio.W.u32 w (Util.Crc32.string payload);
+  Buffer.add_string b (Util.Bytesio.W.contents w);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* Validate header + checksum; any violation raises (the caller maps
+   it to a counted corruption + Miss). *)
+let decode_entry (data : string) : string =
+  if String.length data < header_bytes then Util.failf "cache entry truncated header";
+  if String.sub data 0 4 <> magic then Util.failf "cache entry bad magic";
+  let r = Util.Bytesio.R.create (String.sub data 4 (header_bytes - 4)) in
+  let version = Util.Bytesio.R.u32 r in
+  if version <> format_version then
+    Util.failf "cache entry format version %ld (want %ld)" version format_version;
+  let len = Int64.to_int (Util.Bytesio.R.u64 r) in
+  let crc = Util.Bytesio.R.u32 r in
+  if len < 0 || String.length data - header_bytes <> len then
+    Util.failf "cache entry truncated payload";
+  let payload = String.sub data header_bytes len in
+  if Util.Crc32.string payload <> crc then Util.failf "cache entry checksum mismatch";
+  payload
+
 (* Look up a specialization. The result distinguishes memory hits
    (free), disk hits (object load cost) and misses (full compile). *)
 type outcome = Mem_hit of entry | Disk_hit of entry | Miss
+
+(* Read + decode one persistent entry; channel closed on every path.
+   The reported size is the payload's (the in-memory object), not the
+   file's: integrity framing doesn't count against cache limits. *)
+let load_persistent path : Mach.obj * int =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let payload = decode_entry data in
+  (Mach.decode_obj payload, String.length payload)
 
 let lookup t (key : Speckey.t) : outcome =
   let k = Speckey.to_string key in
@@ -117,34 +175,51 @@ let lookup t (key : Speckey.t) : outcome =
       Mem_hit e
   | None -> (
       match path_for t key with
-      | Some path when Sys.file_exists path ->
-          let ic = open_in_bin path in
-          let len = in_channel_length ic in
-          let data = really_input_string ic len in
-          close_in ic;
-          let e = { obj = Mach.decode_obj data; bytes = len; last_used = 0 } in
-          touch t e;
-          Hashtbl.replace t.mem k e;
-          enforce_mem_limit t;
-          t.disk_hits <- t.disk_hits + 1;
-          Disk_hit e
+      | Some path when Sys.file_exists path -> (
+          match load_persistent path with
+          | obj, len ->
+              let e = { obj; bytes = len; last_used = 0 } in
+              touch t e;
+              Hashtbl.replace t.mem k e;
+              enforce_mem_limit t;
+              t.disk_hits <- t.disk_hits + 1;
+              Disk_hit e
+          | exception _ ->
+              (* corrupt, truncated or unreadable: drop the file so the
+                 recompiled object can heal it, and report a miss *)
+              t.corruptions <- t.corruptions + 1;
+              (try Sys.remove path with _ -> ());
+              t.misses <- t.misses + 1;
+              Miss)
       | _ ->
           t.misses <- t.misses + 1;
           Miss)
 
+(* Atomic persistent write: all-or-nothing via .tmp + rename, so a
+   crash mid-write can never leave a half-entry under the final name. *)
+let write_persistent t path (data : string) : unit =
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc data);
+     Unix.rename tmp path
+   with e ->
+     (try Sys.remove tmp with _ -> ());
+     raise e);
+  t.stored_bytes <- t.stored_bytes + String.length data;
+  enforce_disk_limit t
+
 let insert t (key : Speckey.t) (obj : Mach.obj) : entry =
-  let data = Mach.encode_obj obj in
-  let e = { obj; bytes = String.length data; last_used = 0 } in
+  let payload = Mach.encode_obj obj in
+  let data = encode_entry payload in
+  let e = { obj; bytes = String.length payload; last_used = 0 } in
   touch t e;
   Hashtbl.replace t.mem (Speckey.to_string key) e;
   enforce_mem_limit t;
   (match path_for t key with
-  | Some path ->
-      let oc = open_out_bin path in
-      output_string oc data;
-      close_out oc;
-      t.stored_bytes <- t.stored_bytes + String.length data;
-      enforce_disk_limit t
+  | Some path -> write_persistent t path data
   | None -> ());
   e
 
@@ -173,5 +248,3 @@ let clear_persistent t =
             let p = Filename.concat d f in
             if Sys.is_regular_file p then Sys.remove p)
           (Sys.readdir d)
-
-let _ = Util.failf

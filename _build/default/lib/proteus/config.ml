@@ -1,16 +1,38 @@
 (* Proteus JIT configuration knobs, matching the paper's experiment
    modes: None (JIT with O3 but no specialization, Fig. 6), LB, RCF and
-   LB+RCF (Sec. 4.5), with in-memory and persistent caching toggles. *)
+   LB+RCF (Sec. 4.5), with in-memory and persistent caching toggles,
+   plus the fault-containment policy (fault injection plan and kernel
+   quarantine thresholds). *)
 
 type t = {
   enable_rcf : bool; (* runtime constant folding of kernel arguments *)
   enable_lb : bool; (* dynamic launch bounds *)
   use_mem_cache : bool;
   persistent_dir : string option; (* None disables the disk cache *)
+  fault_plan : Fault.plan; (* programmatic fault injection; [] = none *)
+  quarantine_threshold : int;
+      (* consecutive JIT failures of one (mid, sym) before the kernel is
+         quarantined to the AOT path; 0 disables quarantine *)
+  quarantine_backoff : int;
+      (* launches a quarantined kernel skips JIT before one retry is
+         allowed (doubling on repeated failure); 0 = quarantine forever *)
 }
 
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 0 -> n | _ -> default)
+  | None -> default
+
 let default =
-  { enable_rcf = true; enable_lb = true; use_mem_cache = true; persistent_dir = None }
+  {
+    enable_rcf = true;
+    enable_lb = true;
+    use_mem_cache = true;
+    persistent_dir = None;
+    fault_plan = [];
+    quarantine_threshold = env_int "PROTEUS_QUARANTINE_THRESHOLD" 3;
+    quarantine_backoff = env_int "PROTEUS_QUARANTINE_BACKOFF" 16;
+  }
 
 (* Paper mode names *)
 let mode_none = { default with enable_rcf = false; enable_lb = false }

@@ -1,0 +1,172 @@
+(* Deterministic fault injection for the JIT runtime (containment
+   testing). Every stage of Proteus.Jit.launch is bracketed by a named
+   injection point; a plan arms any subset of points with a trigger
+   (always, fail-on-Nth-call, fail-every-Kth-call). Plans come from
+   Config.t (programmatic, used by the tests) or from PROTEUS_FAULT_*
+   environment variables (used by the bench driver), so a failure at
+   any stage can be reproduced exactly.
+
+   This module must stay dependency-free within proteus_core: Config
+   references it, not the other way around. *)
+
+type point =
+  | Fetch_bitcode
+  | Decode
+  | Specialize
+  | Optimize
+  | Codegen
+  | Cache_read
+  | Cache_write
+
+let all_points =
+  [ Fetch_bitcode; Decode; Specialize; Optimize; Codegen; Cache_read; Cache_write ]
+
+let point_name = function
+  | Fetch_bitcode -> "fetch-bitcode"
+  | Decode -> "decode"
+  | Specialize -> "specialize"
+  | Optimize -> "optimize"
+  | Codegen -> "codegen"
+  | Cache_read -> "cache-read"
+  | Cache_write -> "cache-write"
+
+(* environment-variable suffix: PROTEUS_FAULT_<this> *)
+let point_env_suffix = function
+  | Fetch_bitcode -> "FETCH_BITCODE"
+  | Decode -> "DECODE"
+  | Specialize -> "SPECIALIZE"
+  | Optimize -> "OPTIMIZE"
+  | Codegen -> "CODEGEN"
+  | Cache_read -> "CACHE_READ"
+  | Cache_write -> "CACHE_WRITE"
+
+let point_of_name s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let norm = String.map (function '_' -> '-' | c -> c) s in
+  List.find_opt (fun p -> point_name p = norm) all_points
+
+type trigger =
+  | Off
+  | Always
+  | Nth of int (* fail exactly the Nth call (1-based) to this point *)
+  | Every of int (* fail every Kth call to this point *)
+
+let trigger_to_string = function
+  | Off -> "off"
+  | Always -> "always"
+  | Nth n -> Printf.sprintf "nth:%d" n
+  | Every k -> Printf.sprintf "every:%d" k
+
+let trigger_of_string s : (trigger, string) result =
+  let s = String.lowercase_ascii (String.trim s) in
+  let parse_n ctor prefix =
+    let plen = String.length prefix in
+    let body = String.sub s plen (String.length s - plen) in
+    match int_of_string_opt body with
+    | Some n when n > 0 -> Ok (ctor n)
+    | _ -> Error (Printf.sprintf "bad count in fault trigger %S" s)
+  in
+  if s = "off" || s = "0" || s = "" then Ok Off
+  else if s = "always" || s = "1" then Ok Always
+  else if String.length s > 4 && String.sub s 0 4 = "nth:" then parse_n (fun n -> Nth n) "nth:"
+  else if String.length s > 6 && String.sub s 0 6 = "every:" then
+    parse_n (fun n -> Every n) "every:"
+  else Error (Printf.sprintf "unknown fault trigger %S (off|always|nth:N|every:K)" s)
+
+(* A plan is the declarative description (stored in Config.t); [t] is
+   the armed instance with per-point call counters. *)
+type plan = (point * trigger) list
+
+exception Injected of point
+
+type slot = { mutable trig : trigger; mutable calls : int; mutable injected : int }
+
+type t = { slots : (point * slot) list }
+
+let create () =
+  { slots = List.map (fun p -> (p, { trig = Off; calls = 0; injected = 0 })) all_points }
+
+let slot t p = List.assq p t.slots
+
+let set t p trig = (slot t p).trig <- trig
+
+let of_plan (plan : plan) : t =
+  let t = create () in
+  List.iter (fun (p, trig) -> set t p trig) plan;
+  t
+
+(* Read PROTEUS_FAULT_* environment variables into [t]. Malformed
+   values are ignored (the runtime must never crash on bad knobs). *)
+let apply_env (t : t) : t =
+  List.iter
+    (fun p ->
+      match Sys.getenv_opt ("PROTEUS_FAULT_" ^ point_env_suffix p) with
+      | Some v -> ( match trigger_of_string v with Ok trig -> set t p trig | Error _ -> ())
+      | None -> ())
+    all_points;
+  t
+
+(* Environment variables arm points the programmatic plan is silent
+   about; a point named in [base] wins over its env var (code that
+   passes an explicit plan has the stronger claim). *)
+let of_env ?(base : plan = []) () : t =
+  let t = apply_env (create ()) in
+  List.iter (fun (p, trig) -> set t p trig) base;
+  t
+
+(* Parse a whole schedule, "decode=always,cache-read=nth:2"; used by
+   the bench driver's --inject-faults mode. Unknown points or triggers
+   are reported, not ignored, so schedules in automation fail loudly. *)
+let plan_of_string (s : string) : (plan, string) result =
+  let specs =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | spec :: rest -> (
+        match String.index_opt spec '=' with
+        | None -> Error (Printf.sprintf "fault spec %S is not point=trigger" spec)
+        | Some i -> (
+            let pname = String.sub spec 0 i in
+            let tname = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match point_of_name pname with
+            | None -> Error (Printf.sprintf "unknown fault point %S" pname)
+            | Some p -> (
+                match trigger_of_string tname with
+                | Ok trig -> go ((p, trig) :: acc) rest
+                | Error e -> Error e)))
+  in
+  go [] specs
+
+(* The instrumented stage entry: count the call and raise [Injected]
+   if the point's trigger fires on this call. *)
+let hit (t : t) (p : point) : unit =
+  let s = slot t p in
+  s.calls <- s.calls + 1;
+  let fire =
+    match s.trig with
+    | Off -> false
+    | Always -> true
+    | Nth n -> s.calls = n
+    | Every k -> s.calls mod k = 0
+  in
+  if fire then begin
+    s.injected <- s.injected + 1;
+    raise (Injected p)
+  end
+
+let calls t p = (slot t p).calls
+let injected t p = (slot t p).injected
+let total_injected t = List.fold_left (fun acc (_, s) -> acc + s.injected) 0 t.slots
+let armed t = List.exists (fun (_, s) -> s.trig <> Off) t.slots
+
+let to_string t =
+  let armed_slots =
+    List.filter_map
+      (fun (p, s) ->
+        if s.trig = Off then None
+        else Some (Printf.sprintf "%s=%s" (point_name p) (trigger_to_string s.trig)))
+      t.slots
+  in
+  if armed_slots = [] then "no-faults" else String.concat "," armed_slots

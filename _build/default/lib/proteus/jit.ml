@@ -4,7 +4,18 @@
    retrieve the kernel's embedded bitcode (from the .jit.<sym> section
    on AMD; from device memory on NVIDIA), link device globals,
    specialize (RCF + LB), run the O3 pipeline, generate machine code
-   through the vendor backend, cache it, and launch. *)
+   through the vendor backend, cache it, and launch.
+
+   Fault containment: JIT specialization is an optimization layered on
+   a working AOT binary, so the program must never be worse off for
+   enabling it. Every pipeline stage runs inside a containment
+   boundary (see [in_stage]); on any exception the launch falls back
+   to the AOT kernel already loaded in Gpurt, the failure is recorded
+   per stage in Stats, and after [Config.quarantine_threshold]
+   consecutive failures the (mid, sym) kernel is quarantined: later
+   launches skip JIT entirely until a backoff of
+   [Config.quarantine_backoff] launches expires (doubling after each
+   failed retry), serving-stack style. *)
 
 open Proteus_support
 open Proteus_ir
@@ -12,12 +23,22 @@ open Proteus_backend
 open Proteus_gpu
 open Proteus_runtime
 
+(* Per-(mid, sym) quarantine record. [cooldown] > 0 means quarantined:
+   that many launches go straight to AOT before one JIT retry. *)
+type qstate = {
+  mutable consec_failures : int;
+  mutable cooldown : int;
+  mutable cur_backoff : int; (* backoff applied on the next quarantine *)
+}
+
 type t = {
   rt : Gpurt.ctx;
   vendor : Device.vendor;
   config : Config.t;
   cache : Cachestore.t;
   stats : Stats.t;
+  faults : Fault.t;
+  quarantine : (string, qstate) Hashtbl.t;
   registered_vars : (string, unit) Hashtbl.t;
 }
 
@@ -28,15 +49,35 @@ let create ?(config = Config.default) (rt : Gpurt.ctx) (vendor : Device.vendor) 
     config;
     cache = Cachestore.create ?persistent_dir:config.Config.persistent_dir ();
     stats = Stats.create ();
+    faults = Fault.of_env ~base:config.Config.fault_plan ();
+    quarantine = Hashtbl.create 8;
     registered_vars = Hashtbl.create 8;
   }
 
 let charge t s = Clock.advance t.rt.Gpurt.clock s
 
+(* ---- containment boundary ---------------------------------------- *)
+
+(* A JIT failure tagged with the pipeline stage it escaped from. *)
+exception Stage_failure of Fault.point * exn
+
+(* Run one pipeline stage: fire the fault-injection point, then tag
+   any escaping exception with the stage so the launch-level handler
+   can account it. Already-tagged exceptions pass through untouched
+   (an outer stage must not re-attribute an inner stage's failure). *)
+let in_stage t (p : Fault.point) (f : unit -> 'a) : 'a =
+  (try Fault.hit t.faults p with e -> raise (Stage_failure (p, e)));
+  try f () with
+  | Stage_failure _ as e -> raise e
+  | e -> raise (Stage_failure (p, e))
+
+(* ---- JIT pipeline stages ----------------------------------------- *)
+
 (* Retrieve the extracted bitcode for [sym]. AMD: read the .jit.<sym>
    section of the loaded module (host-side, cheap). NVIDIA: the bytes
    live in a device global; read them back over the interconnect. *)
 let fetch_bitcode (t : t) (sym : string) : string =
+  in_stage t Fault.Fetch_bitcode @@ fun () ->
   match t.vendor with
   | Device.Amd -> (
       let rec find = function
@@ -82,18 +123,24 @@ let compile_specialization (t : t) ~(bitcode : string) ~(sym : string)
   let cost = t.rt.Gpurt.cost in
   let t0 = Unix.gettimeofday () in
   (* parse bitcode *)
-  charge t (float_of_int (String.length bitcode) *. cost.Costmodel.bitcode_parse_per_byte_s);
-  t.stats.Stats.bitcode_bytes <- t.stats.Stats.bitcode_bytes + String.length bitcode;
-  let m = Bitcode.decode_module bitcode in
+  let m =
+    in_stage t Fault.Decode @@ fun () ->
+    charge t (float_of_int (String.length bitcode) *. cost.Costmodel.bitcode_parse_per_byte_s);
+    t.stats.Stats.bitcode_bytes <- t.stats.Stats.bitcode_bytes + String.length bitcode;
+    Bitcode.decode_module bitcode
+  in
   (* link + specialize *)
-  Specialize.apply t.config m ~kernel:sym ~spec_values ~block
-    ~resolve_global:(resolve_global t);
+  in_stage t Fault.Specialize (fun () ->
+      Specialize.apply t.config m ~kernel:sym ~spec_values ~block
+        ~resolve_global:(resolve_global t));
   (* O3 pipeline *)
-  let pstats = Proteus_opt.Pipeline.optimize_o3 m in
-  t.stats.Stats.compile_work <- t.stats.Stats.compile_work + pstats.Proteus_opt.Pass.work;
-  charge t (float_of_int pstats.Proteus_opt.Pass.work *. cost.Costmodel.opt_per_work_s);
+  in_stage t Fault.Optimize (fun () ->
+      let pstats = Proteus_opt.Pipeline.optimize_o3 m in
+      t.stats.Stats.compile_work <- t.stats.Stats.compile_work + pstats.Proteus_opt.Pass.work;
+      charge t (float_of_int pstats.Proteus_opt.Pass.work *. cost.Costmodel.opt_per_work_s));
   (* backend code generation *)
   let obj =
+    in_stage t Fault.Codegen @@ fun () ->
     match t.vendor with
     | Device.Amd ->
         let f = Ir.find_func m sym in
@@ -119,11 +166,56 @@ let compile_specialization (t : t) ~(bitcode : string) ~(sym : string)
     t.stats.Stats.real_compile_s +. (Unix.gettimeofday () -. t0);
   obj
 
-(* The __jit_launch_kernel entry point. *)
-let launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : int)
+(* ---- quarantine policy ------------------------------------------- *)
+
+let qkey ~mid ~sym = mid ^ "/" ^ sym
+
+let qstate t ~mid ~sym : qstate =
+  let k = qkey ~mid ~sym in
+  match Hashtbl.find_opt t.quarantine k with
+  | Some q -> q
+  | None ->
+      let q =
+        {
+          consec_failures = 0;
+          cooldown = 0;
+          cur_backoff = max t.config.Config.quarantine_backoff 0;
+        }
+      in
+      Hashtbl.replace t.quarantine k q;
+      q
+
+let quarantined_kernels t =
+  Hashtbl.fold (fun k q acc -> if q.cooldown > 0 then k :: acc else acc) t.quarantine []
+  |> List.sort compare
+
+(* A failure was contained for (mid, sym): count it and, past the
+   threshold, quarantine the kernel. Each time a post-backoff retry
+   fails again the backoff doubles. *)
+let note_failure t (q : qstate) =
+  q.consec_failures <- q.consec_failures + 1;
+  let threshold = t.config.Config.quarantine_threshold in
+  if threshold > 0 && q.consec_failures >= threshold then begin
+    t.stats.Stats.quarantine_events <- t.stats.Stats.quarantine_events + 1;
+    if t.config.Config.quarantine_backoff = 0 then q.cooldown <- max_int
+    else begin
+      q.cooldown <- q.cur_backoff;
+      (* exponential backoff for the next round, capped to stay sane *)
+      q.cur_backoff <- min (q.cur_backoff * 2) (1 lsl 20);
+      (* the retry after this cooldown gets one shot: a single failure
+         re-quarantines immediately *)
+      q.consec_failures <- threshold - 1
+    end
+  end
+
+let note_success t ~mid ~sym = Hashtbl.remove t.quarantine (qkey ~mid ~sym)
+
+(* ---- launch ------------------------------------------------------ *)
+
+(* The JIT path proper: raises Stage_failure on any contained error. *)
+let jit_launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : int)
     ~(args : Konst.t array) ~(spec_mask : int64) : unit =
   let cost = t.rt.Gpurt.cost in
-  t.stats.Stats.jit_launches <- t.stats.Stats.jit_launches + 1;
   let clock_before = Clock.read t.rt.Gpurt.clock in
   let spec_values =
     if t.config.Config.enable_rcf || t.config.Config.enable_lb then
@@ -141,8 +233,13 @@ let launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : int)
   charge t cost.Costmodel.cache_hash_s;
   let entry =
     match
-      (if t.config.Config.use_mem_cache then Cachestore.lookup t.cache key
-       else Cachestore.Miss)
+      in_stage t Fault.Cache_read (fun () ->
+          let outcome =
+            if t.config.Config.use_mem_cache then Cachestore.lookup t.cache key
+            else Cachestore.Miss
+          in
+          t.stats.Stats.cache_corruptions <- t.cache.Cachestore.corruptions;
+          outcome)
     with
     | Cachestore.Mem_hit e ->
         t.stats.Stats.mem_hits <- t.stats.Stats.mem_hits + 1;
@@ -158,7 +255,7 @@ let launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : int)
     | Cachestore.Miss ->
         let bitcode = fetch_bitcode t sym in
         let obj = compile_specialization t ~bitcode ~sym ~spec_values ~block in
-        let e = Cachestore.insert t.cache key obj in
+        let e = in_stage t Fault.Cache_write (fun () -> Cachestore.insert t.cache key obj) in
         t.stats.Stats.object_bytes <- t.stats.Stats.object_bytes + e.Cachestore.bytes;
         charge t (float_of_int e.Cachestore.bytes *. cost.Costmodel.module_load_per_byte_s);
         e
@@ -167,6 +264,44 @@ let launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : int)
     t.stats.Stats.jit_overhead_s +. (Clock.read t.rt.Gpurt.clock -. clock_before);
   let k = Mach.find_kernel entry.Cachestore.obj sym in
   Gpurt.launch_mfunc t.rt k ~grid ~block ~args
+
+(* Launch the AOT-compiled kernel embedded in the fatbinary: the
+   containment escape hatch. The plugin never removes kernels from the
+   AOT device image, so this is always available. *)
+let aot_fallback (t : t) ~(sym : string) ~(grid : int) ~(block : int)
+    ~(args : Konst.t array) : unit =
+  if not (Gpurt.has_kernel t.rt sym) then
+    Util.failf "Proteus: no AOT fallback for kernel %s" sym;
+  Gpurt.launch_kernel t.rt ~sym ~grid ~block ~args
+
+(* The __jit_launch_kernel entry point: JIT under containment, AOT on
+   any contained failure, quarantine on repeated failure. *)
+let launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : int)
+    ~(args : Konst.t array) ~(spec_mask : int64) : unit =
+  t.stats.Stats.jit_launches <- t.stats.Stats.jit_launches + 1;
+  let q = qstate t ~mid ~sym in
+  if q.cooldown > 0 then begin
+    (* quarantined: serve from the AOT binary, tick down the backoff *)
+    if q.cooldown <> max_int then q.cooldown <- q.cooldown - 1;
+    t.stats.Stats.quarantined_launches <- t.stats.Stats.quarantined_launches + 1;
+    if q.cooldown = 0 then
+      t.stats.Stats.quarantine_retries <- t.stats.Stats.quarantine_retries + 1;
+    aot_fallback t ~sym ~grid ~block ~args
+  end
+  else
+    match jit_launch t ~mid ~sym ~grid ~block ~args ~spec_mask with
+    | () -> note_success t ~mid ~sym
+    | exception e ->
+        let stage_name =
+          match e with
+          | Stage_failure (p, _) -> Fault.point_name p
+          | _ -> "launch" (* escaped outside any instrumented stage *)
+        in
+        t.stats.Stats.fallbacks <- t.stats.Stats.fallbacks + 1;
+        Stats.record_failure t.stats stage_name;
+        t.stats.Stats.cache_corruptions <- t.cache.Cachestore.corruptions;
+        note_failure t q;
+        aot_fallback t ~sym ~grid ~block ~args
 
 (* --------------------------------------------------------------- *)
 (* Host extern bindings: installs __jit_launch_kernel and
@@ -177,7 +312,7 @@ let host_hook (t : t) (h : Hostexec.host_ctx) (name : string) (args : Konst.t li
   if name = Plugin.entry_point then begin
     (* (mid_str, stub_addr, grid, block, shmem, kernel args..., spec_mask) *)
     match args with
-    | mid_ptr :: stub :: grid :: block :: _shmem :: rest when rest <> [] ->
+    | mid_ptr :: stub :: grid :: block :: _shmem :: rest when rest <> [] -> (
         let mid = Hostexec.read_cstring h.Hostexec.host_mem (Konst.as_int mid_ptr) in
         let rec split_last = function
           | [ x ] -> ([], x)
@@ -188,17 +323,23 @@ let host_hook (t : t) (h : Hostexec.host_ctx) (name : string) (args : Konst.t li
         in
         let kargs, mask = split_last rest in
         let stub_addr = Konst.as_int stub in
-        let sym =
-          match Gpurt.sym_of_stub t.rt stub_addr with
-          | Some s -> s
-          | None -> Util.failf "Proteus: unregistered stub 0x%Lx" stub_addr
-        in
-        launch t ~mid ~sym
-          ~grid:(Int64.to_int (Konst.as_int grid))
-          ~block:(Int64.to_int (Konst.as_int block))
-          ~args:(Array.of_list kargs) ~spec_mask:(Konst.as_int mask);
+        match Gpurt.sym_of_stub t.rt stub_addr with
+        | Some sym ->
+            launch t ~mid ~sym
+              ~grid:(Int64.to_int (Konst.as_int grid))
+              ~block:(Int64.to_int (Konst.as_int block))
+              ~args:(Array.of_list kargs) ~spec_mask:(Konst.as_int mask);
+            Some None
+        | None ->
+            (* Unregistered stub: nothing to launch, JIT or AOT. A
+               clean, counted per-launch error instead of a crash. *)
+            t.stats.Stats.host_hook_errors <- t.stats.Stats.host_hook_errors + 1;
+            Some None)
+    | _ ->
+        (* Malformed call shape from a rewritten host binary: count it
+           and decline the launch rather than kill the program. *)
+        t.stats.Stats.host_hook_errors <- t.stats.Stats.host_hook_errors + 1;
         Some None
-    | _ -> Util.failf "Proteus: malformed __jit_launch_kernel call"
   end
   else if name = Plugin.register_var_fn then begin
     (match args with

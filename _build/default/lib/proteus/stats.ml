@@ -1,5 +1,7 @@
 (* Runtime statistics of the Proteus JIT library: cache behaviour,
-   compilation overhead (simulated and real), and code-cache sizes. *)
+   compilation overhead (simulated and real), code-cache sizes, and the
+   fault-containment ledger (AOT fallbacks, failures by JIT stage,
+   quarantine activity, cache corruption). *)
 
 type t = {
   mutable jit_launches : int;
@@ -11,16 +13,51 @@ type t = {
   mutable bitcode_bytes : int;
   mutable object_bytes : int;
   mutable real_compile_s : float; (* actual wall-clock of our pipeline *)
+  (* fault containment *)
+  mutable fallbacks : int; (* launches that completed on the AOT kernel after a JIT failure *)
+  failures_by_stage : (string, int) Hashtbl.t; (* stage name -> count *)
+  mutable quarantine_events : int; (* times a kernel entered quarantine *)
+  mutable quarantined_launches : int; (* launches that skipped JIT because of quarantine *)
+  mutable quarantine_retries : int; (* JIT retries after a quarantine backoff expired *)
+  mutable cache_corruptions : int; (* corrupt/truncated persistent entries discarded *)
+  mutable host_hook_errors : int; (* malformed launch calls / unregistered stubs *)
 }
 
 let create () =
   {
     jit_launches = 0; mem_hits = 0; disk_hits = 0; compiles = 0; jit_overhead_s = 0.0;
     compile_work = 0; bitcode_bytes = 0; object_bytes = 0; real_compile_s = 0.0;
+    fallbacks = 0; failures_by_stage = Hashtbl.create 8; quarantine_events = 0;
+    quarantined_launches = 0; quarantine_retries = 0; cache_corruptions = 0;
+    host_hook_errors = 0;
   }
 
+let record_failure t stage =
+  let n = Option.value (Hashtbl.find_opt t.failures_by_stage stage) ~default:0 in
+  Hashtbl.replace t.failures_by_stage stage (n + 1)
+
+let failures_total t = Hashtbl.fold (fun _ n acc -> acc + n) t.failures_by_stage 0
+
+let stage_failures t =
+  Hashtbl.fold (fun s n acc -> (s, n) :: acc) t.failures_by_stage []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let to_string s =
-  Printf.sprintf
-    "jit launches=%d mem-hits=%d disk-hits=%d compiles=%d overhead=%.3fms real-compile=%.1fms"
-    s.jit_launches s.mem_hits s.disk_hits s.compiles (s.jit_overhead_s *. 1e3)
-    (s.real_compile_s *. 1e3)
+  let base =
+    Printf.sprintf
+      "jit launches=%d mem-hits=%d disk-hits=%d compiles=%d overhead=%.3fms real-compile=%.1fms"
+      s.jit_launches s.mem_hits s.disk_hits s.compiles (s.jit_overhead_s *. 1e3)
+      (s.real_compile_s *. 1e3)
+  in
+  if failures_total s = 0 && s.fallbacks = 0 && s.cache_corruptions = 0
+     && s.host_hook_errors = 0 && s.quarantined_launches = 0
+  then base
+  else
+    Printf.sprintf
+      "%s fallbacks=%d failures=[%s] quarantine-events=%d quarantined-launches=%d \
+       quarantine-retries=%d cache-corruptions=%d host-hook-errors=%d"
+      base s.fallbacks
+      (String.concat ","
+         (List.map (fun (st, n) -> Printf.sprintf "%s:%d" st n) (stage_failures s)))
+      s.quarantine_events s.quarantined_launches s.quarantine_retries s.cache_corruptions
+      s.host_hook_errors

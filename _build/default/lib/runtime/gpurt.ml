@@ -102,6 +102,10 @@ let find_kernel ctx sym : (loaded_module * Mach.mfunc) option =
   in
   go ctx.modules
 
+(* Does any loaded module carry an executable copy of [sym]? The JIT's
+   fault-containment path checks this before falling back to AOT. *)
+let has_kernel ctx sym : bool = find_kernel ctx sym <> None
+
 let get_symbol_address ctx name : int64 option =
   let rec go = function
     | [] -> None

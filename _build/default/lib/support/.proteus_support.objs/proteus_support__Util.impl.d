@@ -1,1 +1,1 @@
-lib/support/util.ml: Array Buffer Char Format Int Int32 Int64 List Map Printf Set String
+lib/support/util.ml: Array Buffer Char Filename Format Int Int32 Int64 Lazy List Map Printf Set String Sys Unix

@@ -29,6 +29,44 @@ end
 
 let hash_hex s = Fnv.to_hex (Fnv.string s)
 
+(* CRC32 (IEEE 802.3 polynomial, reflected); used by the persistent
+   code cache to detect corrupted or truncated entries on disk. *)
+module Crc32 = struct
+  let table =
+    lazy
+      (Array.init 256 (fun n ->
+           let c = ref (Int32.of_int n) in
+           for _ = 0 to 7 do
+             c :=
+               if Int32.logand !c 1l <> 0l then
+                 Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+               else Int32.shift_right_logical !c 1
+           done;
+           !c))
+
+  let update (crc : int32) (s : string) : int32 =
+    let tbl = Lazy.force table in
+    let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+    String.iter
+      (fun ch ->
+        let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+        c := Int32.logxor tbl.(idx) (Int32.shift_right_logical !c 8))
+      s;
+    Int32.logxor !c 0xFFFFFFFFl
+
+  let string (s : string) : int32 = update 0l s
+end
+
+(* mkdir -p: create [dir] and any missing parents; racing creators and
+   pre-existing directories are fine (EEXIST is swallowed). *)
+let rec mkdir_p ?(perm = 0o755) dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p ~perm parent;
+    try Unix.mkdir dir perm with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
 (* Growable array; the IR uses one for per-function register types. *)
 module Vec = struct
   type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }

@@ -27,12 +27,14 @@ type measurement = {
   output : string;
   ok : bool;
   na : bool; (* method not applicable (Jitify on LULESH) *)
+  stats : Stats.t option; (* JIT runtime stats (fallbacks, quarantine, ...) *)
 }
 
 let na_measurement app vendor meth =
   {
     app; vendor; meth = method_name meth; e2e_s = nan; kernel_s = nan;
     jit_overhead_s = nan; cache_bytes = 0; output = ""; ok = true; na = true;
+    stats = None;
   }
 
 (* temp dir for a fresh (cold) persistent cache *)
@@ -80,6 +82,7 @@ let of_run (a : App.t) vendor meth (r : Driver.run_result) =
     output = r.Driver.output;
     ok = r.Driver.exit_code = 0 && a.App.check r.Driver.output;
     na = false;
+    stats = r.Driver.jit;
   }
 
 (* Run one (app, vendor, method) cell of Table 2. [config] defaults to
@@ -133,6 +136,7 @@ let run ?(config = Config.default) (a : App.t) (vendor : Device.vendor)
           output = result.Hostexec.output;
           ok = result.Hostexec.exit_code = 0 && a.App.check result.Hostexec.output;
           na = false;
+          stats = None;
         }
       end
 
