@@ -4,11 +4,14 @@
    costs of the JIT pipeline stages.
 
    Usage: main.exe [all|table1|table2|table3|fig3|fig4|fig5|fig6|
-                    fig7|fig8|fig9|fig10|fig11|micro|--inject-faults]
+                    fig7|fig8|fig9|fig10|fig11|micro|--analyze|
+                    --inject-faults]
 
-   --inject-faults runs the HeCBench suite with a deterministic fault
-   forced at every JIT stage in turn and exits non-zero unless every
-   program completes with AOT-identical output (robustness gate).    *)
+   --analyze times the KernelSan static analyses over every bundled
+   program. --inject-faults runs the HeCBench suite with a
+   deterministic fault forced at every JIT stage in turn and exits
+   non-zero unless every program completes with AOT-identical output
+   (robustness gate).                                                *)
 
 open Proteus_gpu
 open Proteus_hecbench
@@ -174,17 +177,23 @@ let fig5 () =
 let fig6 () =
   header "Figure 6: Speedup over AOT with specialization disabled (JIT overhead only)";
   let config = Proteus_core.Config.mode_none in
+  (* extra column: the same overhead-only run with the PROTEUS_VERIFY=1
+     gate on, so the verification cost shows up next to the JIT cost *)
+  let vconfig = { config with Proteus_core.Config.verify_jit = true } in
   List.iter
     (fun vendor ->
-      Printf.printf "\n[%s]\n%-10s %10s %10s\n" (vname vendor) "" "no-cache" "cached";
+      Printf.printf "\n[%s]\n%-10s %10s %10s %10s\n" (vname vendor) "" "no-cache"
+        "cached" "+verify";
       List.iter
         (fun (a : App.t) ->
           let aot = Harness.run a vendor Harness.AOT in
           let cold = Harness.run ~config a vendor Harness.Proteus_cold in
           let warm = Harness.run ~config a vendor Harness.Proteus_warm in
-          Printf.printf "%-10s %10.2f %10.2f\n" a.App.name
+          let verif = Harness.run ~config:vconfig a vendor Harness.Proteus_cold in
+          Printf.printf "%-10s %10.2f %10.2f %10.2f\n" a.App.name
             (aot.Harness.e2e_s /. cold.Harness.e2e_s)
-            (aot.Harness.e2e_s /. warm.Harness.e2e_s))
+            (aot.Harness.e2e_s /. warm.Harness.e2e_s)
+            (aot.Harness.e2e_s /. verif.Harness.e2e_s))
         Suite.apps)
     vendors
 
@@ -324,12 +333,58 @@ int main() { return 0; }
   List.iter benchmark tests
 
 (* ------------------------------------------------------------------ *)
+(* KernelSan static analysis cost (--analyze): real wall-clock of the
+   frontend and of the four analysis passes over every bundled program,
+   next to the finding counts - the AOT-time price of the diagnostics
+   and the per-kernel price paid by the PROTEUS_VERIFY=1 gate.        *)
+
+let analyze_bench () =
+  header "KernelSan static analysis cost (real wall time per program)";
+  let targets =
+    List.map (fun (a : App.t) -> (a.App.name, a.App.source)) Suite.apps
+    @ List.map
+        (fun (e : Proteus_examples.Sources.t) ->
+          (e.Proteus_examples.Sources.name, e.Proteus_examples.Sources.source))
+        Proteus_examples.Sources.all
+  in
+  Printf.printf "%-14s %8s %11s %11s %9s\n" "" "kernels" "compile" "analyze"
+    "findings";
+  let tot_compile = ref 0.0 and tot_analyze = ref 0.0 in
+  List.iter
+    (fun (name, source) ->
+      let t0 = Unix.gettimeofday () in
+      let m = Proteus_frontend.Compile.compile_device_only ~name ~debug:true source in
+      let t1 = Unix.gettimeofday () in
+      let findings = Proteus_analysis.Kernelsan.analyze_module m in
+      let t2 = Unix.gettimeofday () in
+      let kernels =
+        List.length
+          (List.filter
+             (fun (f : Proteus_ir.Ir.func) ->
+               f.Proteus_ir.Ir.kind = Proteus_ir.Ir.Kernel
+               && f.Proteus_ir.Ir.blocks <> [])
+             m.Proteus_ir.Ir.funcs)
+      in
+      tot_compile := !tot_compile +. (t1 -. t0);
+      tot_analyze := !tot_analyze +. (t2 -. t1);
+      Printf.printf "%-14s %8d %9.2fms %9.2fms %9d\n" name kernels
+        ((t1 -. t0) *. 1e3)
+        ((t2 -. t1) *. 1e3)
+        (List.length findings))
+    targets;
+  Printf.printf "%-14s %8s %9.2fms %9.2fms\n" "total" ""
+    (!tot_compile *. 1e3) (!tot_analyze *. 1e3)
+
+(* ------------------------------------------------------------------ *)
 (* Fault-injection sweep (--inject-faults): run the whole HeCBench
    suite with a failure forced at every JIT stage in turn and verify
    the robustness contract — every program completes with output
    identical to the AOT baseline, and the failures appear in Stats as
    contained fallbacks. Any crash or output divergence fails the run
-   (exit 1), so automation can gate on it.                            *)
+   (exit 1), so automation can gate on it. The verify and
+   specialize-corrupt points run with the PROTEUS_VERIFY=1 gate on;
+   for those, containment additionally requires counted verify
+   rejections (corruption detected, not silently executed).           *)
 
 let inject_faults () =
   header "Fault-injection sweep: AOT-equivalence under per-stage JIT failures";
@@ -344,11 +399,17 @@ let inject_faults () =
           List.iter
             (fun point ->
               incr cell_count;
-              let config =
+              let base =
                 { Config.default with Config.fault_plan = [ (point, Fault.Always) ] }
               in
+              let needs_gate =
+                point = Fault.Verify || point = Fault.Specialize_corrupt
+              in
+              let config =
+                if needs_gate then { base with Config.verify_jit = true } else base
+              in
               let tag =
-                Printf.sprintf "%-8s %-7s fault=%-13s" a.App.name (vname vendor)
+                Printf.sprintf "%-8s %-7s fault=%-18s" a.App.name (vname vendor)
                   (Fault.point_name point)
               in
               match Harness.run ~config a vendor Harness.Proteus_cold with
@@ -360,6 +421,7 @@ let inject_faults () =
                         s.Stats.fallbacks + s.Stats.quarantined_launches
                         >= s.Stats.jit_launches
                         && Stats.failures_total s > 0
+                        && (not needs_gate || s.Stats.verify_rejections > 0)
                     | None -> false
                   in
                   if same && m.Harness.ok && contained then
@@ -402,6 +464,7 @@ let () =
     | "fig10" -> fig10 ()
     | "fig11" -> fig11 ()
     | "micro" -> micro ()
+    | "--analyze" | "analyze" -> analyze_bench ()
     | "--inject-faults" | "inject-faults" | "faults" -> inject_faults ()
     | "all" ->
         table1 ();
@@ -419,7 +482,8 @@ let () =
         micro ()
     | w ->
         Printf.eprintf
-          "unknown target %s (use all|table1|table2|table3|fig3..fig11|micro|--inject-faults)\n"
+          "unknown target %s (use \
+           all|table1|table2|table3|fig3..fig11|micro|--analyze|--inject-faults)\n"
           w;
         exit 2
   in

@@ -45,11 +45,20 @@ let compile_cmd =
   let dump_mach =
     Arg.(value & flag & info [ "dump-mach" ] ~doc:"Print machine code of kernels.")
   in
-  let run file vendor proteus dump_host dump_device dump_ptx dump_mach =
+  let werror =
+    Arg.(value & flag & info [ "werror" ]
+           ~doc:"Fail the build if KernelSan reports any finding (Proteus mode).")
+  in
+  let run file vendor proteus werror dump_host dump_device dump_ptx dump_mach =
     let source = read_file file in
     let mode = if proteus then Proteus_driver.Driver.Proteus else Proteus_driver.Driver.Aot in
     let exe =
-      Proteus_driver.Driver.compile ~name:(Filename.basename file) ~vendor ~mode source
+      try
+        Proteus_driver.Driver.compile ~name:(Filename.basename file) ~werror ~vendor ~mode
+          source
+      with Proteus_core.Plugin.Werror msg ->
+        Printf.eprintf "proteus: error: %s\n" msg;
+        exit 1
     in
     Printf.printf "compiled %s for %s (%s): %d kernels, %d sections, wall %.1fms\n" file
       (match vendor with Device.Amd -> "AMD" | Device.Nvidia -> "NVIDIA")
@@ -80,8 +89,79 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"AOT-compile a Kernel-C program")
     Term.(
-      const run $ file_arg $ vendor_arg $ proteus_flag $ dump_host $ dump_device
-      $ dump_ptx $ dump_mach)
+      const run $ file_arg $ vendor_arg $ proteus_flag $ werror $ dump_host
+      $ dump_device $ dump_ptx $ dump_mach)
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Kernel-C source files to analyze.")
+  in
+  let bundled =
+    Arg.(value & flag & info [ "bundled" ]
+           ~doc:"Also analyze the bundled HeCBench mini-apps and examples.")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ]
+           ~doc:"Print conservative info-level findings too.")
+  in
+  let werror =
+    Arg.(value & flag & info [ "werror" ]
+           ~doc:"Exit non-zero on any reported finding, not just errors.")
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("machine", `Machine) ]) `Text
+         & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,machine) (tab-separated).")
+  in
+  let go files bundled all werror format =
+    let open Proteus_analysis in
+    let targets =
+      List.map (fun f -> (f, read_file f)) files
+      @
+      if bundled then
+        List.map
+          (fun (a : Proteus_hecbench.App.t) ->
+            (a.Proteus_hecbench.App.name, a.Proteus_hecbench.App.source))
+          Proteus_hecbench.Suite.apps
+        @ List.map
+            (fun (e : Proteus_examples.Sources.t) ->
+              (e.Proteus_examples.Sources.name, e.Proteus_examples.Sources.source))
+            Proteus_examples.Sources.all
+      else []
+    in
+    if targets = [] then begin
+      prerr_endline "proteus analyze: no input (pass FILE arguments or --bundled)";
+      exit 2
+    end;
+    let shown_total = ref 0 and error_total = ref 0 in
+    List.iter
+      (fun (name, source) ->
+        let m = Proteus_frontend.Compile.compile_device_only ~name ~debug:true source in
+        let findings = Kernelsan.analyze_module m in
+        let shown = Kernelsan.reportable ~all findings in
+        shown_total := !shown_total + List.length shown;
+        error_total := !error_total + List.length (Kernelsan.errors findings);
+        List.iter
+          (fun fd ->
+            print_endline
+              (match format with
+              | `Text -> Finding.to_string ~file:name fd
+              | `Machine -> Finding.to_machine ~file:name fd))
+          shown)
+      targets;
+    if format = `Text then
+      Printf.printf "analyzed %d program(s): %d finding(s) shown, %d error(s)\n"
+        (List.length targets) !shown_total !error_total;
+    if !error_total > 0 || (werror && !shown_total > 0) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the KernelSan static analyses (barrier divergence, shared-memory \
+             races, out-of-bounds accesses) over kernel code")
+    Term.(const go $ files $ bundled $ all $ werror $ format)
 
 (* ---- run ---- *)
 
@@ -183,4 +263,6 @@ let devices_cmd =
 
 let () =
   let info = Cmd.info "proteus" ~version:"1.0.0" ~doc:"Proteus GPU JIT (simulated) driver" in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; bench_cmd; devices_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ compile_cmd; analyze_cmd; run_cmd; bench_cmd; devices_cmd ]))

@@ -9,57 +9,7 @@ open Proteus_gpu
 open Proteus_driver
 open Proteus_core
 
-let source =
-  {|
-__global__ __attribute__((annotate("jit", 5, 6, 7, 8, 9)))
-void adam_step(float* p, float* m, float* v, float* g,
-               float b1, float b2, float eps, float lr, int n) {
-  int i = blockIdx.x * blockDim.x + threadIdx.x;
-  if (i < n) {
-    float gi = g[i];
-    float mi = b1 * m[i] + (1.0f - b1) * gi;
-    float vi = b2 * v[i] + (1.0f - b2) * gi * gi;
-    p[i] = p[i] - lr * mi / (sqrtf(vi) + eps);
-    m[i] = mi;
-    v[i] = vi;
-  }
-}
-
-__global__
-void fake_grad(float* g, float* p, int n, int epoch) {
-  int i = blockIdx.x * blockDim.x + threadIdx.x;
-  if (i < n) {
-    // gradient of a quadratic bowl, perturbed per epoch
-    g[i] = 2.0f * (p[i] - 0.5f) + 0.01f * (float)((i + epoch) % 7 - 3);
-  }
-}
-
-int main() {
-  int n = 8192;
-  long bytes = n * 4;
-  float* hp = (float*)malloc(bytes);
-  for (int i = 0; i < n; i++) { hp[i] = (float)(i % 100) * 0.01f; }
-  float* dp = (float*)cudaMalloc(bytes);
-  float* dm = (float*)cudaMalloc(bytes);
-  float* dv = (float*)cudaMalloc(bytes);
-  float* dg = (float*)cudaMalloc(bytes);
-  cudaMemcpyHtoD(dp, hp, bytes);
-  for (int epoch = 0; epoch < 30; epoch++) {
-    fake_grad<<<(n + 127) / 128, 128>>>(dg, dp, n, epoch);
-    adam_step<<<(n + 127) / 128, 128>>>(dp, dm, dv, dg,
-                                        0.9f, 0.999f, 1e-8f, 0.05f, n);
-  }
-  cudaDeviceSynchronize();
-  cudaMemcpyDtoH(hp, dp, bytes);
-  double dist = 0.0;
-  for (int i = 0; i < n; i++) {
-    double d = hp[i] - 0.5;
-    dist = dist + d * d;
-  }
-  printf("adam-training final distance=%g\n", dist / n);
-  return 0;
-}
-|}
+let source = Proteus_examples.Sources.adam_training.Proteus_examples.Sources.source
 
 let () =
   print_endline "ADAM training loop: Proteus specialization + persistent cache\n";

@@ -11,51 +11,7 @@ open Proteus_gpu
 open Proteus_driver
 open Proteus_core
 
-let source =
-  {|
-__global__ __attribute__((annotate("jit", 4, 5, 6)))
-void heat(double* u0, double* u1, double* out, int n, int inner, double alpha) {
-  int i = blockIdx.x * blockDim.x + threadIdx.x;
-  if (i > 0 && i < n - 1) {
-    double left = u0[i - 1];
-    double mid = u0[i];
-    double right = u0[i + 1];
-    // micro-stepping: [inner] sub-steps per kernel launch
-    for (int s = 0; s < inner; s++) {
-      double lap = left - 2.0 * mid + right;
-      double next = mid + alpha * lap;
-      left = left + alpha * (mid - left) * 0.5;
-      right = right + alpha * (mid - right) * 0.5;
-      mid = next;
-    }
-    u1[i] = mid;
-    out[i] = mid;
-  }
-}
-
-int main() {
-  int n = 8192;
-  long bytes = n * 8;
-  double* h = (double*)malloc(bytes);
-  for (int i = 0; i < n; i++) {
-    h[i] = (i > n / 2 - 64 && i < n / 2 + 64) ? 100.0 : 0.0;
-  }
-  double* d0 = (double*)cudaMalloc(bytes);
-  double* d1 = (double*)cudaMalloc(bytes);
-  double* dout = (double*)cudaMalloc(bytes);
-  cudaMemcpyHtoD(d0, h, bytes);
-  for (int t = 0; t < 20; t++) {
-    heat<<<(n + 127) / 128, 128>>>(d0, d1, dout, n, 8, 0.1);
-    double* tmp = d0; d0 = d1; d1 = tmp;
-  }
-  cudaDeviceSynchronize();
-  cudaMemcpyDtoH(h, dout, bytes);
-  double total = 0.0;
-  for (int i = 0; i < n; i++) { total = total + h[i]; }
-  printf("heat total=%g\n", total);
-  return 0;
-}
-|}
+let source = Proteus_examples.Sources.heat_stencil.Proteus_examples.Sources.source
 
 let () =
   print_endline "Heat stencil: per-mode specialization analysis (like paper Sec. 4.5)\n";

@@ -11,22 +11,7 @@ open Proteus_gpu
 open Proteus_runtime
 
 let kernel_source =
-  {|
-__global__ __attribute__((annotate("jit", 2, 3)))
-void mc_pi(float* hits, int samples_per_thread, int seed) {
-  int gid = blockIdx.x * blockDim.x + threadIdx.x;
-  int rng = seed + gid * 2654435761;
-  int inside = 0;
-  for (int s = 0; s < samples_per_thread; s++) {
-    rng = rng * 1103515245 + 12345;
-    float x = (float)((rng >> 8) & 65535) / 65536.0f;
-    rng = rng * 1103515245 + 12345;
-    float y = (float)((rng >> 8) & 65535) / 65536.0f;
-    if (x * x + y * y < 1.0f) { inside = inside + 1; }
-  }
-  atomicAdd(hits, (float)inside);
-}
-|}
+  Proteus_examples.Sources.montecarlo_pi.Proteus_examples.Sources.source
 
 let threads = 4096
 let block = 128

@@ -13,37 +13,7 @@ open Proteus_gpu
 open Proteus_driver
 open Proteus_core
 
-let source =
-  {|
-// daxpy: specialize on the scaling factor a (arg 1) and size n (arg 4)
-__global__ __attribute__((annotate("jit", 1, 4)))
-void daxpy(double a, double* x, double* y, int n) {
-  int i = blockIdx.x * blockDim.x + threadIdx.x;
-  if (i < n) { y[i] = a * x[i] + y[i]; }
-}
-
-int main() {
-  int n = 4096;
-  long bytes = n * 8;
-  double* hx = (double*)malloc(bytes);
-  double* hy = (double*)malloc(bytes);
-  for (int i = 0; i < n; i++) { hx[i] = (double)i; hy[i] = 1.0; }
-  double* dx = (double*)cudaMalloc(bytes);
-  double* dy = (double*)cudaMalloc(bytes);
-  cudaMemcpyHtoD(dx, hx, bytes);
-  cudaMemcpyHtoD(dy, hy, bytes);
-  for (int rep = 0; rep < 10; rep++) {
-    daxpy<<<(n + 255) / 256, 256>>>(2.5, dx, dy, n);
-  }
-  cudaDeviceSynchronize();
-  cudaMemcpyDtoH(hy, dy, bytes);
-  double sum = 0.0;
-  for (int i = 0; i < n; i++) { sum = sum + hy[i]; }
-  printf("daxpy checksum=%g (expect %g)\n",
-         sum, (double)n + 25.0 * 0.5 * (double)n * (double)(n - 1));
-  return 0;
-}
-|}
+let source = Proteus_examples.Sources.quickstart.Proteus_examples.Sources.source
 
 let show vendor =
   let name = match vendor with Device.Amd -> "AMD (HIP)" | Device.Nvidia -> "NVIDIA (CUDA)" in

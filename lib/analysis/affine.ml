@@ -1,0 +1,177 @@
+(* Symbolic affine forms over GPU thread-geometry atoms, the index
+   language of the race and bounds checkers. A form is
+
+     const + sum_i coeff_i * (product of atoms)
+
+   where an atom is threadIdx/blockIdx/blockDim/gridDim along an axis,
+   or an opaque-but-uniform register [Sym r]. Products let the
+   canonical global-id pattern blockIdx*blockDim + threadIdx stay
+   exact. Terms containing Tid or Bid atoms are the thread-dependent
+   part; everything else is uniform across lanes (per evaluation). *)
+
+type atom =
+  | Tid of int (* threadIdx, axis 0..2 *)
+  | Bid of int (* blockIdx *)
+  | Ntid of int (* blockDim *)
+  | Nctaid of int (* gridDim *)
+  | Sym of int (* unknown but wave-uniform register *)
+
+let atom_compare = Stdlib.compare
+
+(* term = sorted atom product; invariant: coeffs nonzero, term keys
+   sorted and unique. *)
+type t = { const : int; terms : (atom list * int) list }
+
+let max_terms = 8
+let max_atoms_per_term = 4
+
+let const c = { const = c; terms = [] }
+let of_atom a = { const = 0; terms = [ ([ a ], 1) ] }
+let is_const t = t.terms = []
+let to_const t = if t.terms = [] then Some t.const else None
+
+let norm terms =
+  let sorted =
+    List.sort (fun (k1, _) (k2, _) -> Stdlib.compare k1 k2) terms
+  in
+  let rec merge = function
+    | (k1, c1) :: (k2, c2) :: rest when k1 = k2 -> merge ((k1, c1 + c2) :: rest)
+    | kv :: rest -> kv :: merge rest
+    | [] -> []
+  in
+  List.filter (fun (_, c) -> c <> 0) (merge sorted)
+
+let add a b = { const = a.const + b.const; terms = norm (a.terms @ b.terms) }
+
+let mul_const a c =
+  if c = 0 then const 0
+  else { const = a.const * c; terms = List.map (fun (k, x) -> (k, x * c)) a.terms }
+
+let neg a = mul_const a (-1)
+let sub a b = add a (neg b)
+
+(* Product of two forms; None when the result would exceed the size
+   caps (indices that complicated are treated as non-affine). *)
+let mul a b =
+  let term_mul (k1, c1) (k2, c2) =
+    let k = List.sort atom_compare (k1 @ k2) in
+    if List.length k > max_atoms_per_term then None else Some (k, c1 * c2)
+  in
+  let pieces =
+    (* (a.const + A)(b.const + B) = a.const*b.const + a.const*B + b.const*A + A*B *)
+    List.map (fun (k, c) -> Some (k, c * a.const)) b.terms
+    @ List.map (fun (k, c) -> Some (k, c * b.const)) a.terms
+    @ List.concat_map (fun ta -> List.map (fun tb -> term_mul ta tb) b.terms) a.terms
+  in
+  if List.exists (fun p -> p = None) pieces then None
+  else
+    let terms = norm (List.filter_map (fun p -> p) pieces) in
+    if List.length terms > max_terms then None
+    else Some { const = a.const * b.const; terms }
+
+let equal a b = a.const = b.const && a.terms = b.terms
+
+let is_thread_term (atoms, _) =
+  List.exists (function Tid _ | Bid _ -> true | _ -> false) atoms
+
+(* (thread-dependent part, uniform part); the const belongs to the
+   uniform part. *)
+let split t =
+  let tdep, unif = List.partition is_thread_term t.terms in
+  ({ const = 0; terms = tdep }, { const = t.const; terms = unif })
+
+(* Recognized shapes of the thread-dependent part, which decide what
+   the race checker can prove about distinct lanes. *)
+type shape =
+  | Uniform (* no lane dependence: every lane computes the same index *)
+  | Gid of { axis : int; stride : int }
+      (* stride * (threadIdx.a + blockIdx.a * blockDim.a): injective
+         across the whole grid *)
+  | Tid_only of { axis : int; stride : int }
+      (* stride * threadIdx.a: injective within a block, aliased across
+         blocks *)
+  | Block_uniform (* depends on blockIdx but not threadIdx *)
+  | Other
+
+let shape_of tdep =
+  match tdep.terms with
+  | [] -> Uniform
+  | [ ([ Tid a ], c) ] -> Tid_only { axis = a; stride = c }
+  | [ ([ Tid a ], c1 ); ([ Bid a'; Ntid a'' ], c2) ]
+  | [ ([ Bid a'; Ntid a'' ], c2); ([ Tid a ], c1) ]
+    when a = a' && a = a'' && c1 = c2 ->
+      Gid { axis = a; stride = c1 }
+  | terms
+    when List.for_all
+           (fun (atoms, _) ->
+             List.for_all (function Tid _ -> false | _ -> true) atoms)
+           terms ->
+      Block_uniform
+  | _ -> Other
+
+(* ------------------------------------------------------------------ *)
+(* Interval evaluation                                                 *)
+
+type itv = { lo : int option; hi : int option }
+
+let top = { lo = None; hi = None }
+let exactly c = { lo = Some c; hi = Some c }
+let range lo hi = { lo; hi }
+
+let add_itv a b =
+  let f x y = match (x, y) with Some x, Some y -> Some (x + y) | _ -> None in
+  { lo = f a.lo b.lo; hi = f a.hi b.hi }
+
+let scale_itv a c =
+  if c = 0 then exactly 0
+  else if c > 0 then
+    { lo = Option.map (fun x -> x * c) a.lo; hi = Option.map (fun x -> x * c) a.hi }
+  else
+    { lo = Option.map (fun x -> x * c) a.hi; hi = Option.map (fun x -> x * c) a.lo }
+
+let mul_itv a b =
+  match (a, b) with
+  | { lo = Some c; hi = Some c' }, other when c = c' -> scale_itv other c
+  | other, { lo = Some c; hi = Some c' } when c = c' -> scale_itv other c
+  | { lo = Some al; hi = Some ah }, { lo = Some bl; hi = Some bh } ->
+      let ps = [ al * bl; al * bh; ah * bl; ah * bh ] in
+      range (Some (List.fold_left min max_int ps)) (Some (List.fold_left max min_int ps))
+  | _ -> top
+
+let eval (env : atom -> itv) (t : t) : itv =
+  List.fold_left
+    (fun acc (atoms, c) ->
+      let term =
+        List.fold_left (fun acc a -> mul_itv acc (env a)) (exactly c) atoms
+      in
+      add_itv acc term)
+    (exactly t.const) t.terms
+
+(* Clamp an interval with a comparison [form OP k] known to hold. *)
+let clamp itv (op : Proteus_ir.Ops.cmpop) k =
+  let tighter_lo lo v = match lo with Some l when l >= v -> lo | _ -> Some v in
+  let tighter_hi hi v = match hi with Some h when h <= v -> hi | _ -> Some v in
+  match op with
+  | Proteus_ir.Ops.CLt -> { itv with hi = tighter_hi itv.hi (k - 1) }
+  | Proteus_ir.Ops.CLe -> { itv with hi = tighter_hi itv.hi k }
+  | Proteus_ir.Ops.CGt -> { itv with lo = tighter_lo itv.lo (k + 1) }
+  | Proteus_ir.Ops.CGe -> { itv with lo = tighter_lo itv.lo k }
+  | Proteus_ir.Ops.CEq -> { lo = tighter_lo itv.lo k; hi = tighter_hi itv.hi k }
+  | Proteus_ir.Ops.CNe -> itv
+
+let to_string t =
+  let atom_str = function
+    | Tid a -> Printf.sprintf "tid.%d" a
+    | Bid a -> Printf.sprintf "bid.%d" a
+    | Ntid a -> Printf.sprintf "ntid.%d" a
+    | Nctaid a -> Printf.sprintf "nctaid.%d" a
+    | Sym r -> Printf.sprintf "r%d" r
+  in
+  let term_str (atoms, c) =
+    let p = String.concat "*" (List.map atom_str atoms) in
+    if c = 1 then p else Printf.sprintf "%d*%s" c p
+  in
+  match (t.const, t.terms) with
+  | c, [] -> string_of_int c
+  | 0, ts -> String.concat " + " (List.map term_str ts)
+  | c, ts -> String.concat " + " (List.map term_str ts) ^ " + " ^ string_of_int c

@@ -1,0 +1,60 @@
+(* Diagnostics produced by the KernelSan analyses. A finding carries a
+   machine-usable kind, a severity, and (when the module was lowered
+   with dbg.loc markers) a source location. Severity semantics:
+   [Error] findings are definite violations (the JIT verify gate
+   rejects on them), [Warning] findings are probable violations worth
+   surfacing by default, [Info] findings are conservative "maybe"
+   verdicts that only show up under --all. *)
+
+type severity = Info | Warning | Error
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+type kind = Barrier_divergence | Shared_race | Out_of_bounds | Invalid_ir
+
+let kind_to_string = function
+  | Barrier_divergence -> "barrier-divergence"
+  | Shared_race -> "shared-race"
+  | Out_of_bounds -> "out-of-bounds"
+  | Invalid_ir -> "invalid-ir"
+
+type t = {
+  kind : kind;
+  severity : severity;
+  func : string; (* kernel the finding is in *)
+  block : string; (* IR block, for provenance without debug info *)
+  loc : (int * int) option; (* source line, column *)
+  message : string;
+}
+
+let mk ?loc ~kind ~severity ~func ~block message =
+  { kind; severity; func; block; loc; message }
+
+(* Most severe first, then by source position for stable output. *)
+let compare a b =
+  match Stdlib.compare (severity_rank b.severity) (severity_rank a.severity) with
+  | 0 -> Stdlib.compare (a.loc, a.func, a.message) (b.loc, b.func, b.message)
+  | c -> c
+
+let to_string ?(file = "<source>") t =
+  let pos =
+    match t.loc with
+    | Some (l, c) -> Printf.sprintf "%s:%d:%d" file l c
+    | None -> Printf.sprintf "%s:%s" file t.block
+  in
+  Printf.sprintf "%s: %s: [%s] %s (kernel %s)" pos
+    (severity_to_string t.severity)
+    (kind_to_string t.kind) t.message t.func
+
+(* Stable tab-separated form for automation:
+   file<TAB>line<TAB>col<TAB>severity<TAB>kind<TAB>kernel<TAB>message *)
+let to_machine ?(file = "<source>") t =
+  let line, col = match t.loc with Some (l, c) -> (l, c) | None -> (0, 0) in
+  Printf.sprintf "%s\t%d\t%d\t%s\t%s\t%s\t%s" file line col
+    (severity_to_string t.severity)
+    (kind_to_string t.kind) t.func t.message

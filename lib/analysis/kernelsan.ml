@@ -1,0 +1,694 @@
+(* KernelSan: static analysis of device IR. Four passes share this
+   driver: the uniformity dataflow (Uniformity), a barrier-divergence
+   checker, a shared-memory race detector over barrier-delimited
+   phases, and a value-range bounds checker for statically-sized
+   buffers.
+
+   The module under analysis is never mutated: [analyze_module] clones
+   it and normalizes the clone with simplifycfg + mem2reg (so scalar
+   locals become registers the affine symbolizer can see through)
+   while keeping dbg.loc markers for finding provenance.
+
+   Race model: each block is split into barrier-delimited *segments*;
+   two accesses may happen in parallel (MHP) iff their segments
+   coincide or one reaches the other along barrier-free CFG edges. A
+   barrier inside divergent control flow invalidates the phase model,
+   but that is exactly what the barrier-divergence checker reports, so
+   the combination stays sound. Access indices are symbolized as
+   affine forms over threadIdx/blockIdx (Affine); a conflict is
+   definite (Error) only when distinct lanes *of the same block* are
+   proven to touch overlapping bytes — cross-block-only conflicts stay
+   conservative (Info) because a launch may use a single block. *)
+
+open Proteus_support
+open Proteus_ir
+
+(* ------------------------------------------------------------------ *)
+(* Normalization                                                       *)
+
+let normalize (m : Ir.modul) : Ir.modul =
+  let m = Ir.clone_module m in
+  let stats = Proteus_opt.Pass.mk_stats () in
+  Proteus_opt.Pass.run_pipeline stats
+    [ Proteus_opt.Simplifycfg.pass; Proteus_opt.Mem2reg.pass ]
+    m;
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Pointer provenance                                                  *)
+
+type root =
+  | Rglobal of Ir.gvar
+  | Rparam of Ir.reg
+  | Ralloca of Ir.reg * Types.ty * int (* per-thread: never races *)
+  | Runknown
+
+type ptr_info = {
+  root : root;
+  byte_off : Affine.t option; (* total byte offset from the root *)
+  geps : int; (* gep-chain depth *)
+  last_idx : Affine.t option; (* element index of the outermost gep *)
+}
+
+type akind = ARead | AWrite of Ir.operand | AAtomic
+
+type access = {
+  aseg : int;
+  ablock : string;
+  aidx : int; (* instruction index, for provenance *)
+  aptr : ptr_info;
+  awidth : int;
+  akind : akind;
+}
+
+let root_name = function
+  | Rglobal g -> "@" ^ g.Ir.gname
+  | Rparam r -> Printf.sprintf "parameter r%d" r
+  | Ralloca (r, _, _) -> Printf.sprintf "local array r%d" r
+  | Runknown -> "<unknown>"
+
+let same_root a b =
+  match (a, b) with
+  | Rglobal g1, Rglobal g2 -> g1.Ir.gname = g2.Ir.gname
+  | Rparam r1, Rparam r2 -> r1 = r2
+  | Ralloca (r1, _, _), Ralloca (r2, _, _) -> r1 = r2
+  | _ -> false
+
+let is_write = function AWrite _ | AAtomic -> true | ARead -> false
+
+(* ------------------------------------------------------------------ *)
+(* Per-function analysis                                               *)
+
+let analyze_func (m : Ir.modul) (f : Ir.func) : Finding.t list =
+  let findings = ref [] in
+  (* -------------------- dbg.loc provenance -------------------- *)
+  let locs : (string, (int * int) option array) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      let arr = Array.make (max 1 (List.length b.Ir.insts)) None in
+      let cur = ref None in
+      List.iteri
+        (fun k i ->
+          (match i with
+          | Ir.ICall (None, c, [ Ir.Imm l; Ir.Imm col ])
+            when c = Ir.Intrinsics.dbg_loc ->
+              cur :=
+                Some
+                  ( Int64.to_int (Konst.as_int l),
+                    Int64.to_int (Konst.as_int col) )
+          | _ -> ());
+          if k < Array.length arr then arr.(k) <- !cur)
+        b.Ir.insts;
+      Hashtbl.replace locs b.Ir.label arr)
+    f.Ir.blocks;
+  let loc_at block k =
+    match Hashtbl.find_opt locs block with
+    | Some arr when k >= 0 && k < Array.length arr -> arr.(k)
+    | _ -> None
+  in
+  let report ?loc ~kind ~severity ~block msg =
+    findings :=
+      Finding.mk ?loc ~kind ~severity ~func:f.Ir.fname ~block msg :: !findings
+  in
+  (* -------------------- dataflow foundations -------------------- *)
+  let u = Uniformity.compute f in
+  let uniform_op = function
+    | Ir.Reg r -> not (Uniformity.is_divergent u r)
+    | Ir.Imm _ | Ir.Glob _ -> true
+  in
+  let defs : Ir.instr option array = Array.make (Ir.nregs f) None in
+  Ir.iter_instrs f (fun i ->
+      match Ir.def_of i with Some d -> defs.(d) <- Some i | None -> ());
+  let params = List.map snd f.Ir.params in
+  (* -------------------- affine symbolization -------------------- *)
+  let memo : Affine.t option option array = Array.make (Ir.nregs f) None in
+  let query_atom q =
+    let mk ctor (x, y, z) =
+      if q = x then Some (ctor 0)
+      else if q = y then Some (ctor 1)
+      else if q = z then Some (ctor 2)
+      else None
+    in
+    let ( <|> ) a b = match a with Some _ -> a | None -> b in
+    mk (fun a -> Affine.Tid a) Ir.Intrinsics.(tid_x, tid_y, tid_z)
+    <|> mk (fun a -> Affine.Bid a) Ir.Intrinsics.(ctaid_x, ctaid_y, ctaid_z)
+    <|> mk (fun a -> Affine.Ntid a) Ir.Intrinsics.(ntid_x, ntid_y, ntid_z)
+    <|> mk (fun a -> Affine.Nctaid a)
+          Ir.Intrinsics.(nctaid_x, nctaid_y, nctaid_z)
+  in
+  let rec aff (o : Ir.operand) : Affine.t option =
+    match o with
+    | Ir.Imm (Konst.KInt (v, _)) -> Some (Affine.const (Int64.to_int v))
+    | Ir.Imm (Konst.KBool b) -> Some (Affine.const (if b then 1 else 0))
+    | Ir.Imm _ | Ir.Glob _ -> None
+    | Ir.Reg r -> aff_reg r
+  and aff_reg r =
+    match memo.(r) with
+    | Some cached -> cached
+    | None ->
+        (* The fallback keeps uniform-but-opaque registers usable as
+           symbolic atoms; divergent opaque registers are non-affine.
+           Seeding the memo with it first makes cycles (phis reached
+           through themselves) terminate. *)
+        let fallback =
+          if uniform_op (Ir.Reg r) then Some (Affine.of_atom (Affine.Sym r))
+          else None
+        in
+        memo.(r) <- Some fallback;
+        let or_fb = function Some _ as x -> x | None -> fallback in
+        let result =
+          match defs.(r) with
+          | Some (Ir.ICall (Some _, q, [])) when Ir.Intrinsics.is_gpu_query q
+            -> (
+              match query_atom q with
+              | Some a -> Some (Affine.of_atom a)
+              | None -> fallback)
+          | Some (Ir.IBin (_, Ops.Add, a, b)) -> (
+              match (aff a, aff b) with
+              | Some x, Some y -> Some (Affine.add x y)
+              | _ -> fallback)
+          | Some (Ir.IBin (_, Ops.Sub, a, b)) -> (
+              match (aff a, aff b) with
+              | Some x, Some y -> Some (Affine.sub x y)
+              | _ -> fallback)
+          | Some (Ir.IBin (_, Ops.Mul, a, b)) -> (
+              match (aff a, aff b) with
+              | Some x, Some y -> or_fb (Affine.mul x y)
+              | _ -> fallback)
+          | Some (Ir.IBin (_, Ops.Shl, a, Ir.Imm k)) ->
+              let s = Int64.to_int (Konst.as_int k) in
+              if s >= 0 && s < 31 then
+                or_fb
+                  (Option.map (fun x -> Affine.mul_const x (1 lsl s)) (aff a))
+              else fallback
+          | Some (Ir.ICast (_, (Ops.Sext | Ops.Zext | Ops.Trunc), a)) ->
+              or_fb (aff a)
+          | _ -> fallback
+        in
+        memo.(r) <- Some result;
+        result
+  in
+  (* -------------------- pointer resolution -------------------- *)
+  let no_ptr root = { root; byte_off = None; geps = 0; last_idx = None } in
+  let rec resolve (o : Ir.operand) : ptr_info =
+    match o with
+    | Ir.Glob g -> (
+        match Ir.find_global_opt m g with
+        | Some gv ->
+            { root = Rglobal gv; byte_off = Some (Affine.const 0); geps = 0;
+              last_idx = None }
+        | None -> no_ptr Runknown)
+    | Ir.Imm _ -> no_ptr Runknown
+    | Ir.Reg r -> (
+        if List.mem r params then
+          { root = Rparam r; byte_off = Some (Affine.const 0); geps = 0;
+            last_idx = None }
+        else
+          match defs.(r) with
+          | Some (Ir.IGep (d, base, idx)) ->
+              let esz =
+                match Ir.reg_ty f d with
+                | Types.TPtr (e, _) -> max 1 (Types.size_of e)
+                | _ -> 1
+              in
+              let base_info = resolve base in
+              let idx_aff = aff idx in
+              let byte_off =
+                match
+                  ( base_info.byte_off,
+                    Option.map (fun a -> Affine.mul_const a esz) idx_aff )
+                with
+                | Some a, Some b -> Some (Affine.add a b)
+                | _ -> None
+              in
+              { root = base_info.root; byte_off; geps = base_info.geps + 1;
+                last_idx = idx_aff }
+          | Some (Ir.ICast (_, Ops.Bitcast, x)) -> resolve x
+          | Some (Ir.IAlloca (_, ty, count)) ->
+              { root = Ralloca (r, ty, count);
+                byte_off = Some (Affine.const 0); geps = 0; last_idx = None }
+          | _ -> no_ptr Runknown)
+  in
+  (* -------------------- guards (dominating branch conditions) ----- *)
+  let cfg = Cfg.build f in
+  let dom = Dom.compute cfg in
+  let live = Cfg.reachable cfg in
+  let block_guards : (string, (Affine.t * Ops.cmpop * int) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let negate_op = function
+    | Ops.CEq -> Ops.CNe
+    | Ops.CNe -> Ops.CEq
+    | Ops.CLt -> Ops.CGe
+    | Ops.CLe -> Ops.CGt
+    | Ops.CGt -> Ops.CLe
+    | Ops.CGe -> Ops.CLt
+  in
+  let flip_op = function
+    | Ops.CLt -> Ops.CGt
+    | Ops.CLe -> Ops.CGe
+    | Ops.CGt -> Ops.CLt
+    | Ops.CGe -> Ops.CLe
+    | (Ops.CEq | Ops.CNe) as op -> op
+  in
+  let guard_of_cond c taken =
+    match c with
+    | Ir.Reg r -> (
+        match defs.(r) with
+        | Some (Ir.ICmp (_, op, x, y)) -> (
+            let norm form op k =
+              if taken then (form, op, k) else (form, negate_op op, k)
+            in
+            match (aff x, aff y) with
+            | Some fx, Some fy when Affine.is_const fy ->
+                Some (norm fx op (Option.get (Affine.to_const fy)))
+            | Some fx, Some fy when Affine.is_const fx ->
+                Some (norm fy (flip_op op) (Option.get (Affine.to_const fx)))
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+  in
+  (* Conditions that hold on every execution of [label]: walk the idom
+     chain; a branch at dominator [p] contributes when one arm's target
+     dominates [label] and is entered only from [p]. *)
+  let guards_of_block label =
+    match Hashtbl.find_opt block_guards label with
+    | Some g -> g
+    | None ->
+        let acc = ref [] in
+        let rec walk l =
+          match Dom.idom dom l with
+          | Some p when p <> l ->
+              (match (Ir.find_block f p).Ir.term with
+              | Ir.TCondBr (c, tl, el) when tl <> el ->
+                  let edge_holds target =
+                    Dom.dominates dom target label
+                    && Cfg.preds cfg target = [ p ]
+                  in
+                  let taken =
+                    if edge_holds tl then Some true
+                    else if edge_holds el then Some false
+                    else None
+                  in
+                  (match Option.map (guard_of_cond c) taken with
+                  | Some (Some g) -> acc := g :: !acc
+                  | _ -> ())
+              | _ -> ());
+              walk p
+          | _ -> ()
+        in
+        walk label;
+        Hashtbl.replace block_guards label !acc;
+        !acc
+  in
+  (* A lane pin: a dominating [tid.a == k] guard, meaning at most one
+     lane per block executes the guarded code. *)
+  let tid_pin label =
+    List.find_map
+      (fun ((form : Affine.t), op, k) ->
+        match (op, form.Affine.terms, form.Affine.const) with
+        | Ops.CEq, [ ([ Affine.Tid a ], 1) ], 0 -> Some (a, k)
+        | _ -> None)
+      (guards_of_block label)
+  in
+  (* -------------------- interval environment -------------------- *)
+  let max_threads = Option.map fst f.Ir.attrs.Ir.launch_bounds in
+  (* Lanes-per-block cap for lane-distance feasibility: launch bounds
+     when declared, else the hardware maximum. *)
+  let tcap = match max_threads with Some t -> t | None -> 1024 in
+  let atom_env : Affine.atom -> Affine.itv = function
+    | Affine.Tid _ ->
+        Affine.range (Some 0) (Option.map (fun t -> t - 1) max_threads)
+    | Affine.Ntid _ -> Affine.range (Some 1) max_threads
+    | Affine.Bid _ -> Affine.range (Some 0) None
+    | Affine.Nctaid _ -> Affine.range (Some 1) None
+    | Affine.Sym _ -> Affine.top
+  in
+  let interval_of ~block (form : Affine.t) : Affine.itv =
+    let itv = Affine.eval atom_env form in
+    (* Narrow with dominating guards on the same form modulo a constant
+       shift: form = g + d and g OP k imply form OP (k + d). *)
+    List.fold_left
+      (fun itv (g, op, k) ->
+        match Affine.to_const (Affine.sub form g) with
+        | Some d -> Affine.clamp itv op (k + d)
+        | None -> itv)
+      itv (guards_of_block block)
+  in
+  (* -------------------- segments (barrier-delimited) ------------- *)
+  let is_barrier = function
+    | Ir.ICall (_, c, _) -> c = Ir.Intrinsics.barrier
+    | _ -> false
+  in
+  let seg_ids : (string, int array * int * int) Hashtbl.t = Hashtbl.create 16 in
+  let nsegs = ref 0 in
+  List.iter
+    (fun (b : Ir.block) ->
+      let n = List.length b.Ir.insts in
+      let arr = Array.make (max 1 n) 0 in
+      let first = !nsegs in
+      incr nsegs;
+      let cur = ref first in
+      List.iteri
+        (fun k i ->
+          if k < Array.length arr then arr.(k) <- !cur;
+          if is_barrier i then begin
+            cur := !nsegs;
+            incr nsegs
+          end)
+        b.Ir.insts;
+      Hashtbl.replace seg_ids b.Ir.label (arr, first, !cur))
+    f.Ir.blocks;
+  let seg_at label k =
+    match Hashtbl.find_opt seg_ids label with
+    | Some (arr, first, _) ->
+        if k >= 0 && k < Array.length arr then arr.(k) else first
+    | None -> 0
+  in
+  (* Barrier-free segment edges: only the last segment of a block flows
+     into successors' first segments; intra-block successions cross a
+     barrier by construction and are omitted. *)
+  let succs_of = Array.make (max 1 !nsegs) [] in
+  List.iter
+    (fun (b : Ir.block) ->
+      match Hashtbl.find_opt seg_ids b.Ir.label with
+      | Some (_, _, last) ->
+          List.iter
+            (fun s ->
+              match Hashtbl.find_opt seg_ids s with
+              | Some (_, sfirst, _) ->
+                  succs_of.(last) <- sfirst :: succs_of.(last)
+              | None -> ())
+            (Ir.successors b.Ir.term)
+      | None -> ())
+    f.Ir.blocks;
+  let reach = Array.make (max 1 !nsegs) [||] in
+  for s = 0 to !nsegs - 1 do
+    let seen = Array.make !nsegs false in
+    let rec dfs x =
+      List.iter
+        (fun y ->
+          if not seen.(y) then begin
+            seen.(y) <- true;
+            dfs y
+          end)
+        succs_of.(x)
+    in
+    dfs s;
+    reach.(s) <- seen
+  done;
+  let mhp s1 s2 = s1 = s2 || reach.(s1).(s2) || reach.(s2).(s1) in
+  (* -------------------- barrier-divergence check ----------------- *)
+  List.iter
+    (fun (b : Ir.block) ->
+      if
+        Util.Sset.mem b.Ir.label live
+        && Uniformity.in_divergent_region u b.Ir.label
+      then
+        List.iteri
+          (fun k i ->
+            if is_barrier i then
+              report ?loc:(loc_at b.Ir.label k)
+                ~kind:Finding.Barrier_divergence ~severity:Finding.Error
+                ~block:b.Ir.label
+                "barrier under thread-divergent control flow: lanes of the \
+                 same block may not all reach it")
+          b.Ir.insts)
+    f.Ir.blocks;
+  (* -------------------- access collection ----------------------- *)
+  let accesses = ref [] in
+  List.iter
+    (fun (b : Ir.block) ->
+      if Util.Sset.mem b.Ir.label live then
+        List.iteri
+          (fun k i ->
+            let add ptr_op width kind =
+              accesses :=
+                { aseg = seg_at b.Ir.label k; ablock = b.Ir.label; aidx = k;
+                  aptr = resolve ptr_op; awidth = max 1 width; akind = kind }
+                :: !accesses
+            in
+            match i with
+            | Ir.ILoad (d, p) -> add p (Types.size_of (Ir.reg_ty f d)) ARead
+            | Ir.IStore (v, p) ->
+                add p (Types.size_of (Ir.operand_ty m f v)) (AWrite v)
+            | Ir.ICall (_, a, [ p; v ]) when Ir.Intrinsics.is_atomic a ->
+                add p (Types.size_of (Ir.operand_ty m f v)) AAtomic
+            | _ -> ())
+          b.Ir.insts)
+    f.Ir.blocks;
+  let accesses = Array.of_list (List.rev !accesses) in
+  (* -------------------- bounds check ----------------------------- *)
+  let static_size = function
+    | Rglobal { Ir.gty = Types.TArr (e, count); _ } ->
+        Some (count, max 1 (Types.size_of e))
+    | Ralloca (_, ty, count) -> Some (count, max 1 (Types.size_of ty))
+    | _ -> None
+  in
+  Array.iter
+    (fun a ->
+      match static_size a.aptr.root with
+      | Some (count, _) when a.aptr.geps = 1 -> (
+          let loc = loc_at a.ablock a.aidx in
+          match a.aptr.last_idx with
+          | None ->
+              report ?loc ~kind:Finding.Out_of_bounds ~severity:Finding.Info
+                ~block:a.ablock
+                (Printf.sprintf
+                   "non-affine index into %s (%d elements): bounds not checked"
+                   (root_name a.aptr.root) count)
+          | Some idx -> (
+              let itv = interval_of ~block:a.ablock idx in
+              match (itv.Affine.lo, itv.Affine.hi) with
+              | Some lo, _ when lo >= count ->
+                  report ?loc ~kind:Finding.Out_of_bounds
+                    ~severity:Finding.Error ~block:a.ablock
+                    (Printf.sprintf
+                       "index %s is always out of bounds for %s (%d elements)"
+                       (Affine.to_string idx) (root_name a.aptr.root) count)
+              | _, Some hi when hi < 0 ->
+                  report ?loc ~kind:Finding.Out_of_bounds
+                    ~severity:Finding.Error ~block:a.ablock
+                    (Printf.sprintf
+                       "index %s is always negative for %s (%d elements)"
+                       (Affine.to_string idx) (root_name a.aptr.root) count)
+              | lo, hi ->
+                  let over =
+                    match hi with Some h -> h >= count | None -> true
+                  in
+                  let under =
+                    match lo with Some l -> l < 0 | None -> true
+                  in
+                  if over || under then
+                    let sev =
+                      (* A bounded range that still spills is a probable
+                         bug; an unbounded one is only a maybe. *)
+                      if lo <> None && hi <> None then Finding.Warning
+                      else Finding.Info
+                    in
+                    report ?loc ~kind:Finding.Out_of_bounds ~severity:sev
+                      ~block:a.ablock
+                      (Printf.sprintf
+                         "index %s may be out of bounds for %s (%d elements)"
+                         (Affine.to_string idx) (root_name a.aptr.root) count)))
+      | _ -> ())
+    accesses;
+  (* -------------------- race check ------------------------------- *)
+  (* Byte ranges [da, da + wa) and [db, db + wb) with difference
+     d = da - db overlap iff d lands in (-wb, wa). *)
+  let overlap d wa wb = d > -wb && d < wa in
+  (* Lane-distance candidates for making |s*k + d| small: the integers
+     around -d/s plus the unit distances. *)
+  let k_candidates s d =
+    if s = 0 then []
+    else
+      List.sort_uniq Stdlib.compare
+        [ -d / s; (-d / s) + 1; (-d / s) - 1; 1; -1 ]
+      |> List.filter (fun k -> k <> 0)
+  in
+  let intra_block_hit s d wa wb =
+    List.exists
+      (fun k -> abs k < tcap && overlap ((s * k) + d) wa wb)
+      (k_candidates s d)
+  in
+  let any_lane_hit s d wa wb =
+    List.exists (fun k -> overlap ((s * k) + d) wa wb) (k_candidates s d)
+  in
+  let describe a =
+    let what =
+      match a.akind with
+      | ARead -> "load"
+      | AWrite _ -> "store"
+      | AAtomic -> "atomic"
+    in
+    match loc_at a.ablock a.aidx with
+    | Some (l, c) -> Printf.sprintf "%s at line %d:%d" what l c
+    | None -> Printf.sprintf "%s in block %%%s" what a.ablock
+  in
+  let emitted = Hashtbl.create 16 in
+  let emit_race ~severity a b detail =
+    let msg =
+      Printf.sprintf "%s on %s: %s and %s without an intervening barrier"
+        detail (root_name a.aptr.root) (describe a) (describe b)
+    in
+    let key = (a.ablock, a.aidx, b.ablock, b.aidx, msg) in
+    if not (Hashtbl.mem emitted key) then begin
+      Hashtbl.replace emitted key ();
+      report
+        ?loc:(loc_at a.ablock a.aidx)
+        ~kind:Finding.Shared_race ~severity ~block:a.ablock msg
+    end
+  in
+  let n = Array.length accesses in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let a = accesses.(i) and b = accesses.(j) in
+      let relevant =
+        (is_write a.akind || is_write b.akind)
+        && not (a.akind = AAtomic && b.akind = AAtomic)
+        && same_root a.aptr.root b.aptr.root
+        && (match a.aptr.root with
+           | Ralloca _ | Runknown -> false (* per-thread / untracked *)
+           | Rglobal _ | Rparam _ -> true)
+        && mhp a.aseg b.aseg
+      in
+      if relevant then begin
+        (* Atomic-vs-plain pairs are at most advisory. *)
+        let cap sev =
+          if a.akind = AAtomic || b.akind = AAtomic then Finding.Info else sev
+        in
+        let ww =
+          match (a.akind, b.akind) with
+          | AWrite _, AWrite _ -> true
+          | _ -> false
+        in
+        let benign_ww =
+          match (a.akind, b.akind) with
+          | AWrite v1, AWrite v2 -> (
+              uniform_op v1 && uniform_op v2
+              &&
+              match (aff v1, aff v2) with
+              | Some x, Some y -> Affine.equal x y
+              | _ -> v1 = v2)
+          | _ -> false
+        in
+        let kind_word =
+          if ww then "write-write race" else "read-write race"
+        in
+        let maybe detail = emit_race ~severity:(cap Finding.Info) a b detail in
+        let definite detail =
+          if ww && benign_ww then
+            emit_race ~severity:Finding.Info a b
+              (kind_word ^ " (benign: all lanes store the same value)")
+          else emit_race ~severity:(cap Finding.Error) a b detail
+        in
+        match (a.aptr.byte_off, b.aptr.byte_off) with
+        | Some fa, Some fb ->
+            let wa = a.awidth and wb = b.awidth in
+            let ia = interval_of ~block:a.ablock fa
+            and ib = interval_of ~block:b.ablock fb in
+            let disjoint =
+              (match (ia.Affine.hi, ib.Affine.lo) with
+              | Some ha, Some lb -> ha + wa <= lb
+              | _ -> false)
+              ||
+              match (ib.Affine.hi, ia.Affine.lo) with
+              | Some hb, Some la -> hb + wb <= la
+              | _ -> false
+            in
+            if not disjoint then begin
+              let ta, _ = Affine.split fa and tb, _ = Affine.split fb in
+              let pin_a = tid_pin a.ablock and pin_b = tid_pin b.ablock in
+              let same_pin = pin_a <> None && pin_a = pin_b in
+              if Affine.equal ta tb then
+                (* Identical lane dependence: the offset difference is
+                   lane-invariant. *)
+                match Affine.to_const (Affine.sub fa fb) with
+                | None -> maybe ("possible " ^ kind_word)
+                | Some d -> (
+                    match ta.Affine.terms with
+                    | [] ->
+                        (* Lane-uniform address: every executing lane
+                           collides, unless a tid pin serializes both
+                           sides down to the same single lane. *)
+                        if overlap d wa wb && not same_pin then
+                          definite (kind_word ^ " on a lane-uniform index")
+                    | [ ([ Affine.Tid _ ], s) ] ->
+                        if intra_block_hit s d wa wb then
+                          definite
+                            (kind_word ^ " between lanes of the same block")
+                        else if overlap d wa wb then (
+                          (* k = 0: equal threadIdx in different blocks;
+                             irrelevant for block-private memory. *)
+                          match a.aptr.root with
+                          | Rglobal { Ir.gspace = Types.AS_shared; _ } -> ()
+                          | _ ->
+                              maybe
+                                ("possible cross-block " ^ kind_word
+                               ^ " (lanes with equal threadIdx)"))
+                    | [ ([ Affine.Bid _ ], s) ] ->
+                        (* Block-uniform address: all lanes of one block
+                           collide unless pinned; distinct blocks only
+                           collide when s*k + d falls in the window. *)
+                        if overlap d wa wb && not same_pin then
+                          definite (kind_word ^ " on a block-uniform index")
+                        else if any_lane_hit s d wa wb then
+                          maybe ("possible cross-block " ^ kind_word)
+                    | _ -> (
+                        match Affine.shape_of ta with
+                        | Affine.Gid { stride = s; _ } ->
+                            if intra_block_hit s d wa wb then
+                              definite
+                                (kind_word
+                               ^ " between lanes with neighbouring global ids")
+                            else if any_lane_hit s d wa wb then
+                              maybe ("possible cross-block " ^ kind_word)
+                        | _ ->
+                            if d = 0 || any_lane_hit 1 d wa wb then
+                              maybe ("possible " ^ kind_word)))
+              else
+                (* Different lane dependence: only advisory. *)
+                maybe ("possible " ^ kind_word ^ " (index patterns differ)")
+            end
+        | _ -> maybe ("possible " ^ kind_word ^ " (non-affine index)")
+      end
+    done
+  done;
+  List.sort Finding.compare !findings
+
+(* ------------------------------------------------------------------ *)
+(* Module driver                                                       *)
+
+let analyze_module ?kernels (m : Ir.modul) : Finding.t list =
+  let m = normalize m in
+  let wanted (f : Ir.func) =
+    (not f.Ir.is_decl)
+    && f.Ir.blocks <> []
+    && f.Ir.kind = Ir.Kernel
+    && match kernels with None -> true | Some ks -> List.mem f.Ir.fname ks
+  in
+  m.Ir.funcs
+  |> List.filter wanted
+  |> List.concat_map (analyze_func m)
+  |> List.sort Finding.compare
+
+(* Analyze one function by name regardless of its [fkind]: the JIT
+   verify gate operates on extracted single-kernel modules whose
+   function kinds the bitcode round-trip may not preserve. *)
+let analyze_kernel (m : Ir.modul) (sym : string) : Finding.t list =
+  let m = normalize m in
+  match Ir.find_func_opt m sym with
+  | Some f when (not f.Ir.is_decl) && f.Ir.blocks <> [] -> analyze_func m f
+  | _ -> []
+
+(* Default reporting hides conservative Info verdicts. *)
+let reportable ?(all = false) findings =
+  if all then findings
+  else List.filter (fun f -> f.Finding.severity <> Finding.Info) findings
+
+let errors findings =
+  List.filter (fun fd -> fd.Finding.severity = Finding.Error) findings
+
+let has_errors findings = errors findings <> []

@@ -1,0 +1,166 @@
+(* IR-level divergence analysis, the reusable twin of
+   lib/backend/uniformity.ml (which classifies machine registers for
+   SALU/VALU selection). Same lattice and transfer rules — the test
+   suite cross-checks the two on every bundled kernel — but this one
+   additionally exposes the *divergent region*: the set of blocks
+   control-dependent on a thread-divergent branch, which is exactly
+   where a barrier must not appear.
+
+   Seeds: threadIdx queries, atomic results, per-thread stack
+   addresses, unknown call results, loads from divergent addresses.
+   Propagation: through data dependences, and through control
+   dependence (phis at joins below a divergent branch are divergent
+   even when all their inputs are uniform). *)
+
+open Proteus_support
+open Proteus_ir
+
+type t = {
+  divergent : bool array; (* per register *)
+  divergent_branch_blocks : Util.Sset.t; (* blocks ending in a divergent branch *)
+  divergent_region : Util.Sset.t; (* blocks control-dependent on one *)
+}
+
+let is_divergent t r = t.divergent.(r)
+let in_divergent_region t label = Util.Sset.mem label t.divergent_region
+
+(* Immediate postdominators by iterative dataflow on block label lists.
+   A virtual exit postdominates everything. *)
+let ipostdoms (labels : string list) (succs : string -> string list) :
+    string Util.Smap.t =
+  let exit_name = "<exit>" in
+  let all = labels in
+  let full = Util.Sset.of_list (exit_name :: all) in
+  let pdom = ref Util.Smap.empty in
+  List.iter
+    (fun l ->
+      let init = if succs l = [] then Util.Sset.of_list [ l; exit_name ] else full in
+      pdom := Util.Smap.add l init !pdom)
+    all;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        let ss = succs l in
+        let meet =
+          match ss with
+          | [] -> Util.Sset.singleton exit_name
+          | s :: rest ->
+              List.fold_left
+                (fun acc s' -> Util.Sset.inter acc (Util.Smap.find s' !pdom))
+                (Util.Smap.find s !pdom) rest
+        in
+        let nv = Util.Sset.add l meet in
+        if not (Util.Sset.equal nv (Util.Smap.find l !pdom)) then begin
+          pdom := Util.Smap.add l nv !pdom;
+          changed := true
+        end)
+      all
+  done;
+  List.fold_left
+    (fun acc l ->
+      let cands = Util.Sset.remove l (Util.Smap.find l !pdom) in
+      let ip =
+        Util.Sset.fold
+          (fun c best ->
+            match best with
+            | None -> Some c
+            | Some b ->
+                let cpd = try Util.Smap.find c !pdom with Not_found -> Util.Sset.empty in
+                if Util.Sset.mem b cpd && c <> b then Some c else best)
+          cands None
+      in
+      match ip with Some ip -> Util.Smap.add l ip acc | None -> acc)
+    Util.Smap.empty all
+
+(* Blocks control-dependent on a branch at [b]: walk each successor up
+   the postdominator chain until ipdom(b). *)
+let control_dependents (ipdom : string Util.Smap.t) (succs : string list) (b : string) :
+    Util.Sset.t =
+  let stop = Util.Smap.find_opt b ipdom in
+  let deps = ref Util.Sset.empty in
+  List.iter
+    (fun s ->
+      let rec walk n =
+        if Some n <> stop && n <> "<exit>" then begin
+          if not (Util.Sset.mem n !deps) then begin
+            deps := Util.Sset.add n !deps;
+            match Util.Smap.find_opt n ipdom with Some p when p <> n -> walk p | _ -> ()
+          end
+        end
+      in
+      walk s)
+    succs;
+  !deps
+
+let compute (f : Ir.func) : t =
+  let n = Ir.nregs f in
+  let divergent = Array.make n false in
+  let labels = List.map (fun (b : Ir.block) -> b.Ir.label) f.Ir.blocks in
+  let succs l = Ir.successors (Ir.find_block f l).Ir.term in
+  let ipdom = ipostdoms labels succs in
+  let div_op = function Ir.Reg r -> divergent.(r) | Ir.Imm _ | Ir.Glob _ -> false in
+  let div_blocks = ref Util.Sset.empty in
+  let region = ref Util.Sset.empty in
+  let tainted_blocks = ref Util.Sset.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let set d =
+      if not divergent.(d) then begin
+        divergent.(d) <- true;
+        changed := true
+      end
+    in
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iter
+          (fun i ->
+            match i with
+            | Ir.ICall (Some d, q, _) when Ir.Intrinsics.is_gpu_query q ->
+                (* thread ids are per-lane; block ids and dims are uniform *)
+                if
+                  q = Ir.Intrinsics.tid_x || q = Ir.Intrinsics.tid_y
+                  || q = Ir.Intrinsics.tid_z
+                then set d
+            | Ir.ICall (Some d, a, _) when Ir.Intrinsics.is_atomic a -> set d
+            | Ir.ICall (Some d, m, args) when Ir.Intrinsics.is_math m ->
+                if List.exists div_op args then set d
+            | Ir.ICall (Some d, _, _) -> set d (* unknown calls: conservative *)
+            | Ir.IAlloca (d, _, _) -> set d (* per-thread stack address *)
+            | Ir.ILoad (d, p) -> if div_op p then set d
+            | Ir.IBin (d, _, a, b') -> if div_op a || div_op b' then set d
+            | Ir.ICmp (d, _, a, b') -> if div_op a || div_op b' then set d
+            | Ir.ISelect (d, c, a, b') ->
+                if div_op c || div_op a || div_op b' then set d
+            | Ir.ICast (d, _, a) -> if div_op a then set d
+            | Ir.IGep (d, p, idx) -> if div_op p || div_op idx then set d
+            | Ir.IPhi (d, inc) ->
+                if List.exists (fun (_, v) -> div_op v) inc then set d;
+                if Util.Sset.mem b.Ir.label !tainted_blocks then set d
+            | Ir.IStore _ | Ir.ICall (None, _, _) -> ())
+          b.Ir.insts;
+        (* divergent branches taint their control-dependence region *)
+        match b.Ir.term with
+        | Ir.TCondBr (c, _, _) when div_op c ->
+            if not (Util.Sset.mem b.Ir.label !div_blocks) then begin
+              div_blocks := Util.Sset.add b.Ir.label !div_blocks;
+              let deps = control_dependents ipdom (succs b.Ir.label) b.Ir.label in
+              region := Util.Sset.union !region deps;
+              (* joins reachable from the divergent region get divergent phis *)
+              let joins = ref deps in
+              Util.Sset.iter
+                (fun l -> List.iter (fun s -> joins := Util.Sset.add s !joins) (succs l))
+                deps;
+              tainted_blocks := Util.Sset.union !tainted_blocks !joins;
+              changed := true
+            end
+        | _ -> ())
+      f.Ir.blocks
+  done;
+  {
+    divergent;
+    divergent_branch_blocks = !div_blocks;
+    divergent_region = !region;
+  }

@@ -33,15 +33,15 @@ let frontend_vendor = function
 (* AOT compilation: split compile, optionally run the Proteus plugin
    (device extraction before optimization; host rewriting), O3-optimize
    both sides, compile the device side with the vendor backend, embed. *)
-let compile ?(name = "app") ~(vendor : Device.vendor) ~(mode : mode) (source : string) :
-    exe =
+let compile ?(name = "app") ?(diagnostics = true) ?(werror = false)
+    ~(vendor : Device.vendor) ~(mode : mode) (source : string) : exe =
   let t0 = Unix.gettimeofday () in
   let u = Compile.compile ~name ~vendor:(frontend_vendor vendor) source in
   let device = u.Compile.device and host = u.Compile.host in
   let sections =
     match mode with
     | Proteus ->
-        let r = Plugin.run_device ~vendor device in
+        let r = Plugin.run_device ~diagnostics ~werror ~vendor device in
         Plugin.run_host ~vendor host;
         r.Plugin.dsections
     | Aot -> []

@@ -1,0 +1,179 @@
+(* The Kernel-C sources of the bundled examples, shared between the
+   example executables (examples/), the static-analysis suite and the
+   @analyze alias — so the programs users are pointed at first are the
+   same ones the analyzer gate keeps clean. *)
+
+type t = { name : string; source : string }
+
+let quickstart =
+  {
+    name = "quickstart";
+    source =
+      {|
+// daxpy: specialize on the scaling factor a (arg 1) and size n (arg 4)
+__global__ __attribute__((annotate("jit", 1, 4)))
+void daxpy(double a, double* x, double* y, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { y[i] = a * x[i] + y[i]; }
+}
+
+int main() {
+  int n = 4096;
+  long bytes = n * 8;
+  double* hx = (double*)malloc(bytes);
+  double* hy = (double*)malloc(bytes);
+  for (int i = 0; i < n; i++) { hx[i] = (double)i; hy[i] = 1.0; }
+  double* dx = (double*)cudaMalloc(bytes);
+  double* dy = (double*)cudaMalloc(bytes);
+  cudaMemcpyHtoD(dx, hx, bytes);
+  cudaMemcpyHtoD(dy, hy, bytes);
+  for (int rep = 0; rep < 10; rep++) {
+    daxpy<<<(n + 255) / 256, 256>>>(2.5, dx, dy, n);
+  }
+  cudaDeviceSynchronize();
+  cudaMemcpyDtoH(hy, dy, bytes);
+  double sum = 0.0;
+  for (int i = 0; i < n; i++) { sum = sum + hy[i]; }
+  printf("daxpy checksum=%g (expect %g)\n",
+         sum, (double)n + 25.0 * 0.5 * (double)n * (double)(n - 1));
+  return 0;
+}
+|};
+  }
+
+let adam_training =
+  {
+    name = "adam_training";
+    source =
+      {|
+__global__ __attribute__((annotate("jit", 5, 6, 7, 8, 9)))
+void adam_step(float* p, float* m, float* v, float* g,
+               float b1, float b2, float eps, float lr, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    float gi = g[i];
+    float mi = b1 * m[i] + (1.0f - b1) * gi;
+    float vi = b2 * v[i] + (1.0f - b2) * gi * gi;
+    p[i] = p[i] - lr * mi / (sqrtf(vi) + eps);
+    m[i] = mi;
+    v[i] = vi;
+  }
+}
+
+__global__
+void fake_grad(float* g, float* p, int n, int epoch) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    // gradient of a quadratic bowl, perturbed per epoch
+    g[i] = 2.0f * (p[i] - 0.5f) + 0.01f * (float)((i + epoch) % 7 - 3);
+  }
+}
+
+int main() {
+  int n = 8192;
+  long bytes = n * 4;
+  float* hp = (float*)malloc(bytes);
+  for (int i = 0; i < n; i++) { hp[i] = (float)(i % 100) * 0.01f; }
+  float* dp = (float*)cudaMalloc(bytes);
+  float* dm = (float*)cudaMalloc(bytes);
+  float* dv = (float*)cudaMalloc(bytes);
+  float* dg = (float*)cudaMalloc(bytes);
+  cudaMemcpyHtoD(dp, hp, bytes);
+  for (int epoch = 0; epoch < 30; epoch++) {
+    fake_grad<<<(n + 127) / 128, 128>>>(dg, dp, n, epoch);
+    adam_step<<<(n + 127) / 128, 128>>>(dp, dm, dv, dg,
+                                        0.9f, 0.999f, 1e-8f, 0.05f, n);
+  }
+  cudaDeviceSynchronize();
+  cudaMemcpyDtoH(hp, dp, bytes);
+  double dist = 0.0;
+  for (int i = 0; i < n; i++) {
+    double d = hp[i] - 0.5;
+    dist = dist + d * d;
+  }
+  printf("adam-training final distance=%g\n", dist / n);
+  return 0;
+}
+|};
+  }
+
+let heat_stencil =
+  {
+    name = "heat_stencil";
+    source =
+      {|
+__global__ __attribute__((annotate("jit", 4, 5, 6)))
+void heat(double* u0, double* u1, double* out, int n, int inner, double alpha) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i > 0 && i < n - 1) {
+    double left = u0[i - 1];
+    double mid = u0[i];
+    double right = u0[i + 1];
+    // micro-stepping: [inner] sub-steps per kernel launch
+    for (int s = 0; s < inner; s++) {
+      double lap = left - 2.0 * mid + right;
+      double next = mid + alpha * lap;
+      left = left + alpha * (mid - left) * 0.5;
+      right = right + alpha * (mid - right) * 0.5;
+      mid = next;
+    }
+    u1[i] = mid;
+    out[i] = mid;
+  }
+}
+
+int main() {
+  int n = 8192;
+  long bytes = n * 8;
+  double* h = (double*)malloc(bytes);
+  for (int i = 0; i < n; i++) {
+    h[i] = (i > n / 2 - 64 && i < n / 2 + 64) ? 100.0 : 0.0;
+  }
+  double* d0 = (double*)cudaMalloc(bytes);
+  double* d1 = (double*)cudaMalloc(bytes);
+  double* dout = (double*)cudaMalloc(bytes);
+  cudaMemcpyHtoD(d0, h, bytes);
+  for (int t = 0; t < 20; t++) {
+    heat<<<(n + 127) / 128, 128>>>(d0, d1, dout, n, 8, 0.1);
+    double* tmp = d0; d0 = d1; d1 = tmp;
+  }
+  cudaDeviceSynchronize();
+  cudaMemcpyDtoH(h, dout, bytes);
+  double total = 0.0;
+  for (int i = 0; i < n; i++) { total = total + h[i]; }
+  printf("heat total=%g\n", total);
+  return 0;
+}
+|};
+  }
+
+let montecarlo_pi =
+  {
+    name = "montecarlo_pi";
+    source =
+      {|
+__global__ __attribute__((annotate("jit", 2, 3)))
+void mc_pi(float* hits, int samples_per_thread, int seed) {
+  int gid = blockIdx.x * blockDim.x + threadIdx.x;
+  int rng = seed + gid * 2654435761;
+  int inside = 0;
+  for (int s = 0; s < samples_per_thread; s++) {
+    rng = rng * 1103515245 + 12345;
+    float x = (float)((rng >> 8) & 65535) / 65536.0f;
+    rng = rng * 1103515245 + 12345;
+    float y = (float)((rng >> 8) & 65535) / 65536.0f;
+    if (x * x + y * y < 1.0f) { inside = inside + 1; }
+  }
+  atomicAdd(hits, (float)inside);
+}
+|};
+  }
+
+let all = [ quickstart; adam_training; heat_stencil; montecarlo_pi ]
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some e -> e
+  | None ->
+      Proteus_support.Util.failf "unknown example %s (have: %s)" name
+        (String.concat ", " (List.map (fun e -> e.name) all))

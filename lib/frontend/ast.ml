@@ -89,6 +89,7 @@ type fundef = {
 
 type globdef = {
   gkind : funkind; (* Fdevice for __device__ globals, Fhost otherwise *)
+  gshared : bool; (* declared __shared__: one copy per thread block *)
   gcty : cty;
   gcname : string;
   gcinit : expr option;

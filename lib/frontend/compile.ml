@@ -11,20 +11,22 @@ type unit_ir = { host : Ir.modul; device : Ir.modul; source : string }
 let module_id ~name source =
   Printf.sprintf "%s-%s" name (Util.hash_hex source)
 
-let compile ?(name = "tu") ~(vendor : Lower.vendor) (source : string) : unit_ir =
+let compile ?(name = "tu") ?(debug = false) ~(vendor : Lower.vendor) (source : string) :
+    unit_ir =
   let prog = Parse.parse_program source in
   let mid = module_id ~name source in
-  let device = Lower.lower_device ~mid ~name prog in
-  let host = Lower.lower_host ~vendor ~mid ~name prog in
+  let device = Lower.lower_device ~debug ~mid ~name prog in
+  let host = Lower.lower_host ~debug ~vendor ~mid ~name prog in
   Verify.verify_module device;
   Verify.verify_module host;
   { host; device; source }
 
 (* Compile only the device side; used by the Jitify-like baseline, which
-   receives kernels as stringified source at runtime. *)
-let compile_device_only ?(name = "rtc") (source : string) : Ir.modul =
+   receives kernels as stringified source at runtime, and by the static
+   analyzer, which wants dbg.loc markers for finding provenance. *)
+let compile_device_only ?(name = "rtc") ?(debug = false) (source : string) : Ir.modul =
   let prog = Parse.parse_program source in
   let mid = module_id ~name source in
-  let device = Lower.lower_device ~mid ~name prog in
+  let device = Lower.lower_device ~debug ~mid ~name prog in
   Verify.verify_module device;
   device

@@ -82,6 +82,7 @@ type fsig = { sret : cty; sparams : cty list; skind : funkind }
 type genv = {
   vendor : vendor;
   side : funkind; (* Fglobal => device side, Fhost => host side *)
+  debug : bool; (* emit dbg.loc source markers for the analyses *)
   mutable funcs : fsig Util.Smap.t;
   mutable globals : (cty * funkind) Util.Smap.t;
   mutable kernels : fundef Util.Smap.t; (* by name; for launch checking *)
@@ -622,7 +623,20 @@ and lower_launch fe pos (l : launch) : Ir.operand * cty =
 (* ------------------------------------------------------------------ *)
 (* Statement lowering                                                  *)
 
+(* Source-location marker: a [dbg.loc(line, col)] pseudo-call preceding
+   the code lowered for each leaf statement. The analyses attribute
+   findings to the closest preceding marker in the same block; the
+   optimizer strips markers before any pass runs. *)
+let emit_loc fe (pos : pos) =
+  if fe.g.debug then
+    Builder.add_instr fe.b
+      (Ir.ICall
+         ( None,
+           Ir.Intrinsics.dbg_loc,
+           [ Ir.Imm (Konst.ki32 pos.line); Ir.Imm (Konst.ki32 pos.col) ] ))
+
 let rec lower_stmt fe (s : stmt) : unit =
+  (match s.sdesc with Sblock _ | Sseq _ -> () | _ -> emit_loc fe s.spos);
   match s.sdesc with
   | Sblock ss ->
       push_scope fe;
@@ -824,14 +838,15 @@ let annotations_of fd =
 
 (* Device-side lowering: kernels, device functions, device globals,
    jit annotations. *)
-let lower_device ~(mid : string) ~(name : string) (prog : program) : Ir.modul =
+let lower_device ?(debug = false) ~(mid : string) ~(name : string) (prog : program) :
+    Ir.modul =
   let modul =
     { Ir.mid; mname = name ^ ".dev"; mtarget = Ir.TDevice; globals = []; funcs = [];
       annotations = []; ctors = [] }
   in
   let sigs, kernels = collect_sigs prog in
   let g =
-    { vendor = Cuda; side = Fglobal; funcs = sigs; globals = collect_globals prog;
+    { vendor = Cuda; side = Fglobal; debug; funcs = sigs; globals = collect_globals prog;
       kernels; modul; strings = []; nstr = 0 }
   in
   List.iter
@@ -843,10 +858,11 @@ let lower_device ~(mid : string) ~(name : string) (prog : program) : Ir.modul =
             | None -> Ir.InitZero
             | Some e -> Ir.InitConsts [ const_eval_init e ]
           in
+          let space = if gd.gshared then Types.AS_shared else Types.AS_global in
           modul.Ir.globals <-
             modul.Ir.globals
             @ [
-                { Ir.gname = gd.gcname; gty = ir_ty gd.gcty; gspace = Types.AS_global;
+                { Ir.gname = gd.gcname; gty = ir_ty gd.gcty; gspace = space;
                   ginit = init; gconst = false; gextern = false };
               ]
       | Dglob _ -> ()
@@ -872,15 +888,15 @@ let lower_device ~(mid : string) ~(name : string) (prog : program) : Ir.modul =
 (* Host-side lowering: host functions, a stub per kernel calling
    cudaLaunchKernel/hipLaunchKernel, and a module constructor invoking
    the vendor registration API for stubs and device globals. *)
-let lower_host ~(vendor : vendor) ~(mid : string) ~(name : string) (prog : program) :
-    Ir.modul =
+let lower_host ?(debug = false) ~(vendor : vendor) ~(mid : string) ~(name : string)
+    (prog : program) : Ir.modul =
   let modul =
     { Ir.mid; mname = name ^ ".host"; mtarget = Ir.THost; globals = []; funcs = [];
       annotations = []; ctors = [] }
   in
   let sigs, kernels = collect_sigs prog in
   let g =
-    { vendor; side = Fhost; funcs = sigs; globals = collect_globals prog; kernels;
+    { vendor; side = Fhost; debug; funcs = sigs; globals = collect_globals prog; kernels;
       modul; strings = []; nstr = 0 }
   in
   let vname n = (match vendor with Cuda -> "cuda" | Hip -> "hip") ^ n in

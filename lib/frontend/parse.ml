@@ -429,13 +429,17 @@ let parse_attr p : attr option =
 let parse_decl p : decl =
   let fpos = pos_here p in
   let kind = ref Fhost in
+  let shared = ref false in
   let attrs = ref [] in
   let continue_ = ref true in
   while !continue_ do
     if accept_kw p "__global__" then kind := Fglobal
     else if accept_kw p "__device__" then kind := Fdevice
     else if accept_kw p "__host__" then ()
-    else if accept_kw p "__shared__" then kind := Fdevice
+    else if accept_kw p "__shared__" then begin
+      kind := Fdevice;
+      shared := true
+    end
     else if accept_kw p "extern" then ()
     else if accept_kw p "static" then ()
     else
@@ -516,7 +520,9 @@ let parse_decl p : decl =
     in
     let init = if accept_punct p "=" then Some (parse_expr p) else None in
     expect_punct p ";";
-    Dglob { gkind = !kind; gcty = ty; gcname = name; gcinit = init; gpos = fpos }
+    Dglob
+      { gkind = !kind; gshared = !shared; gcty = ty; gcname = name; gcinit = init;
+        gpos = fpos }
   end
 
 let parse_program (src : string) : program =

@@ -66,6 +66,7 @@ let rec call_function env (m : Ir.modul) (f : Ir.func) (args : Konst.t list) :
         | [ p; v ] -> Some (env.atomic callee (Konst.as_int p) v)
         | _ -> Util.failf "Interp: atomic arity"
       else if callee = Ir.Intrinsics.barrier then None
+      else if callee = Ir.Intrinsics.dbg_loc then None
       else
         match Ir.find_func_opt m callee with
         | Some g when not g.is_decl -> call_function env m g vals

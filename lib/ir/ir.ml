@@ -272,6 +272,12 @@ module Intrinsics = struct
   let nctaid_y = "gpu.nctaid.y"
   let nctaid_z = "gpu.nctaid.z"
   let barrier = "gpu.barrier"
+
+  (* Source-location marker: [call void @dbg.loc(line, col)]. Emitted by
+     the frontend under [~debug:true], consumed by the static analyses
+     for finding provenance, stripped at the head of the optimization
+     pipeline, and a no-op everywhere else. *)
+  let dbg_loc = "dbg.loc"
   let atomic_add_f32 = "gpu.atomic.add.f32"
   let atomic_add_f64 = "gpu.atomic.add.f64"
   let atomic_add_i32 = "gpu.atomic.add.i32"
@@ -290,7 +296,8 @@ module Intrinsics = struct
 
   let is_math n = List.mem n math_unary || List.mem n math_binary || List.mem n math_ternary
   let is_atomic n = List.mem n [ atomic_add_f32; atomic_add_f64; atomic_add_i32 ]
-  let is_intrinsic n = is_gpu_query n || is_math n || is_atomic n || n = barrier
+  let is_intrinsic n =
+    is_gpu_query n || is_math n || is_atomic n || n = barrier || n = dbg_loc
 
   let eval_math_unary n x =
     match n with

@@ -116,6 +116,98 @@ let verify_func (m : Ir.modul) (f : Ir.func) =
           expect_ty b.label f.ret (oty v)
       | Ir.TUnreachable -> ()))
     f.blocks;
+  (* SSA structure over the reachable CFG: phi incoming edges must match
+     the actual predecessors one-for-one, and every use must be
+     dominated by its definition. These are exactly the invariants a
+     buggy specializer or optimizer breaks first, so the JIT verify
+     gate leans on them. Skipped when labels are broken (no sane CFG)
+     and for unreachable blocks (dominance is undefined there). *)
+  if
+    (not f.is_decl)
+    && f.blocks <> []
+    && Util.Sset.cardinal label_set = List.length labels
+  then begin
+    let cfg = Cfg.build f in
+    let live = Cfg.reachable cfg in
+    let dom = Dom.compute cfg in
+    let entry_label = (Ir.entry f).Ir.label in
+    (* First definition site of each register: (block, instruction
+       index); parameters are defined "before" the entry block. *)
+    let def_site = Hashtbl.create 64 in
+    List.iter (fun (_, r) -> Hashtbl.replace def_site r (entry_label, -1)) f.params;
+    List.iter
+      (fun (b : Ir.block) ->
+        List.iteri
+          (fun k i ->
+            match Ir.def_of i with
+            | Some d when not (Hashtbl.mem def_site d) ->
+                Hashtbl.replace def_site d (b.label, k)
+            | _ -> ())
+          b.insts)
+      f.blocks;
+    let dominates_use ~use_block ~use_idx r =
+      match Hashtbl.find_opt def_site r with
+      | None -> true (* undefined: already reported above *)
+      | Some (db, dk) ->
+          if db = use_block then dk < use_idx else Dom.dominates dom db use_block
+    in
+    let check_dominance b k where i =
+      List.iter
+        (fun o ->
+          match o with
+          | Ir.Reg r when not (dominates_use ~use_block:b ~use_idx:k r) ->
+              err "%s: use of r%d is not dominated by its definition" where r
+          | _ -> ())
+        (match i with `Instr i -> Ir.operands_of i | `Term t -> Ir.term_operands t)
+    in
+    List.iter
+      (fun (b : Ir.block) ->
+        if Util.Sset.mem b.label live then begin
+          let preds =
+            List.filter (fun p -> Util.Sset.mem p live) (Cfg.preds cfg b.label)
+          in
+          let pred_set = Util.Sset.of_list preds in
+          List.iteri
+            (fun k i ->
+              match i with
+              | Ir.IPhi (_, incoming) ->
+                  let inc_labels = List.map fst incoming in
+                  let inc_set = Util.Sset.of_list inc_labels in
+                  if Util.Sset.cardinal inc_set <> List.length inc_labels then
+                    err "%s: phi has duplicate incoming labels" b.label;
+                  Util.Sset.iter
+                    (fun l ->
+                      if not (Util.Sset.mem l pred_set) then
+                        err "%s: phi incoming from non-predecessor %%%s" b.label l)
+                    inc_set;
+                  Util.Sset.iter
+                    (fun p ->
+                      if not (Util.Sset.mem p inc_set) then
+                        err "%s: phi is missing an incoming value for predecessor %%%s"
+                          b.label p)
+                    pred_set;
+                  (* A phi value must be available at the end of its
+                     incoming edge, not at the phi itself. *)
+                  List.iter
+                    (fun (l, v) ->
+                      match v with
+                      | Ir.Reg r
+                        when Util.Sset.mem l pred_set
+                             && not
+                                  (dominates_use ~use_block:l
+                                     ~use_idx:max_int r) ->
+                          err
+                            "%s: phi value r%d does not dominate incoming edge \
+                             from %%%s"
+                            b.label r l
+                      | _ -> ())
+                    incoming
+              | _ -> check_dominance b.label k b.label (`Instr i))
+            b.insts;
+          check_dominance b.label (List.length b.insts) b.label (`Term b.term)
+        end)
+      f.blocks
+  end;
   !errs
 
 let verify_module (m : Ir.modul) =

@@ -23,10 +23,28 @@ let o3 : Pass.t list =
     Simplifycfg.pass;
   ]
 
+(* dbg.loc source markers are analysis metadata, not semantics: drop
+   them before any pass runs so debug and release compilations optimize
+   identically. *)
+let strip_debug (m : Ir.modul) : unit =
+  List.iter
+    (fun (f : Ir.func) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          b.Ir.insts <-
+            List.filter
+              (function
+                | Ir.ICall (None, callee, _) -> callee <> Ir.Intrinsics.dbg_loc
+                | _ -> true)
+              b.Ir.insts)
+        f.Ir.blocks)
+    m.Ir.funcs
+
 (* Run a pipeline over a module; returns accumulated work units (an
    input to the JIT compile-time cost model). *)
 let run ?(passes = o3) (m : Ir.modul) : Pass.stats =
   let stats = Pass.mk_stats () in
+  strip_debug m;
   Pass.run_pipeline stats passes m;
   Verify.verify_module m;
   m.Ir.funcs <- List.map (fun f -> f) m.Ir.funcs;

@@ -16,11 +16,24 @@ type t = {
   quarantine_backoff : int;
       (* launches a quarantined kernel skips JIT before one retry is
          allowed (doubling on repeated failure); 0 = quarantine forever *)
+  verify_jit : bool;
+      (* PROTEUS_VERIFY: re-run the IR verifier + KernelSan on
+         post-specialize and post-O3 IR; a violation becomes a counted
+         AOT fallback instead of reaching codegen *)
 }
 
 let env_int name default =
   match Sys.getenv_opt name with
   | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 0 -> n | _ -> default)
+  | None -> default
+
+let env_bool name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "1" | "true" | "yes" | "on" -> true
+      | "0" | "false" | "no" | "off" | "" -> false
+      | _ -> default)
   | None -> default
 
 let default =
@@ -32,6 +45,7 @@ let default =
     fault_plan = [];
     quarantine_threshold = env_int "PROTEUS_QUARANTINE_THRESHOLD" 3;
     quarantine_backoff = env_int "PROTEUS_QUARANTINE_BACKOFF" 16;
+    verify_jit = env_bool "PROTEUS_VERIFY" false;
   }
 
 (* Paper mode names *)

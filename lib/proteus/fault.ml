@@ -13,19 +13,26 @@ type point =
   | Fetch_bitcode
   | Decode
   | Specialize
+  | Specialize_corrupt
+      (* non-raising: silently corrupts the specialized IR in place, the
+         breakage the verify gate exists to catch *)
   | Optimize
+  | Verify (* the PROTEUS_VERIFY gate (IR verifier + KernelSan) *)
   | Codegen
   | Cache_read
   | Cache_write
 
 let all_points =
-  [ Fetch_bitcode; Decode; Specialize; Optimize; Codegen; Cache_read; Cache_write ]
+  [ Fetch_bitcode; Decode; Specialize; Specialize_corrupt; Optimize; Verify;
+    Codegen; Cache_read; Cache_write ]
 
 let point_name = function
   | Fetch_bitcode -> "fetch-bitcode"
   | Decode -> "decode"
   | Specialize -> "specialize"
+  | Specialize_corrupt -> "specialize-corrupt"
   | Optimize -> "optimize"
+  | Verify -> "verify"
   | Codegen -> "codegen"
   | Cache_read -> "cache-read"
   | Cache_write -> "cache-write"
@@ -35,7 +42,9 @@ let point_env_suffix = function
   | Fetch_bitcode -> "FETCH_BITCODE"
   | Decode -> "DECODE"
   | Specialize -> "SPECIALIZE"
+  | Specialize_corrupt -> "SPECIALIZE_CORRUPT"
   | Optimize -> "OPTIMIZE"
+  | Verify -> "VERIFY"
   | Codegen -> "CODEGEN"
   | Cache_read -> "CACHE_READ"
   | Cache_write -> "CACHE_WRITE"
@@ -139,10 +148,7 @@ let plan_of_string (s : string) : (plan, string) result =
   in
   go [] specs
 
-(* The instrumented stage entry: count the call and raise [Injected]
-   if the point's trigger fires on this call. *)
-let hit (t : t) (p : point) : unit =
-  let s = slot t p in
+let eval_trigger (s : slot) =
   s.calls <- s.calls + 1;
   let fire =
     match s.trig with
@@ -151,10 +157,18 @@ let hit (t : t) (p : point) : unit =
     | Nth n -> s.calls = n
     | Every k -> s.calls mod k = 0
   in
-  if fire then begin
-    s.injected <- s.injected + 1;
-    raise (Injected p)
-  end
+  if fire then s.injected <- s.injected + 1;
+  fire
+
+(* The instrumented stage entry: count the call and raise [Injected]
+   if the point's trigger fires on this call. *)
+let hit (t : t) (p : point) : unit =
+  if eval_trigger (slot t p) then raise (Injected p)
+
+(* Non-raising variant for points whose fault is a silent corruption
+   rather than an exception (e.g. [Specialize_corrupt]): reports
+   whether this call fires and leaves acting on it to the caller. *)
+let fires (t : t) (p : point) : bool = eval_trigger (slot t p)
 
 let calls t p = (slot t p).calls
 let injected t p = (slot t p).injected

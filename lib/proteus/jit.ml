@@ -117,6 +117,59 @@ let resolve_global (t : t) (name : string) : int64 =
   | Some a -> a
   | None -> Util.failf "Proteus: cannot resolve device global %s" name
 
+(* Deterministically corrupt the specialized kernel IR in place: the
+   payload of [Fault.Specialize_corrupt]. Drops a phi incoming edge
+   when one exists, else inserts a use of an undefined register — both
+   are exactly the structural breakages the hardened verifier detects. *)
+let corrupt_ir (m : Ir.modul) ~(sym : string) : unit =
+  match Ir.find_func_opt m sym with
+  | None -> ()
+  | Some f -> (
+      let dropped = ref false in
+      List.iter
+        (fun (b : Ir.block) ->
+          if not !dropped then
+            b.Ir.insts <-
+              List.map
+                (fun i ->
+                  match i with
+                  | Ir.IPhi (d, (_ :: _ :: _ as inc)) when not !dropped ->
+                      dropped := true;
+                      Ir.IPhi (d, List.tl inc)
+                  | i -> i)
+                b.Ir.insts)
+        f.Ir.blocks;
+      if not !dropped then
+        match f.Ir.blocks with
+        | entry :: _ ->
+            let undef = Ir.fresh_reg f (Types.TInt 32) in
+            let dst = Ir.fresh_reg f (Types.TInt 32) in
+            entry.Ir.insts <-
+              entry.Ir.insts
+              @ [ Ir.IBin (dst, Ops.Add, Ir.Reg undef, Ir.Imm (Konst.ki32 0)) ]
+        | [] -> ())
+
+(* The PROTEUS_VERIFY gate: structural IR verification plus KernelSan
+   error-level findings on the kernel being compiled. Any violation
+   raises inside [in_stage t Fault.Verify], so the launch-level handler
+   turns it into a contained AOT fallback and counts it in
+   [Stats.verify_rejections]. *)
+let verify_ir (t : t) (m : Ir.modul) ~(sym : string) : unit =
+  in_stage t Fault.Verify @@ fun () ->
+  Verify.verify_module m;
+  let findings = Proteus_analysis.Kernelsan.analyze_kernel m sym in
+  (match Proteus_analysis.Kernelsan.errors findings with
+  | [] -> ()
+  | fd :: _ ->
+      Util.failf "Proteus: KernelSan rejected %s: %s" sym
+        (Proteus_analysis.Finding.to_string fd));
+  (* one extra IR traversal, priced like an optimizer sweep *)
+  let n = ref 0 in
+  List.iter
+    (fun (f : Ir.func) -> Ir.iter_instrs f (fun _ -> incr n))
+    m.Ir.funcs;
+  charge t (float_of_int !n *. t.rt.Gpurt.cost.Costmodel.opt_per_work_s)
+
 (* Compile one kernel specialization to a loadable object. *)
 let compile_specialization (t : t) ~(bitcode : string) ~(sym : string)
     ~(spec_values : (int * Konst.t) list) ~(block : int) : Mach.obj =
@@ -133,11 +186,16 @@ let compile_specialization (t : t) ~(bitcode : string) ~(sym : string)
   in_stage t Fault.Specialize (fun () ->
       Specialize.apply t.config m ~kernel:sym ~spec_values ~block
         ~resolve_global:(resolve_global t));
+  (* silent-corruption fault: damages the IR without raising, so only
+     the verify gate stands between it and codegen *)
+  if Fault.fires t.faults Fault.Specialize_corrupt then corrupt_ir m ~sym;
+  if t.config.Config.verify_jit then verify_ir t m ~sym;
   (* O3 pipeline *)
   in_stage t Fault.Optimize (fun () ->
       let pstats = Proteus_opt.Pipeline.optimize_o3 m in
       t.stats.Stats.compile_work <- t.stats.Stats.compile_work + pstats.Proteus_opt.Pass.work;
       charge t (float_of_int pstats.Proteus_opt.Pass.work *. cost.Costmodel.opt_per_work_s));
+  if t.config.Config.verify_jit then verify_ir t m ~sym;
   (* backend code generation *)
   let obj =
     in_stage t Fault.Codegen @@ fun () ->
@@ -297,6 +355,10 @@ let launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : int)
           | Stage_failure (p, _) -> Fault.point_name p
           | _ -> "launch" (* escaped outside any instrumented stage *)
         in
+        (match e with
+        | Stage_failure (Fault.Verify, _) ->
+            t.stats.Stats.verify_rejections <- t.stats.Stats.verify_rejections + 1
+        | _ -> ());
         t.stats.Stats.fallbacks <- t.stats.Stats.fallbacks + 1;
         Stats.record_failure t.stats stage_name;
         t.stats.Stats.cache_corruptions <- t.cache.Cachestore.corruptions;

@@ -19,9 +19,33 @@ type device_result = {
   extracted : (string * string) list; (* kernel sym -> bitcode *)
 }
 
+exception Werror of string
+
+(* AOT-time KernelSan diagnostics over the whole device module:
+   warn-by-default on stderr; [werror] escalates any Warning/Error
+   finding into a compilation failure. Runs on a normalized clone, so
+   the module the plugin goes on to extract is untouched. *)
+let diagnose ?(werror = false) ?(out = stderr) (m : Ir.modul) : unit =
+  let findings =
+    Proteus_analysis.Kernelsan.reportable
+      (Proteus_analysis.Kernelsan.analyze_module m)
+  in
+  List.iter
+    (fun fd ->
+      Printf.fprintf out "proteus: %s\n"
+        (Proteus_analysis.Finding.to_string ~file:m.Ir.mname fd))
+    findings;
+  if werror && findings <> [] then
+    raise
+      (Werror
+         (Printf.sprintf "%d KernelSan finding(s) promoted to errors (--werror)"
+            (List.length findings)))
+
 (* Device-mode pass. [vendor] decides the embedding strategy. Must run
    BEFORE AOT optimization: the paper extracts unoptimized IR. *)
-let run_device ~(vendor : Proteus_gpu.Device.vendor) (m : Ir.modul) : device_result =
+let run_device ?(diagnostics = true) ?(werror = false)
+    ~(vendor : Proteus_gpu.Device.vendor) (m : Ir.modul) : device_result =
+  if diagnostics then diagnose ~werror m;
   let annots = Annotate.jit_annotations m in
   let extracted =
     List.map (fun (a : Annotate.jit_annotation) ->

@@ -21,6 +21,9 @@ type t = {
   mutable quarantine_retries : int; (* JIT retries after a quarantine backoff expired *)
   mutable cache_corruptions : int; (* corrupt/truncated persistent entries discarded *)
   mutable host_hook_errors : int; (* malformed launch calls / unregistered stubs *)
+  mutable verify_rejections : int;
+      (* launches the PROTEUS_VERIFY gate sent to the AOT kernel because
+         post-specialize/post-O3 IR failed verification or KernelSan *)
 }
 
 let create () =
@@ -29,7 +32,7 @@ let create () =
     compile_work = 0; bitcode_bytes = 0; object_bytes = 0; real_compile_s = 0.0;
     fallbacks = 0; failures_by_stage = Hashtbl.create 8; quarantine_events = 0;
     quarantined_launches = 0; quarantine_retries = 0; cache_corruptions = 0;
-    host_hook_errors = 0;
+    host_hook_errors = 0; verify_rejections = 0;
   }
 
 let record_failure t stage =
@@ -51,13 +54,15 @@ let to_string s =
   in
   if failures_total s = 0 && s.fallbacks = 0 && s.cache_corruptions = 0
      && s.host_hook_errors = 0 && s.quarantined_launches = 0
+     && s.verify_rejections = 0
   then base
   else
     Printf.sprintf
       "%s fallbacks=%d failures=[%s] quarantine-events=%d quarantined-launches=%d \
-       quarantine-retries=%d cache-corruptions=%d host-hook-errors=%d"
+       quarantine-retries=%d cache-corruptions=%d host-hook-errors=%d \
+       verify-rejections=%d"
       base s.fallbacks
       (String.concat ","
          (List.map (fun (st, n) -> Printf.sprintf "%s:%d" st n) (stage_failures s)))
       s.quarantine_events s.quarantined_launches s.quarantine_retries s.cache_corruptions
-      s.host_hook_errors
+      s.host_hook_errors s.verify_rejections

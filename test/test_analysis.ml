@@ -1,0 +1,329 @@
+(* KernelSan tests: the bundled programs analyze clean; broken fixtures
+   produce exactly the expected findings with source locations; the
+   analysis-side uniformity agrees with the backend's; the hardened IR
+   verifier rejects corrupted modules; O3 on clean code stays clean
+   (property); and the JIT verify gate turns injected IR corruption
+   into counted AOT fallbacks. *)
+
+open Proteus_ir
+open Proteus_gpu
+open Proteus_core
+open Proteus_driver
+open Proteus_analysis
+
+let check = Alcotest.check
+
+let compile name src =
+  Proteus_frontend.Compile.compile_device_only ~name ~debug:true src
+
+let bundled : (string * string) list =
+  List.map
+    (fun (a : Proteus_hecbench.App.t) ->
+      (a.Proteus_hecbench.App.name, a.Proteus_hecbench.App.source))
+    Proteus_hecbench.Suite.apps
+  @ List.map
+      (fun (e : Proteus_examples.Sources.t) ->
+        (e.Proteus_examples.Sources.name, e.Proteus_examples.Sources.source))
+      Proteus_examples.Sources.all
+
+(* ---- clean suite: no reportable findings on any bundled program ---- *)
+
+let test_bundled_clean () =
+  List.iter
+    (fun (name, src) ->
+      let findings = Kernelsan.reportable (Kernelsan.analyze_module (compile name src)) in
+      check Alcotest.int
+        (Printf.sprintf "%s reportable findings" name)
+        0 (List.length findings))
+    bundled
+
+(* ---- broken fixtures: exact expected findings with locations ---- *)
+
+let divergent_barrier_src =
+  {|
+__global__ void k(float *out) {
+  int tid = threadIdx.x;
+  if (tid < 16) {
+    __syncthreads();
+  }
+  out[tid] = 1.0f;
+}
+|}
+
+let race_src =
+  {|
+__shared__ int buf[256];
+__global__ void k(int *out) {
+  int tid = threadIdx.x;
+  buf[tid] = tid;
+  out[tid] = buf[tid + 1];
+}
+|}
+
+let race_fixed_src =
+  {|
+__shared__ int buf[256];
+__global__ void k(int *out) {
+  int tid = threadIdx.x;
+  buf[tid] = tid;
+  __syncthreads();
+  out[tid] = buf[tid + 1];
+}
+|}
+
+let oob_src =
+  {|
+__shared__ float s[64];
+__global__ void __launch_bounds__(64) k(float *out) {
+  int tid = threadIdx.x;
+  s[tid + 64] = 1.0f;
+  __syncthreads();
+  out[tid] = s[tid];
+}
+|}
+
+let errors_of src = Kernelsan.errors (Kernelsan.analyze_module (compile "fixture" src))
+
+let expect_single_error src kind loc msg_frag =
+  match errors_of src with
+  | [ fd ] ->
+      check Alcotest.string "kind" (Finding.kind_to_string kind)
+        (Finding.kind_to_string fd.Finding.kind);
+      check Alcotest.(pair int int) "location" loc
+        (match fd.Finding.loc with Some l -> l | None -> (0, 0));
+      Alcotest.(check bool)
+        (Printf.sprintf "message mentions %S (got %S)" msg_frag fd.Finding.message)
+        true
+        (let re = Str.regexp_string msg_frag in
+         try
+           ignore (Str.search_forward re fd.Finding.message 0);
+           true
+         with Not_found -> false)
+  | l -> Alcotest.fail (Printf.sprintf "expected exactly 1 error, got %d" (List.length l))
+
+let test_divergent_barrier () =
+  expect_single_error divergent_barrier_src Finding.Barrier_divergence (5, 5)
+    "barrier under thread-divergent control flow"
+
+let test_race () =
+  expect_single_error race_src Finding.Shared_race (5, 12)
+    "read-write race between lanes of the same block on @buf"
+
+let test_race_fixed_by_barrier () =
+  check Alcotest.int "barrier fixes the race" 0 (List.length (errors_of race_fixed_src))
+
+let test_out_of_bounds () =
+  expect_single_error oob_src Finding.Out_of_bounds (5, 15)
+    "index tid.0 + 64 is always out of bounds for @s (64 elements)"
+
+(* conservative "maybe" verdicts are demoted to info, not hidden *)
+let test_info_findings_under_all () =
+  let findings = Kernelsan.analyze_module (compile "fixture" race_fixed_src) in
+  check Alcotest.int "hidden by default" 0
+    (List.length (Kernelsan.reportable findings));
+  Alcotest.(check bool) "visible under --all" true
+    (Kernelsan.reportable ~all:true findings <> [])
+
+(* ---- uniformity: the analysis-side dataflow agrees with the backend
+   codegen's divergence analysis on every bundled kernel ---- *)
+
+let test_uniformity_cross_check () =
+  List.iter
+    (fun (name, src) ->
+      let m = Kernelsan.normalize (compile name src) in
+      List.iter
+        (fun (f : Ir.func) ->
+          if f.Ir.blocks <> [] then begin
+            let backend = Proteus_backend.Uniformity.compute f in
+            let analysis = Uniformity.compute f in
+            for r = 0 to Ir.nregs f - 1 do
+              check Alcotest.bool
+                (Printf.sprintf "%s/%s r%d" name f.Ir.fname r)
+                (Proteus_backend.Uniformity.is_divergent backend r)
+                (Uniformity.is_divergent analysis r)
+            done
+          end)
+        m.Ir.funcs)
+    bundled
+
+(* ---- hardened IR verifier: corrupted modules are rejected ---- *)
+
+let assert_invalid what m =
+  match Verify.verify_module m with
+  | () -> Alcotest.fail (what ^ ": verifier accepted a corrupt module")
+  | exception Verify.Invalid _ -> ()
+
+let test_verify_rejects_undef_use () =
+  (* unoptimized module has no phis, so corrupt_ir injects a use of an
+     undefined register into the entry block *)
+  let m = compile "corrupt" race_fixed_src in
+  Verify.verify_module m;
+  Jit.corrupt_ir m ~sym:"k";
+  assert_invalid "undef use" m
+
+let test_verify_rejects_phi_arity () =
+  (* normalized module has phis (mem2reg); corrupt_ir drops an incoming
+     edge, which the phi-arity check must catch *)
+  let m = Kernelsan.normalize (compile "heat" (List.assoc "heat_stencil" bundled)) in
+  Verify.verify_module m;
+  let sym =
+    match
+      List.find_opt
+        (fun (f : Ir.func) ->
+          List.exists
+            (fun (b : Ir.block) ->
+              List.exists
+                (function Ir.IPhi (_, _ :: _ :: _) -> true | _ -> false)
+                b.Ir.insts)
+            f.Ir.blocks)
+        m.Ir.funcs
+    with
+    | Some f -> f.Ir.fname
+    | None -> Alcotest.fail "no phi-bearing function in normalized module"
+  in
+  Jit.corrupt_ir m ~sym;
+  assert_invalid "phi arity" m
+
+let test_verify_rejects_nondominating_def () =
+  (* hand-built: %r defined in one arm of a diamond, used in the join *)
+  let m = Kernelsan.normalize (compile "dom" divergent_barrier_src) in
+  let f = Ir.find_func m "k" in
+  (match f.Ir.blocks with
+  | b_entry :: b_mid :: _ ->
+      let r = Ir.fresh_reg f (Types.TInt 32) in
+      b_mid.Ir.insts <-
+        b_mid.Ir.insts @ [ Ir.IBin (r, Ops.Add, Ir.Imm (Konst.ki32 1), Ir.Imm (Konst.ki32 2)) ];
+      let dst = Ir.fresh_reg f (Types.TInt 32) in
+      b_entry.Ir.insts <-
+        b_entry.Ir.insts @ [ Ir.IBin (dst, Ops.Add, Ir.Reg r, Ir.Imm (Konst.ki32 0)) ]
+  | _ -> Alcotest.fail "expected >= 2 blocks");
+  assert_invalid "non-dominating def" m
+
+(* ---- property: O3 on a clean module stays clean ---- *)
+
+let prop_o3_stays_clean =
+  QCheck.Test.make ~count:30 ~name:"O3 on clean bundled kernels stays clean"
+    QCheck.(int_range 0 (List.length bundled - 1))
+    (fun i ->
+      let name, src = List.nth bundled i in
+      let m = compile name src in
+      ignore (Proteus_opt.Pipeline.optimize_o3 m);
+      Kernelsan.reportable (Kernelsan.analyze_module m) = [])
+
+(* ---- JIT verify gate end to end ---- *)
+
+let daxpy_src =
+  {|
+__global__ __attribute__((annotate("jit", 1, 4)))
+void daxpy(double a, double* x, double* y, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) { y[i] = a * x[i] + y[i]; }
+}
+int main() {
+  int n = 256;
+  long bytes = n * 8;
+  double* hx = (double*)malloc(bytes);
+  double* hy = (double*)malloc(bytes);
+  for (int i = 0; i < n; i++) { hx[i] = (double)i; hy[i] = 1.0; }
+  double* dx = (double*)cudaMalloc(bytes);
+  double* dy = (double*)cudaMalloc(bytes);
+  cudaMemcpyHtoD(dx, hx, bytes);
+  cudaMemcpyHtoD(dy, hy, bytes);
+  for (int r = 0; r < 6; r++) { daxpy<<<(n + 63) / 64, 64>>>(3.0, dx, dy, n); }
+  cudaDeviceSynchronize();
+  cudaMemcpyDtoH(hy, dy, bytes);
+  double s = 0.0;
+  for (int i = 0; i < n; i++) s += hy[i];
+  printf("sum=%g\n", s);
+  return 0;
+}
+|}
+
+let aot_output = "sum=587776\n"
+
+let run_daxpy config =
+  let exe = Driver.compile ~name:"verify-gate" ~vendor:Device.Amd ~mode:Driver.Proteus daxpy_src in
+  Driver.run ~config exe
+
+let jit_stats r =
+  match r.Driver.jit with Some s -> s | None -> Alcotest.fail "no jit stats"
+
+let test_verify_gate_clean_passthrough () =
+  (* gate on, no faults: kernels verify, compile, and run as usual *)
+  let r = run_daxpy { Config.default with Config.verify_jit = true } in
+  check Alcotest.string "output" aot_output r.Driver.output;
+  let s = jit_stats r in
+  check Alcotest.int "no rejections" 0 s.Stats.verify_rejections;
+  check Alcotest.int "no fallbacks" 0 s.Stats.fallbacks;
+  check Alcotest.int "compiled once" 1 s.Stats.compiles
+
+let test_verify_gate_rejects_corruption () =
+  (* gate on + silent specializer corruption: every launch falls back
+     to the AOT kernel and the rejections are counted *)
+  let config =
+    {
+      Config.default with
+      Config.verify_jit = true;
+      fault_plan = [ (Fault.Specialize_corrupt, Fault.Always) ];
+    }
+  in
+  let r = run_daxpy config in
+  check Alcotest.string "AOT-identical output" aot_output r.Driver.output;
+  let s = jit_stats r in
+  Alcotest.(check bool) "rejections counted" true (s.Stats.verify_rejections >= 1);
+  Alcotest.(check bool) "fallbacks recorded" true (s.Stats.fallbacks >= 1);
+  check Alcotest.int "all launches contained" s.Stats.jit_launches
+    (s.Stats.fallbacks + s.Stats.quarantined_launches)
+
+let test_verify_gate_off_by_default () =
+  check Alcotest.bool "off by default" false Config.default.Config.verify_jit;
+  (* PROTEUS_VERIFY parsing *)
+  List.iter
+    (fun (v, expected) ->
+      Unix.putenv "PROTEUS_VERIFY_TEST" v;
+      check Alcotest.bool v expected (Config.env_bool "PROTEUS_VERIFY_TEST" false))
+    [ ("1", true); ("true", true); ("ON", true); ("0", false); ("no", false); ("", false) ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "bundled HeCBench + examples are clean" `Quick
+            test_bundled_clean;
+        ] );
+      ( "fixtures",
+        [
+          Alcotest.test_case "divergent barrier" `Quick test_divergent_barrier;
+          Alcotest.test_case "intra-phase shared race" `Quick test_race;
+          Alcotest.test_case "barrier fixes the race" `Quick test_race_fixed_by_barrier;
+          Alcotest.test_case "out-of-bounds shared access" `Quick test_out_of_bounds;
+          Alcotest.test_case "info verdicts only under --all" `Quick
+            test_info_findings_under_all;
+        ] );
+      ( "uniformity",
+        [
+          Alcotest.test_case "analysis agrees with backend codegen" `Quick
+            test_uniformity_cross_check;
+        ] );
+      ( "verifier",
+        [
+          Alcotest.test_case "rejects use of undefined register" `Quick
+            test_verify_rejects_undef_use;
+          Alcotest.test_case "rejects phi arity mismatch" `Quick
+            test_verify_rejects_phi_arity;
+          Alcotest.test_case "rejects non-dominating definition" `Quick
+            test_verify_rejects_nondominating_def;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_o3_stays_clean ] );
+      ( "verify-gate",
+        [
+          Alcotest.test_case "clean kernels pass through" `Quick
+            test_verify_gate_clean_passthrough;
+          Alcotest.test_case "corruption rejected, AOT fallback" `Quick
+            test_verify_gate_rejects_corruption;
+          Alcotest.test_case "gate off by default, env parsing" `Quick
+            test_verify_gate_off_by_default;
+        ] );
+    ]

@@ -143,17 +143,34 @@ let test_env_plan () =
 (* ---- per-stage containment: every injection point falls back to the
    AOT kernel with identical output ---- *)
 
+(* The verify point only exists when the JIT verify gate is on, and
+   specialize-corrupt is a silent IR corruption that the gate (not the
+   injection site) detects - so its failures land on the verify stage. *)
+let fault_config point =
+  let base = { Config.default with Config.fault_plan = [ (point, Fault.Always) ] } in
+  match point with
+  | Fault.Verify | Fault.Specialize_corrupt -> { base with Config.verify_jit = true }
+  | _ -> base
+
+let failure_stage_of_point = function
+  | Fault.Specialize_corrupt -> "verify"
+  | p -> Fault.point_name p
+
 let containment_test point () =
-  let config = { Config.default with Config.fault_plan = [ (point, Fault.Always) ] } in
-  let r = run_daxpy config in
+  let r = run_daxpy (fault_config point) in
   check Alcotest.int "exit code" 0 r.Driver.exit_code;
   check Alcotest.string "AOT-identical output" aot_output r.Driver.output;
   let s = jit_stats r in
   Alcotest.(check bool) "fallbacks recorded" true (s.Stats.fallbacks >= 1);
   Alcotest.(check bool)
-    (Printf.sprintf "failure counted at stage %s" (Fault.point_name point))
+    (Printf.sprintf "failure counted at stage %s" (failure_stage_of_point point))
     true
-    (failure_count s (Fault.point_name point) >= 1);
+    (failure_count s (failure_stage_of_point point) >= 1);
+  (match point with
+  | Fault.Verify | Fault.Specialize_corrupt ->
+      Alcotest.(check bool) "verify rejections counted" true
+        (s.Stats.verify_rejections >= 1)
+  | _ -> ());
   (* every launch completed without JIT code: fallback or quarantine *)
   check Alcotest.int "all launches contained" s.Stats.jit_launches
     (s.Stats.fallbacks + s.Stats.quarantined_launches)
@@ -440,9 +457,7 @@ let hecbench_fault_sweep () =
       let aot = Harness.run a Device.Amd Harness.AOT in
       List.iter
         (fun point ->
-          let config =
-            { Config.default with Config.fault_plan = [ (point, Fault.Always) ] }
-          in
+          let config = fault_config point in
           let m = Harness.run ~config a Device.Amd Harness.Proteus_cold in
           let tag = Printf.sprintf "%s/%s" a.App.name (Fault.point_name point) in
           Alcotest.(check bool) (tag ^ " completes") true m.Harness.ok;
@@ -451,7 +466,12 @@ let hecbench_fault_sweep () =
           match m.Harness.stats with
           | Some s ->
               Alcotest.(check bool) (tag ^ " contained") true
-                (Stats.failures_total s >= 1)
+                (Stats.failures_total s >= 1);
+              (match point with
+              | Fault.Verify | Fault.Specialize_corrupt ->
+                  Alcotest.(check bool) (tag ^ " verify-rejected") true
+                    (s.Stats.verify_rejections >= 1)
+              | _ -> ())
           | None -> Alcotest.fail (tag ^ " missing stats"))
         Fault.all_points)
     Suite.apps
