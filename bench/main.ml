@@ -5,7 +5,13 @@
 
    Usage: main.exe [all|table1|table2|table3|fig3|fig4|fig5|fig6|
                     fig7|fig8|fig9|fig10|fig11|micro|--analyze|
-                    --inject-faults]
+                    --inject-faults] [--json FILE]
+
+   --json FILE additionally writes a machine-readable summary: wall
+   time per executed target plus every (app, vendor, method) cell
+   measured during the run (simulated e2e/kernel milliseconds), so
+   performance work can diff runs numerically instead of scraping the
+   printed tables.
 
    --analyze times the KernelSan static analyses over every bundled
    program. --inject-faults runs the HeCBench suite with a
@@ -446,40 +452,110 @@ let inject_faults () =
   if !failures > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* --json: machine-readable run summary.                               *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* N/A cells carry NaN times; JSON has no literal for those, so they
+   serialize as null *)
+let json_ms (s : float) =
+  if Float.is_finite s then Printf.sprintf "%.6f" (s *. 1e3) else "null"
+
+let write_json path ~(target_times : (string * float) list) ~(total_s : float) =
+  let cells =
+    Hashtbl.fold (fun _ m acc -> m :: acc) sweep_cache []
+    |> List.sort (fun (a : Harness.measurement) b -> compare (a.Harness.app, a.Harness.meth) (b.Harness.app, b.Harness.meth))
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"targets\": {\n";
+  List.iteri
+    (fun i (name, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %.3f%s\n" (json_escape name) s
+           (if i = List.length target_times - 1 then "" else ",")))
+    (List.rev target_times);
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf (Printf.sprintf "  \"total_wall_s\": %.3f,\n" total_s);
+  Buffer.add_string buf "  \"cells\": [\n";
+  List.iteri
+    (fun i (m : Harness.measurement) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"app\": \"%s\", \"vendor\": \"%s\", \"method\": \"%s\", \
+            \"na\": %b, \"e2e_ms\": %s, \"kernel_ms\": %s, \
+            \"jit_overhead_ms\": %s, \"cache_bytes\": %d}%s\n"
+           (json_escape m.Harness.app)
+           (vname m.Harness.vendor)
+           (json_escape m.Harness.meth) m.Harness.na (json_ms m.Harness.e2e_s)
+           (json_ms m.Harness.kernel_s)
+           (json_ms m.Harness.jit_overhead_s)
+           m.Harness.cache_bytes
+           (if i = List.length cells - 1 then "" else ",")))
+    cells;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "[json summary written to %s]\n" path
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec split_json acc = function
+    | "--json" :: file :: rest -> (List.rev_append acc rest, Some file)
+    | x :: rest -> split_json (x :: acc) rest
+    | [] -> (List.rev acc, None)
+  in
+  let targets, json_file = split_json [] args in
+  let what = match targets with t :: _ -> t | [] -> "all" in
+  let target_times = ref [] in
   let t0 = Unix.gettimeofday () in
+  let timed name f =
+    let s = Unix.gettimeofday () in
+    f ();
+    target_times := (name, Unix.gettimeofday () -. s) :: !target_times
+  in
   let run = function
-    | "table1" -> table1 ()
-    | "table2" -> table2 ()
-    | "table3" -> table3 ()
-    | "fig3" -> fig3 ()
-    | "fig4" -> fig4 ()
-    | "fig5" -> fig5 ()
-    | "fig6" -> fig6 ()
-    | "fig7" -> fig7 ()
-    | "fig8" -> fig8 ()
-    | "fig9" -> fig9 ()
-    | "fig10" -> fig10 ()
-    | "fig11" -> fig11 ()
-    | "micro" -> micro ()
-    | "--analyze" | "analyze" -> analyze_bench ()
-    | "--inject-faults" | "inject-faults" | "faults" -> inject_faults ()
+    | "table1" -> timed "table1" table1
+    | "table2" -> timed "table2" table2
+    | "table3" -> timed "table3" table3
+    | "fig3" -> timed "fig3" fig3
+    | "fig4" -> timed "fig4" fig4
+    | "fig5" -> timed "fig5" fig5
+    | "fig6" -> timed "fig6" fig6
+    | "fig7" -> timed "fig7" fig7
+    | "fig8" -> timed "fig8" fig8
+    | "fig9" -> timed "fig9" fig9
+    | "fig10" -> timed "fig10" fig10
+    | "fig11" -> timed "fig11" fig11
+    | "micro" -> timed "micro" micro
+    | "--analyze" | "analyze" -> timed "analyze" analyze_bench
+    | "--inject-faults" | "inject-faults" | "faults" ->
+        timed "inject-faults" inject_faults
     | "all" ->
-        table1 ();
-        table2 ();
-        fig3 ();
-        fig4 ();
-        fig5 ();
-        fig6 ();
-        table3 ();
-        fig7 ();
-        fig8 ();
-        fig9 ();
-        fig10 ();
-        fig11 ();
-        micro ()
+        timed "table1" table1;
+        timed "table2" table2;
+        timed "fig3" fig3;
+        timed "fig4" fig4;
+        timed "fig5" fig5;
+        timed "fig6" fig6;
+        timed "table3" table3;
+        timed "fig7" fig7;
+        timed "fig8" fig8;
+        timed "fig9" fig9;
+        timed "fig10" fig10;
+        timed "fig11" fig11;
+        timed "micro" micro
     | w ->
         Printf.eprintf
           "unknown target %s (use \
@@ -488,4 +564,8 @@ let () =
         exit 2
   in
   run what;
-  Printf.printf "\n[bench completed in %.1fs wall]\n" (Unix.gettimeofday () -. t0)
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "\n[bench completed in %.1fs wall]\n" total;
+  match json_file with
+  | Some path -> write_json path ~target_times:!target_times ~total_s:total
+  | None -> ()

@@ -32,21 +32,24 @@ let reset t =
   t.hits <- 0;
   t.misses <- 0
 
-(* Access one cache line containing [addr]; returns true on hit. *)
-let access t (addr : int64) : bool =
+(* Access one cache line by line id; returns true on hit. The
+   multicore executor's trace replay uses this entry point directly so
+   recorded line ids go through the exact same state transitions as
+   addresses do. *)
+let access_line t (line_addr : int) : bool =
   t.tick <- t.tick + 1;
-  let line_addr = Int64.to_int addr / t.line in
   let set = line_addr mod t.sets in
   let tag = line_addr in
   let row = t.tags.(set) and st = t.stamp.(set) in
-  let hit = ref false in
-  for w = 0 to t.ways - 1 do
-    if row.(w) = tag then begin
-      hit := true;
-      st.(w) <- t.tick
-    end
+  let ways = t.ways in
+  (* tags are unique within a set (insertion only overwrites), so the
+     scan can stop at the first match *)
+  let w = ref 0 in
+  while !w < ways && Array.unsafe_get row !w <> tag do
+    incr w
   done;
-  if !hit then begin
+  if !w < ways then begin
+    Array.unsafe_set st !w t.tick;
     t.hits <- t.hits + 1;
     true
   end
@@ -54,13 +57,16 @@ let access t (addr : int64) : bool =
     t.misses <- t.misses + 1;
     (* evict LRU *)
     let victim = ref 0 in
-    for w = 1 to t.ways - 1 do
-      if st.(w) < st.(!victim) then victim := w
+    for w = 1 to ways - 1 do
+      if Array.unsafe_get st w < Array.unsafe_get st !victim then victim := w
     done;
     row.(!victim) <- tag;
     st.(!victim) <- t.tick;
     false
   end
+
+(* Access one cache line containing [addr]; returns true on hit. *)
+let access t (addr : int64) : bool = access_line t (Int64.to_int addr / t.line)
 
 let hit_ratio t =
   let total = t.hits + t.misses in

@@ -18,7 +18,17 @@
 open Proteus_support
 open Proteus_backend
 
-type entry = { obj : Mach.obj; bytes : int; mutable last_used : int }
+(* [tcodes] is the decoded-code tier: threaded programs for kernels of
+   this object, built lazily on first launch and kept with the entry so
+   a memory hit skips both prepare and decode. It is not persisted -
+   decode is cheap relative to compilation; only the object survives on
+   disk. *)
+type entry = {
+  obj : Mach.obj;
+  bytes : int;
+  mutable last_used : int;
+  mutable tcodes : (string * Proteus_gpu.Tcode.program) list;
+}
 
 type t = {
   mem : (string, entry) Hashtbl.t;
@@ -26,6 +36,7 @@ type t = {
   mem_limit : int; (* bytes; 0 = unlimited *)
   disk_limit : int;
   mutable tick : int; (* LRU clock *)
+  mutable mem_bytes : int; (* running total of in-memory entry bytes *)
   mutable mem_hits : int;
   mutable disk_hits : int;
   mutable misses : int;
@@ -50,6 +61,7 @@ let create ?(persistent_dir : string option) ?mem_limit ?disk_limit () =
     mem_limit = Option.value mem_limit ~default:(env_limit "PROTEUS_MEM_CACHE_LIMIT");
     disk_limit = Option.value disk_limit ~default:(env_limit "PROTEUS_DISK_CACHE_LIMIT");
     tick = 0;
+    mem_bytes = 0;
     mem_hits = 0;
     disk_hits = 0;
     misses = 0;
@@ -63,11 +75,28 @@ let touch t e =
   t.tick <- t.tick + 1;
   e.last_used <- t.tick
 
+(* All in-memory insertions and removals go through these two helpers
+   so [mem_bytes] stays a running total: the previous implementation
+   re-folded the whole table on every insert to learn its size, which
+   is O(entries) per store. *)
+let mem_put t k e =
+  (match Hashtbl.find_opt t.mem k with
+  | Some old -> t.mem_bytes <- t.mem_bytes - old.bytes
+  | None -> ());
+  Hashtbl.replace t.mem k e;
+  t.mem_bytes <- t.mem_bytes + e.bytes
+
+let mem_remove t k =
+  match Hashtbl.find_opt t.mem k with
+  | Some e ->
+      Hashtbl.remove t.mem k;
+      t.mem_bytes <- t.mem_bytes - e.bytes
+  | None -> ()
+
 (* Evict least-recently-used in-memory entries until under the limit. *)
 let enforce_mem_limit t =
-  if t.mem_limit > 0 then begin
-    let total = ref (Hashtbl.fold (fun _ e acc -> acc + e.bytes) t.mem 0) in
-    while !total > t.mem_limit && Hashtbl.length t.mem > 1 do
+  if t.mem_limit > 0 then
+    while t.mem_bytes > t.mem_limit && Hashtbl.length t.mem > 1 do
       let victim =
         Hashtbl.fold
           (fun k e acc ->
@@ -77,13 +106,11 @@ let enforce_mem_limit t =
           t.mem None
       in
       match victim with
-      | Some (k, e) ->
-          Hashtbl.remove t.mem k;
-          total := !total - e.bytes;
+      | Some (k, _) ->
+          mem_remove t k;
           t.evictions_mem <- t.evictions_mem + 1
-      | None -> total := 0
+      | None -> (* unreachable: the table has > 1 entries *) assert false
     done
-  end
 
 (* Evict oldest (by mtime) persistent cache files until under the limit. *)
 let enforce_disk_limit t =
@@ -178,9 +205,9 @@ let lookup t (key : Speckey.t) : outcome =
       | Some path when Sys.file_exists path -> (
           match load_persistent path with
           | obj, len ->
-              let e = { obj; bytes = len; last_used = 0 } in
+              let e = { obj; bytes = len; last_used = 0; tcodes = [] } in
               touch t e;
-              Hashtbl.replace t.mem k e;
+              mem_put t k e;
               enforce_mem_limit t;
               t.disk_hits <- t.disk_hits + 1;
               Disk_hit e
@@ -214,9 +241,9 @@ let write_persistent t path (data : string) : unit =
 let insert t (key : Speckey.t) (obj : Mach.obj) : entry =
   let payload = Mach.encode_obj obj in
   let data = encode_entry payload in
-  let e = { obj; bytes = String.length payload; last_used = 0 } in
+  let e = { obj; bytes = String.length payload; last_used = 0; tcodes = [] } in
   touch t e;
-  Hashtbl.replace t.mem (Speckey.to_string key) e;
+  mem_put t (Speckey.to_string key) e;
   enforce_mem_limit t;
   (match path_for t key with
   | Some path -> write_persistent t path data
@@ -236,7 +263,7 @@ let persistent_size t : int =
           0 (Sys.readdir d)
       else 0
 
-let mem_size t = Hashtbl.fold (fun _ e acc -> acc + e.bytes) t.mem 0
+let mem_size t = t.mem_bytes
 
 let clear_persistent t =
   match t.persistent_dir with

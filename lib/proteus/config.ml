@@ -20,6 +20,10 @@ type t = {
       (* PROTEUS_VERIFY: re-run the IR verifier + KernelSan on
          post-specialize and post-O3 IR; a violation becomes a counted
          AOT fallback instead of reaching codegen *)
+  exec_domains : int;
+      (* PROTEUS_EXEC_DOMAINS: domains the executor schedules
+         thread-blocks across; 0 = automatic (the executor picks the
+         recommended domain count); 1 forces serial execution *)
 }
 
 let env_int name default =
@@ -46,6 +50,7 @@ let default =
     quarantine_threshold = env_int "PROTEUS_QUARANTINE_THRESHOLD" 3;
     quarantine_backoff = env_int "PROTEUS_QUARANTINE_BACKOFF" 16;
     verify_jit = env_bool "PROTEUS_VERIFY" false;
+    exec_domains = env_int "PROTEUS_EXEC_DOMAINS" 0;
   }
 
 (* Paper mode names *)

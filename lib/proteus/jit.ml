@@ -43,6 +43,7 @@ type t = {
 }
 
 let create ?(config = Config.default) (rt : Gpurt.ctx) (vendor : Device.vendor) : t =
+  rt.Gpurt.exec_domains <- config.Config.exec_domains;
   {
     rt;
     vendor;
@@ -321,7 +322,25 @@ let jit_launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : i
   t.stats.Stats.jit_overhead_s <-
     t.stats.Stats.jit_overhead_s +. (Clock.read t.rt.Gpurt.clock -. clock_before);
   let k = Mach.find_kernel entry.Cachestore.obj sym in
-  Gpurt.launch_mfunc t.rt k ~grid ~block ~args
+  (* decoded-code tier: reuse the threaded program attached to this
+     cache entry, or decode once and attach it. Undecodable kernels
+     leave nothing attached; the executor runs them on the reference
+     interpreter. *)
+  let tcode =
+    match List.assoc_opt sym entry.Cachestore.tcodes with
+    | Some p when p.Tcode.tf == k ->
+        t.stats.Stats.tcode_hits <- t.stats.Stats.tcode_hits + 1;
+        Some p
+    | _ -> (
+        match Tcode.decode k with
+        | p ->
+            t.stats.Stats.tcode_decodes <- t.stats.Stats.tcode_decodes + 1;
+            entry.Cachestore.tcodes <-
+              (sym, p) :: List.remove_assoc sym entry.Cachestore.tcodes;
+            Some p
+        | exception Tcode.Decode_error _ -> None)
+  in
+  Gpurt.launch_mfunc t.rt ?tcode k ~grid ~block ~args
 
 (* Launch the AOT-compiled kernel embedded in the fatbinary: the
    containment escape hatch. The plugin never removes kernels from the

@@ -13,6 +13,10 @@ type t = {
   mutable bitcode_bytes : int;
   mutable object_bytes : int;
   mutable real_compile_s : float; (* actual wall-clock of our pipeline *)
+  (* decoded-code cache tier: threaded-code programs attached to code
+     cache entries; a hit skips decoding on a warm launch *)
+  mutable tcode_decodes : int;
+  mutable tcode_hits : int;
   (* fault containment *)
   mutable fallbacks : int; (* launches that completed on the AOT kernel after a JIT failure *)
   failures_by_stage : (string, int) Hashtbl.t; (* stage name -> count *)
@@ -30,6 +34,7 @@ let create () =
   {
     jit_launches = 0; mem_hits = 0; disk_hits = 0; compiles = 0; jit_overhead_s = 0.0;
     compile_work = 0; bitcode_bytes = 0; object_bytes = 0; real_compile_s = 0.0;
+    tcode_decodes = 0; tcode_hits = 0;
     fallbacks = 0; failures_by_stage = Hashtbl.create 8; quarantine_events = 0;
     quarantined_launches = 0; quarantine_retries = 0; cache_corruptions = 0;
     host_hook_errors = 0; verify_rejections = 0;
@@ -48,9 +53,10 @@ let stage_failures t =
 let to_string s =
   let base =
     Printf.sprintf
-      "jit launches=%d mem-hits=%d disk-hits=%d compiles=%d overhead=%.3fms real-compile=%.1fms"
+      "jit launches=%d mem-hits=%d disk-hits=%d compiles=%d overhead=%.3fms \
+       real-compile=%.1fms tcode-hits=%d tcode-decodes=%d"
       s.jit_launches s.mem_hits s.disk_hits s.compiles (s.jit_overhead_s *. 1e3)
-      (s.real_compile_s *. 1e3)
+      (s.real_compile_s *. 1e3) s.tcode_hits s.tcode_decodes
   in
   if failures_total s = 0 && s.fallbacks = 0 && s.cache_corruptions = 0
      && s.host_hook_errors = 0 && s.quarantined_launches = 0

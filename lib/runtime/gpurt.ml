@@ -33,6 +33,20 @@ type ctx = {
   registered_vars : (string, unit) Hashtbl.t;
   mutable profiles : profile list; (* most recent first *)
   mutable launches : int;
+  (* decoded-code cache: kernel symbol -> threaded program. Entries are
+     validated by physical equality of the decoded [Mach.mfunc], so a
+     respecialized kernel under the same symbol re-decodes instead of
+     running stale code. *)
+  tcodes : (string, Tcode.program) Hashtbl.t;
+  mutable tcode_decodes : int;
+  mutable tcode_hits : int;
+  (* block-level parallelism for the executor; 0 = automatic
+     (PROTEUS_EXEC_DOMAINS or the domain count the OS recommends) *)
+  mutable exec_domains : int;
+  (* force the reference interpreter engine; the differential tests use
+     this to compare it against the threaded/multicore engines on whole
+     applications *)
+  mutable exec_reference : bool;
 }
 
 let create ?(cost = Costmodel.default) (device : Device.t) : ctx =
@@ -47,6 +61,11 @@ let create ?(cost = Costmodel.default) (device : Device.t) : ctx =
     registered_vars = Hashtbl.create 16;
     profiles = [];
     launches = 0;
+    tcodes = Hashtbl.create 16;
+    tcode_decodes = 0;
+    tcode_hits = 0;
+    exec_domains = 0;
+    exec_reference = false;
   }
 
 let charge_api ctx = Clock.advance ctx.clock ctx.cost.Costmodel.api_call_s
@@ -160,11 +179,38 @@ let read_device_bytes ctx addr len =
 
 (* ---- kernel launch ---- *)
 
-let launch_mfunc ctx (k : Mach.mfunc) ~grid ~block ~(args : Konst.t array) : unit =
+(* Fetch (or build) the threaded-code program for [k]. Callers that
+   already hold a decoded program (the JIT's code cache attaches one to
+   each cache entry) pass it via [?tcode]; otherwise the per-context
+   symbol table answers, re-decoding only when the kernel under that
+   symbol changed. Kernels the decoder does not cover return None and
+   run on the reference interpreter. *)
+let get_tcode ctx ?tcode (k : Mach.mfunc) : Tcode.program option =
+  match tcode with
+  | Some p when p.Tcode.tf == k ->
+      ctx.tcode_hits <- ctx.tcode_hits + 1;
+      Some p
+  | _ -> (
+      match Hashtbl.find_opt ctx.tcodes k.Mach.sym with
+      | Some p when p.Tcode.tf == k ->
+          ctx.tcode_hits <- ctx.tcode_hits + 1;
+          Some p
+      | _ -> (
+          match Tcode.decode k with
+          | p ->
+              ctx.tcode_decodes <- ctx.tcode_decodes + 1;
+              Hashtbl.replace ctx.tcodes k.Mach.sym p;
+              Some p
+          | exception Tcode.Decode_error _ -> None))
+
+let launch_mfunc ctx ?tcode (k : Mach.mfunc) ~grid ~block ~(args : Konst.t array) :
+    unit =
   Clock.advance ctx.clock ctx.cost.Costmodel.launch_s;
+  let tcode = if ctx.exec_reference then None else get_tcode ctx ?tcode k in
+  let domains = if ctx.exec_domains > 0 then Some ctx.exec_domains else None in
   let result =
-    Exec.launch ~device:ctx.device ~mem:ctx.mem ~l2:ctx.l2 ~symbols:(symbols_fn ctx) k
-      ~grid ~block ~args
+    Exec.launch ~reference:ctx.exec_reference ?domains ?tcode ~device:ctx.device
+      ~mem:ctx.mem ~l2:ctx.l2 ~symbols:(symbols_fn ctx) k ~grid ~block ~args
   in
   let report =
     Timing.kernel_time ctx.device k result.Exec.counters

@@ -203,6 +203,18 @@ module Bytesio = struct
   end
 end
 
+(* Constant-time SWAR popcount; the SIMT executor calls this once per
+   executed warp instruction, so it must not loop over 64 bits. *)
+let popcount64 (x : int64) : int =
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x =
+    add (logand x 0x3333333333333333L)
+      (logand (shift_right_logical x 2) 0x3333333333333333L)
+  in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
 (* Float helpers: OCaml floats are doubles; f32 semantics round through
    the 32-bit representation. *)
 let to_f32 (x : float) : float = Int32.float_of_bits (Int32.bits_of_float x)

@@ -396,6 +396,35 @@ let test_mem_cache_lru_eviction () =
   | Cachestore.Mem_hit _ -> ()
   | Cachestore.Disk_hit _ | Cachestore.Miss -> Alcotest.fail "recently-used entry survives"
 
+(* regression: the mem tier keeps a running byte total instead of
+   re-folding the table on every insert; it must agree with a fold at
+   every step, through inserts, evictions and same-key overwrites *)
+let test_mem_cache_running_byte_total () =
+  let probe = String.length (Mach.encode_obj (dummy_obj ())) in
+  let c = Cachestore.create ~mem_limit:(probe * 3) () in
+  let key i =
+    Speckey.compute ~mid:"m" ~sym:(Printf.sprintf "b%d" i) ~spec_values:[]
+      ~launch_bounds:None
+  in
+  let folded () =
+    Hashtbl.fold
+      (fun _ (e : Cachestore.entry) acc -> acc + e.Cachestore.bytes)
+      c.Cachestore.mem 0
+  in
+  check Alcotest.int "empty cache is zero bytes" 0 (Cachestore.mem_size c);
+  for i = 1 to 10 do
+    let _ = Cachestore.insert c (key i) (dummy_obj ()) in
+    check Alcotest.int "running total matches fold" (folded ())
+      (Cachestore.mem_size c);
+    Alcotest.(check bool) "eviction keeps total within limit" true
+      (Cachestore.mem_size c <= probe * 3)
+  done;
+  Alcotest.(check bool) "evictions happened" true (c.Cachestore.evictions_mem > 0);
+  (* overwriting a resident key must not double-count its bytes *)
+  let _ = Cachestore.insert c (key 10) (dummy_obj ()) in
+  check Alcotest.int "overwrite keeps total exact" (folded ())
+    (Cachestore.mem_size c)
+
 let test_disk_cache_limit () =
   let dir = tmpdir () in
   let probe = String.length (Mach.encode_obj (dummy_obj ())) in
@@ -485,6 +514,7 @@ let () =
           Alcotest.test_case "two-level behaviour" `Quick test_cache_two_level;
           Alcotest.test_case "file naming" `Quick test_cache_filename_convention;
           Alcotest.test_case "LRU memory eviction" `Quick test_mem_cache_lru_eviction;
+          Alcotest.test_case "running byte total" `Quick test_mem_cache_running_byte_total;
           Alcotest.test_case "disk size limit" `Quick test_disk_cache_limit;
           Alcotest.test_case "auto-specialization" `Quick test_auto_specialization;
         ] );

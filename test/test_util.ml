@@ -151,6 +151,38 @@ let test_list_index_of () =
   check Alcotest.(option int) "found" (Some 1) (Util.list_index_of (( = ) 5) [ 4; 5; 6 ]);
   check Alcotest.(option int) "missing" None (Util.list_index_of (( = ) 9) [ 4; 5; 6 ])
 
+(* ---- popcount ---- *)
+
+let popcount_spec (x : int64) =
+  let n = ref 0 in
+  for i = 0 to 63 do
+    if Int64.logand (Int64.shift_right_logical x i) 1L = 1L then incr n
+  done;
+  !n
+
+let test_popcount_edges () =
+  check Alcotest.int "zero" 0 (Util.popcount64 0L);
+  check Alcotest.int "all ones" 64 (Util.popcount64 (-1L));
+  check Alcotest.int "one" 1 (Util.popcount64 1L);
+  check Alcotest.int "msb" 1 (Util.popcount64 Int64.min_int);
+  check Alcotest.int "max_int" 63 (Util.popcount64 Int64.max_int);
+  check Alcotest.int "alternating" 32 (Util.popcount64 0x5555555555555555L);
+  check Alcotest.int "bytes" 8 (Util.popcount64 0x0101010101010101L)
+
+let qcheck_popcount_matches_spec =
+  QCheck.Test.make ~name:"popcount64 matches bit-loop spec" ~count:1000 QCheck.int64
+    (fun x -> Util.popcount64 x = popcount_spec x)
+
+let qcheck_popcount_shift =
+  QCheck.Test.make ~name:"popcount64 invariant under shift-in of zeros" ~count:500
+    QCheck.(pair int64 (int_range 0 63))
+    (fun (x, k) ->
+      (* shifting out k bits removes exactly the bits shifted out *)
+      let low = Int64.shift_right_logical (Int64.shift_left x (64 - k)) (64 - k) in
+      let low = if k = 0 then 0L else low in
+      Util.popcount64 x
+      = Util.popcount64 (Int64.shift_right_logical x k) + Util.popcount64 low)
+
 (* ---- Rng ---- *)
 
 let test_rng_deterministic () =
@@ -214,6 +246,12 @@ let () =
           Alcotest.test_case "clamp" `Quick test_clamp;
           Alcotest.test_case "human_bytes" `Quick test_human_bytes;
           Alcotest.test_case "list_index_of" `Quick test_list_index_of;
+        ] );
+      ( "popcount",
+        [
+          Alcotest.test_case "edge values" `Quick test_popcount_edges;
+          qtest qcheck_popcount_matches_spec;
+          qtest qcheck_popcount_shift;
         ] );
       ( "rng",
         [
