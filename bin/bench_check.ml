@@ -1,0 +1,199 @@
+(* Smoke checker for `proteus bench --json` output, run from the
+   @bench-smoke alias (part of runtest). Parses the JSON strictly with
+   a self-contained recursive-descent reader (no JSON library in the
+   environment) and asserts the measurement schema: a non-empty array
+   of objects, every required field present and well-typed, every
+   method either ok or explicitly n/a, and n/a rows carrying null
+   timings rather than garbage. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* ---- minimal strict JSON parser ---- *)
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | Some x -> bad "at byte %d: expected %c, found %c" !pos c x
+    | None -> bad "at byte %d: expected %c, found end of input" !pos c
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin pos := !pos + l; v end
+    else bad "at byte %d: expected %s" !pos word
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> bad "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance ()
+          | Some '/' -> Buffer.add_char b '/'; advance ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance ()
+          | Some 't' -> Buffer.add_char b '\t'; advance ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance ()
+          | Some 'b' -> Buffer.add_char b '\b'; advance ()
+          | Some 'f' -> Buffer.add_char b '\012'; advance ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then bad "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* measurements are ASCII; reject anything exotic *)
+              if code > 127 then bad "non-ASCII \\u escape in measurement"
+              else Buffer.add_char b (Char.chr code)
+          | _ -> bad "at byte %d: bad escape" !pos);
+          go ()
+      | Some c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> bad "at byte %d: malformed number" start
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> bad "at byte %d: unexpected %c" !pos c
+    | None -> bad "unexpected end of input"
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin advance (); Arr [] end
+    else begin
+      let items = ref [ value () ] in
+      skip_ws ();
+      while peek () = Some ',' do
+        advance ();
+        items := value () :: !items;
+        skip_ws ()
+      done;
+      expect ']';
+      Arr (List.rev !items)
+    end
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin advance (); Obj [] end
+    else begin
+      let field () =
+        skip_ws ();
+        let k = string_lit () in
+        skip_ws ();
+        expect ':';
+        (k, value ())
+      in
+      let fields = ref [ field () ] in
+      skip_ws ();
+      while peek () = Some ',' do
+        advance ();
+        fields := field () :: !fields;
+        skip_ws ()
+      done;
+      expect '}';
+      Obj (List.rev !fields)
+    end
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then bad "trailing bytes after JSON value (byte %d of %d)" !pos n;
+  v
+
+(* ---- schema assertions ---- *)
+
+let field obj name =
+  match obj with
+  | Obj fs -> (
+      match List.assoc_opt name fs with
+      | Some v -> v
+      | None -> bad "measurement is missing field %S" name)
+  | _ -> bad "expected an object"
+
+let as_bool what = function Bool b -> b | _ -> bad "%s: expected a boolean" what
+let as_str what = function Str s -> s | _ -> bad "%s: expected a string" what
+
+let check_row row =
+  let meth = as_str "method" (field row "method") in
+  let _bench = as_str "benchmark" (field row "benchmark") in
+  let na = as_bool "na" (field row "na") in
+  let ok = as_bool "ok" (field row "ok") in
+  if not (ok || na) then bad "method %s reports ok=false" meth;
+  List.iter
+    (fun f ->
+      match (na, field row f) with
+      | true, Null -> ()
+      | true, _ -> bad "method %s: n/a row must carry null %s" meth f
+      | false, Num v ->
+          if Float.is_nan v then bad "method %s: %s is NaN" meth f;
+          if v < 0.0 then bad "method %s: %s is negative (%g)" meth f v
+      | false, _ -> bad "method %s: %s must be a number" meth f)
+    [ "e2e_ms"; "kernel_ms"; "jit_overhead_ms" ];
+  meth
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ -> prerr_endline "usage: bench_check FILE.json"; exit 2
+  in
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  try
+    match parse src with
+    | Arr rows ->
+        if rows = [] then bad "empty measurement array";
+        let meths = List.map check_row rows in
+        List.iter
+          (fun required ->
+            if not (List.mem required meths) then
+              bad "method %S missing from output" required)
+          [ "AOT"; "Proteus"; "Proteus+$"; "Jitify" ];
+        Printf.printf "bench_check: %s ok (%d measurements)\n" path (List.length rows)
+    | _ -> bad "top level is not an array"
+  with Bad msg ->
+    Printf.eprintf "bench_check: %s: %s\n" path msg;
+    exit 1

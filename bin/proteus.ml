@@ -231,23 +231,126 @@ let bench_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
            ~doc:"One of: adam rsbench wsm5 fey-kac lulesh sw4ck")
   in
-  let go name vendor =
+  let json_flag =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the measurements as a JSON array on stdout (for tooling).")
+  in
+  let go name vendor json =
     let open Proteus_hecbench in
     let a = Suite.find name in
-    List.iter
-      (fun meth ->
-        let m = Harness.run a vendor meth in
-        if m.Harness.na then Printf.printf "%-9s N/A\n" (Harness.method_name meth)
-        else
-          Printf.printf "%-9s e2e=%9.4fms kernels=%9.4fms jit-overhead=%8.4fms %s\n"
-            m.Harness.meth (m.Harness.e2e_s *. 1e3) (m.Harness.kernel_s *. 1e3)
-            (m.Harness.jit_overhead_s *. 1e3)
-            (if m.Harness.ok then "ok" else "FAILED"))
-      [ Harness.AOT; Harness.Proteus_cold; Harness.Proteus_warm; Harness.Jitify_m ]
+    let methods = [ Harness.AOT; Harness.Proteus_cold; Harness.Proteus_warm; Harness.Jitify_m ] in
+    let results = List.map (fun meth -> (meth, Harness.run a vendor meth)) methods in
+    if json then begin
+      (* n/a rows have no timings (nan is not valid JSON): emit null *)
+      let ms v = if Float.is_nan v then "null" else Printf.sprintf "%.6f" (v *. 1e3) in
+      print_string "[\n";
+      List.iteri
+        (fun i (meth, m) ->
+          Printf.printf
+            "  {\"benchmark\": %S, \"method\": %S, \"na\": %b, \"ok\": %b, \
+             \"e2e_ms\": %s, \"kernel_ms\": %s, \"jit_overhead_ms\": %s}%s\n"
+            name
+            (Harness.method_name meth)
+            m.Harness.na m.Harness.ok (ms m.Harness.e2e_s) (ms m.Harness.kernel_s)
+            (ms m.Harness.jit_overhead_s)
+            (if i < List.length results - 1 then "," else ""))
+        results;
+      print_string "]\n"
+    end
+    else
+      List.iter
+        (fun (meth, m) ->
+          if m.Harness.na then Printf.printf "%-9s N/A\n" (Harness.method_name meth)
+          else
+            Printf.printf "%-9s e2e=%9.4fms kernels=%9.4fms jit-overhead=%8.4fms %s\n"
+              m.Harness.meth (m.Harness.e2e_s *. 1e3) (m.Harness.kernel_s *. 1e3)
+              (m.Harness.jit_overhead_s *. 1e3)
+              (if m.Harness.ok then "ok" else "FAILED"))
+        results;
+    if List.exists (fun (_, m) -> not m.Harness.ok) results then exit 1
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run a HeCBench mini-app under every method")
-    Term.(const go $ name_arg $ vendor_arg)
+    Term.(const go $ name_arg $ vendor_arg $ json_flag)
+
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed (case $(i,i) uses seed + i*1000003).")
+  in
+  let count =
+    Arg.(value & opt int 200 & info [ "count" ]
+           ~doc:"Number of kernels to generate ($(b,PROTEUS_FUZZ_BUDGET) overrides for soak runs).")
+  in
+  let max_stmts =
+    Arg.(value & opt int 12 & info [ "max-stmts" ] ~doc:"Statement budget per generated kernel.")
+  in
+  let oracle =
+    Arg.(value & opt (some string) None & info [ "oracle" ]
+           ~doc:"Comma-separated subset of $(b,a),$(b,b),$(b,c),$(b,d) to run (default: all four).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Write minimized .kc reproducers for failures into $(docv).")
+  in
+  let inject =
+    Arg.(value & opt (some string) None & info [ "inject-faults" ]
+           ~doc:"Arm fault points, e.g. $(b,specialize-corrupt=always) (same syntax as bench).")
+  in
+  let go seed count max_stmts oracle out inject =
+    let count =
+      match Sys.getenv_opt "PROTEUS_FUZZ_BUDGET" with
+      | Some v -> (
+          match int_of_string_opt v with Some n when n > 0 -> n | _ -> count)
+      | None -> count
+    in
+    let oracles =
+      match oracle with
+      | None -> Proteus_fuzz.Oracle.all_oracles
+      | Some s ->
+          String.split_on_char ',' s |> List.map String.trim
+          |> List.filter (fun x -> x <> "")
+    in
+    List.iter
+      (fun o ->
+        if not (List.mem o Proteus_fuzz.Oracle.all_oracles) then begin
+          Printf.eprintf "proteus fuzz: unknown oracle %s (a|b|c|d)\n" o;
+          exit 2
+        end)
+      oracles;
+    let fault_plan =
+      match inject with
+      | None -> []
+      | Some s -> (
+          match Proteus_core.Fault.plan_of_string s with
+          | Ok p -> p
+          | Error e ->
+              Printf.eprintf "proteus fuzz: %s\n" e;
+              exit 2)
+    in
+    let cfg =
+      {
+        Proteus_fuzz.Fuzz.default_config with
+        Proteus_fuzz.Fuzz.seed;
+        count;
+        max_stmts;
+        oracles;
+        out_dir = out;
+        fault_plan;
+        progress = prerr_endline;
+      }
+    in
+    let r = Proteus_fuzz.Fuzz.run cfg in
+    print_string (Proteus_fuzz.Fuzz.summary r);
+    if r.Proteus_fuzz.Fuzz.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: generate random Kernel-C kernels and check the \
+             interpreter, executors, optimizer, JIT specializer and verifiers against \
+             each other")
+    Term.(const go $ seed $ count $ max_stmts $ oracle $ out $ inject)
 
 let devices_cmd =
   let go () =
@@ -265,4 +368,5 @@ let () =
   let info = Cmd.info "proteus" ~version:"1.0.0" ~doc:"Proteus GPU JIT (simulated) driver" in
   exit
     (Cmd.eval
-       (Cmd.group info [ compile_cmd; analyze_cmd; run_cmd; bench_cmd; devices_cmd ]))
+       (Cmd.group info
+          [ compile_cmd; analyze_cmd; run_cmd; bench_cmd; fuzz_cmd; devices_cmd ]))

@@ -102,9 +102,53 @@ let term_regs = function
   | Mach.Tcbr (Mach.Rs r, _, _) -> [ r ]
   | _ -> []
 
-(* Per-class liveness and intervals. Returns (start, end, reg) list. *)
-let intervals (f : Mach.mfunc) (lin : linear) (cls : Mach.cls) :
-    (int * int * int) list =
+(* Divergent-branch regions: for every conditional branch on a vector
+   (per-lane) register, the set of blocks the SIMT engines may execute
+   under a partial mask before reconverging at the branch block's
+   immediate postdominator, plus that reconvergence label. *)
+let divergent_regions (f : Mach.mfunc) : (string list * string) list =
+  let labels = List.map (fun (b : Mach.mblock) -> b.Mach.mlab) f.Mach.blocks in
+  let succs l =
+    match List.find_opt (fun (b : Mach.mblock) -> b.Mach.mlab = l) f.Mach.blocks with
+    | Some b -> Mach.successors b.Mach.term
+    | None -> []
+  in
+  let ipdom = Uniformity.ipostdoms labels succs in
+  List.filter_map
+    (fun (b : Mach.mblock) ->
+      match b.Mach.term with
+      | Mach.Tcbr (Mach.Rs { Mach.rcls = Mach.CV; _ }, _, _) ->
+          let stop =
+            match Util.Smap.find_opt b.Mach.mlab ipdom with
+            | Some j -> j
+            | None -> "<exit>"
+          in
+          (* all blocks reachable from the successors short of the
+             reconvergence point (not just the postdominator chains) *)
+          let seen = ref Util.Sset.empty in
+          let rec go l =
+            if l <> stop && l <> "<exit>" && not (Util.Sset.mem l !seen) then begin
+              seen := Util.Sset.add l !seen;
+              List.iter go (succs l)
+            end
+          in
+          List.iter go (succs b.Mach.mlab);
+          Some (Util.Sset.elements !seen, stop)
+      | _ -> None)
+    f.Mach.blocks
+
+(* Per-class liveness and intervals. Returns (start, end, reg) list.
+
+   [regions] lists divergent-branch regions; any register of this class
+   live anywhere inside a region (or at its reconvergence point) has
+   its interval widened to cover the whole region. Scalar registers are
+   warp-shared while the SIMT engines serialise the two sides of a
+   divergent branch, so CFG liveness alone under-approximates their
+   interference: a scalar read on the else side is clobbered by a
+   same-register def on the then side even though no CFG path connects
+   them (per-lane vector writes are masked and safe). *)
+let intervals (f : Mach.mfunc) (lin : linear) (cls : Mach.cls)
+    ~(regions : (string list * string) list) : (int * int * int) list =
   let key r = r.Mach.rid in
   let in_cls r = r.Mach.rcls = cls in
   (* block-level use/def *)
@@ -194,6 +238,33 @@ let intervals (f : Mach.mfunc) (lin : linear) (cls : Mach.cls) :
         b.Mach.code;
       List.iter (fun r -> if in_cls r then touch (key r) bend) (term_regs b.Mach.term))
     f.Mach.blocks;
+  List.iter
+    (fun (blocks, join) ->
+      let lo = ref max_int and hi = ref min_int in
+      let live = ref Util.Iset.empty in
+      List.iter
+        (fun lbl ->
+          match List.assoc_opt lbl lin.order with
+          | Some s ->
+              let b = List.find (fun (b : Mach.mblock) -> b.Mach.mlab = lbl) f.Mach.blocks in
+              if s < !lo then lo := s;
+              let e = s + List.length b.Mach.code in
+              if e > !hi then hi := e;
+              live := Util.Iset.union !live (Hashtbl.find live_in lbl)
+          | None -> ())
+        blocks;
+      (match Hashtbl.find_opt live_in join with
+      | Some s -> live := Util.Iset.union !live s
+      | None -> ());
+      if !lo <= !hi then
+        Util.Iset.iter
+          (fun r ->
+            if Hashtbl.mem starts r then begin
+              touch r !lo;
+              touch r !hi
+            end)
+          !live)
+    regions;
   Hashtbl.fold (fun r s acc -> (s, Hashtbl.find ends r, r) :: acc) starts []
 
 (* ------------------------------------------------------------------ *)
@@ -311,8 +382,8 @@ let apply (f : Mach.mfunc) (cfg : config) : unit =
     | Some ty -> cfg.reg_units ty
     | None -> 1
   in
-  let iv_v = intervals f lin Mach.CV in
-  let iv_s = intervals f lin Mach.CS in
+  let iv_v = intervals f lin Mach.CV ~regions:[] in
+  let iv_s = intervals f lin Mach.CS ~regions:(divergent_regions f) in
   let asn_v, used_v, press_v = scan iv_v ~cap:cfg.cap_v ~units_of:(units Mach.CV) in
   let asn_s, used_s, press_s = scan iv_s ~cap:cfg.cap_s ~units_of:(units Mach.CS) in
   let spill_base = ref 0 in

@@ -1,0 +1,136 @@
+(* KernelFuzz campaign driver: generate [count] kernels from a seed,
+   run the selected differential oracles on each, shrink any failure,
+   and emit reproducible .kc files with seed provenance.
+
+   Per-case seeds are derived as [seed + i * 1_000_003] so that
+   [--seed S --count 1] replays case 0 of any campaign exactly, and a
+   reported case seed replays standalone the same way. *)
+
+type config = {
+  seed : int;
+  count : int;
+  max_stmts : int;
+  oracles : string list; (* subset of Oracle.all_oracles *)
+  out_dir : string option; (* where to write .kc reproducers *)
+  fault_plan : Proteus_core.Fault.plan; (* armed points for the spec path *)
+  shrink_budget : int;
+  progress : string -> unit; (* per-event progress sink *)
+}
+
+let default_config =
+  {
+    seed = 42;
+    count = 200;
+    max_stmts = 12;
+    oracles = Oracle.all_oracles;
+    out_dir = None;
+    fault_plan = [];
+    shrink_budget = 200;
+    progress = ignore;
+  }
+
+type fail_report = {
+  case_seed : int;
+  launch : Gen.launch;
+  kernel : Gen.kernel; (* minimized *)
+  original_size : int;
+  shrunk_size : int;
+  failure : Oracle.failure;
+  file : string option; (* written reproducer, if out_dir was given *)
+}
+
+type report = {
+  campaign_seed : int;
+  tested : int;
+  checks : int; (* total oracle checks that passed *)
+  failures : fail_report list;
+}
+
+let derive_seed seed i = seed + (i * 1_000_003)
+
+let repro_text (fr : fail_report) : string =
+  let l = fr.launch in
+  Printf.sprintf
+    "// KernelFuzz reproducer (minimized: %d -> %d statements)\n\
+     // seed:   %d\n\
+     // launch: grid=%d block=%d n=%d\n\
+     // oracle: %s\n\
+     // detail: %s\n\
+     // replay: proteus fuzz --seed %d --count 1\n\
+     %s"
+    fr.original_size fr.shrunk_size fr.case_seed l.Gen.grid l.Gen.block l.Gen.n
+    fr.failure.Oracle.oracle fr.failure.Oracle.detail fr.case_seed
+    (Pp.program_to_string fr.kernel.Gen.prog)
+
+let write_repro dir (fr : fail_report) : string =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let file =
+    Filename.concat dir
+      (Printf.sprintf "fuzz-%d-oracle-%s.kc" fr.case_seed fr.failure.Oracle.oracle)
+  in
+  let oc = open_out file in
+  output_string oc (repro_text fr);
+  close_out oc;
+  file
+
+let run (cfg : config) : report =
+  let opts =
+    {
+      Oracle.oracles = cfg.oracles;
+      Oracle.faults = Proteus_core.Fault.of_plan cfg.fault_plan;
+    }
+  in
+  let checks = ref 0 in
+  let failures = ref [] in
+  for i = 0 to cfg.count - 1 do
+    let case_seed = derive_seed cfg.seed i in
+    let k, l = Gen.case ~seed:case_seed ~max_stmts:cfg.max_stmts in
+    match Oracle.run opts k l with
+    | Ok c -> checks := !checks + c
+    | Error f ->
+        cfg.progress
+          (Printf.sprintf "case %d (seed %d): oracle %s FAILED: %s - shrinking" i
+             case_seed f.Oracle.oracle f.Oracle.detail);
+        let sh = Shrink.shrink ~budget:cfg.shrink_budget opts k l f in
+        let fr =
+          {
+            case_seed;
+            launch = l;
+            kernel = sh.Shrink.kernel;
+            original_size = Shrink.stmt_size (Shrink.body_of k);
+            shrunk_size = Shrink.stmt_size (Shrink.body_of sh.Shrink.kernel);
+            failure = sh.Shrink.failure;
+            file = None;
+          }
+        in
+        let fr =
+          match cfg.out_dir with
+          | Some dir -> { fr with file = Some (write_repro dir fr) }
+          | None -> fr
+        in
+        (match fr.file with
+        | Some f -> cfg.progress (Printf.sprintf "  reproducer: %s" f)
+        | None -> ());
+        failures := fr :: !failures
+  done;
+  {
+    campaign_seed = cfg.seed;
+    tested = cfg.count;
+    checks = !checks;
+    failures = List.rev !failures;
+  }
+
+let summary (r : report) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "kernelfuzz: seed %d, %d kernels, %d oracle checks passed, %d failure(s)\n"
+       r.campaign_seed r.tested r.checks (List.length r.failures));
+  List.iter
+    (fun fr ->
+      Buffer.add_string buf
+        (Printf.sprintf "  seed %d oracle %s (%d -> %d stmts)%s\n    %s\n" fr.case_seed
+           fr.failure.Oracle.oracle fr.original_size fr.shrunk_size
+           (match fr.file with Some f -> " -> " ^ f | None -> "")
+           fr.failure.Oracle.detail))
+    r.failures;
+  Buffer.contents buf

@@ -1,0 +1,477 @@
+(* KernelFuzz generator: seeded construction of random, well-typed
+   Kernel-C kernels plus launch configurations.
+
+   The generator targets the frontend AST (not source text) so the
+   pretty-printer + lexer + parser are themselves under test via the
+   pp->reparse roundtrip oracle. Generated programs are constrained to
+   be *deterministic under every execution order* the stack implements:
+
+   - each thread writes only its own slot of the output buffers
+     ([out[gid]], [aux[gid]]) and only its own slot of the __shared__
+     buffer ([sh[threadIdx.x]]), so the serial IR interpreter, the
+     warp-lockstep threaded engine and the multicore block scheduler
+     all observe the same values;
+   - kernels that use __shared__ launch with grid = 1 (the simulator
+     keeps one copy of shared memory, so cross-block slot reuse would
+     be order-dependent);
+   - the only atomic is integer atomicAdd (associative + commutative,
+     so the reduction order chosen by an engine cannot show through);
+   - integer division and remainder only ever divide by non-zero
+     constants (or by [n], which every launch keeps >= 1);
+   - loops have small constant trip counts, and barriers appear only in
+     uniform (top-level) control flow. *)
+
+open Proteus_support
+open Proteus_frontend
+module Rng = Util.Rng
+
+(* How one kernel argument is synthesized by the harness. *)
+type arg_kind =
+  | Abuf of Ast.cty (* pointer param: element type; n elements *)
+  | Aacc (* int* accumulator: one zero-initialized cell *)
+  | Ascalar of Ast.cty
+  | Alen (* the trailing [int n] element count *)
+
+type kernel = {
+  kseed : int;
+  prog : Ast.program;
+  sym : string;
+  args : arg_kind list; (* one per parameter, in order *)
+  spec_args : int list; (* annotate("jit") indices, 1-based *)
+  uses_shared : bool;
+  uses_atomic : bool;
+}
+
+type launch = {
+  grid : int;
+  block : int;
+  n : int; (* value of the [n] parameter; always >= 1 *)
+  lseed : int; (* seed for argument / buffer-content synthesis *)
+}
+
+let shared_elems = 256
+let shared_name = "sh"
+
+(* ---- AST construction helpers (dummy positions) ---- *)
+
+let dpos = { Ast.line = 0; col = 0 }
+let e d = { Ast.desc = d; Ast.epos = dpos }
+let s d = { Ast.sdesc = d; Ast.spos = dpos }
+let id x = e (Ast.Eid x)
+let eint v = e (Ast.Eint (Int64.of_int v, false))
+let efloat ~dbl v = e (Ast.Efloat (v, dbl))
+let ebin op a b = e (Ast.Ebin (op, a, b))
+let eun op a = e (Ast.Eun (op, a))
+let ecall f args = e (Ast.Ecall (f, args))
+let ecast t a = e (Ast.Ecast (t, a))
+let eindex a i = e (Ast.Eindex (a, i))
+let econd c a b = e (Ast.Econd (c, a, b))
+let eassign op l r = e (Ast.Eassign (op, l, r))
+let mem3 base ax = e (Ast.Emember (id base, ax))
+let tid_x = mem3 "threadIdx" "x"
+let bid_x = mem3 "blockIdx" "x"
+let ntid_x = mem3 "blockDim" "x"
+let nctaid_x = mem3 "gridDim" "x"
+let sexpr x = s (Ast.Sexpr x)
+let sdecl ty name init = s (Ast.Sdecl (ty, name, init))
+let sblock l = s (Ast.Sblock l)
+let sif c t f = s (Ast.Sif (c, t, f))
+
+(* ---- generator environment ---- *)
+
+type env = {
+  rng : Rng.t;
+  mutable ints : string list; (* assignable int locals in scope *)
+  mutable floats : string list;
+  mutable doubles : string list;
+  mutable ro_ints : string list; (* loop vars etc: readable, never assigned *)
+  mutable fresh : int;
+  mutable budget : int; (* remaining statement budget *)
+  has_in0 : bool;
+  iscalars : string list; (* int scalar params *)
+  lscalars : string list; (* long scalar params *)
+  fscalars : string list; (* float scalar params *)
+  dscalars : string list; (* double scalar params *)
+}
+
+let pick env (l : 'a list) : 'a = List.nth l (Rng.int env.rng (List.length l))
+let chance env p = Rng.float env.rng < p
+
+let fresh env prefix =
+  let n = env.fresh in
+  env.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+(* ---- typed expression generation ---- *)
+
+let rec iexpr env d : Ast.expr =
+  if d <= 0 then ileaf env
+  else
+    match Rng.int env.rng 12 with
+    | 0 | 1 | 2 -> ebin (pick env [ "+"; "-"; "*" ]) (iexpr env (d - 1)) (iexpr env (d - 1))
+    | 3 -> ebin (pick env [ "&"; "|"; "^" ]) (iexpr env (d - 1)) (iexpr env (d - 1))
+    | 4 -> ebin (pick env [ "<<"; ">>" ]) (iexpr env (d - 1)) (eint (Rng.int env.rng 8))
+    | 5 ->
+        (* divide / rem only by non-zero constants *)
+        ebin (pick env [ "/"; "%" ]) (iexpr env (d - 1)) (eint (1 + Rng.int env.rng 8))
+    | 6 -> ecall (pick env [ "min"; "max" ]) [ iexpr env (d - 1); iexpr env (d - 1) ]
+    | 7 -> econd (bexpr env (d - 1)) (iexpr env (d - 1)) (iexpr env (d - 1))
+    | 8 -> eun Ast.Neg (iexpr env (d - 1))
+    | 9 when env.lscalars <> [] -> ecast Ast.Cint (id (pick env env.lscalars))
+    | 9 -> eun Ast.BitNot (iexpr env (d - 1))
+    | _ -> ileaf env
+
+and ileaf env : Ast.expr =
+  let consts = [ eint (Rng.int env.rng 10) ] in
+  let builtins = [ id "gid"; tid_x; bid_x; ntid_x; nctaid_x; id "n" ] in
+  let locals = List.map id (env.ints @ env.ro_ints) in
+  let scalars = List.map id env.iscalars in
+  let pool = consts @ builtins @ locals @ scalars in
+  pick env pool
+
+and bexpr env d : Ast.expr =
+  let icmp () =
+    ebin (pick env [ "<"; "<="; ">"; ">="; "=="; "!=" ]) (iexpr env (d - 1))
+      (iexpr env (d - 1))
+  in
+  if d <= 0 then ebin (pick env [ "<"; ">"; "==" ]) (ileaf env) (ileaf env)
+  else
+    match Rng.int env.rng 7 with
+    | 0 -> ebin "&&" (bexpr env (d - 1)) (bexpr env (d - 1))
+    | 1 -> ebin "||" (bexpr env (d - 1)) (bexpr env (d - 1))
+    | 2 -> eun Ast.Not (bexpr env (d - 1))
+    | 3 ->
+        ebin (pick env [ "<"; "<="; ">"; ">=" ])
+          (fexpr env (d - 1) ~dbl:(chance env 0.5))
+          (fexpr env (d - 1) ~dbl:false)
+    | _ -> icmp ()
+
+and fexpr env d ~dbl : Ast.expr =
+  let cty = if dbl then Ast.Cdouble else Ast.Cfloat in
+  if d <= 0 then fleaf env ~dbl
+  else
+    match Rng.int env.rng 11 with
+    | 0 | 1 | 2 ->
+        ebin (pick env [ "+"; "-"; "*"; "/" ]) (fexpr env (d - 1) ~dbl)
+          (fexpr env (d - 1) ~dbl)
+    | 3 ->
+        let base = pick env [ "sqrt"; "fabs"; "sin"; "cos"; "floor"; "tanh" ] in
+        let name = if dbl then base else base ^ "f" in
+        ecall name [ fexpr env (d - 1) ~dbl ]
+    | 4 ->
+        let name = if dbl then pick env [ "fmin"; "fmax" ] else pick env [ "fminf"; "fmaxf" ] in
+        ecall name [ fexpr env (d - 1) ~dbl; fexpr env (d - 1) ~dbl ]
+    | 5 -> econd (bexpr env (d - 1)) (fexpr env (d - 1) ~dbl) (fexpr env (d - 1) ~dbl)
+    | 6 -> eun Ast.Neg (fexpr env (d - 1) ~dbl)
+    | 7 -> ecast cty (iexpr env (d - 1))
+    | 8 -> ecast cty (fexpr env (d - 1) ~dbl:(not dbl))
+    | 9 ->
+        let name = if dbl then "fma" else "fmaf" in
+        ecall name
+          [ fexpr env (d - 1) ~dbl; fexpr env (d - 1) ~dbl; fexpr env (d - 1) ~dbl ]
+    | _ -> fleaf env ~dbl
+
+and fleaf env ~dbl : Ast.expr =
+  (* constants are dyadic rationals (k/16): exact in f32 and f64 and
+     printed/reparsed without rounding *)
+  let const = efloat ~dbl (float_of_int (Rng.int env.rng 129) /. 16.0) in
+  let locals = List.map id (if dbl then env.doubles else env.floats) in
+  let scalars = List.map id (if dbl then env.dscalars else env.fscalars) in
+  let casts = [ ecast (if dbl then Ast.Cdouble else Ast.Cfloat) (ileaf env) ] in
+  pick env ((const :: locals) @ scalars @ casts)
+
+let expr_of_ty env ty d =
+  match ty with
+  | Ast.Cint -> iexpr env d
+  | Ast.Cfloat -> fexpr env d ~dbl:false
+  | Ast.Cdouble -> fexpr env d ~dbl:true
+  | _ -> iexpr env d
+
+(* ---- statement generation ---- *)
+
+(* Run [f] in a nested scope: locals declared inside are dropped when
+   the scope closes (they would be out of scope in the printed C). *)
+let in_scope env f =
+  let ints = env.ints and floats = env.floats and doubles = env.doubles in
+  let ro = env.ro_ints in
+  let r = f () in
+  env.ints <- ints;
+  env.floats <- floats;
+  env.doubles <- doubles;
+  env.ro_ints <- ro;
+  r
+
+let assign_stmt env =
+  let targets =
+    List.map (fun v -> (Ast.Cint, v)) env.ints
+    @ List.map (fun v -> (Ast.Cfloat, v)) env.floats
+    @ List.map (fun v -> (Ast.Cdouble, v)) env.doubles
+  in
+  let ty, v = pick env targets in
+  let ops =
+    match ty with
+    | Ast.Cint -> [ "="; "+="; "-="; "*="; "&="; "|="; "^=" ]
+    | _ -> [ "="; "+="; "-="; "*=" ]
+  in
+  sexpr (eassign (pick env ops) (id v) (expr_of_ty env ty (1 + Rng.int env.rng 2)))
+
+let decl_stmt env =
+  let ty = pick env [ Ast.Cint; Ast.Cfloat; Ast.Cdouble ] in
+  let name = fresh env "v" in
+  let st = sdecl ty name (Some (expr_of_ty env ty 1)) in
+  (match ty with
+  | Ast.Cint -> env.ints <- name :: env.ints
+  | Ast.Cfloat -> env.floats <- name :: env.floats
+  | _ -> env.doubles <- name :: env.doubles);
+  st
+
+let rec gen_stmt env depth : Ast.stmt =
+  env.budget <- env.budget - 1;
+  match Rng.int env.rng 12 with
+  | 0 | 1 | 2 -> assign_stmt env
+  | 3 -> decl_stmt env
+  | 4 when env.ints <> [] ->
+      let v = pick env env.ints in
+      let pre = chance env 0.5 and incr = chance env 0.5 in
+      sexpr (e (Ast.Eincdec (pre, incr, id v)))
+  | 5 when depth > 0 && env.budget > 0 ->
+      let c = bexpr env 2 in
+      let t = in_scope env (fun () -> sblock (gen_stmts env (depth - 1) (1 + Rng.int env.rng 2))) in
+      let f =
+        if chance env 0.5 then
+          Some (in_scope env (fun () -> sblock (gen_stmts env (depth - 1) (1 + Rng.int env.rng 2))))
+        else None
+      in
+      sif c t f
+  | 6 when depth > 0 && env.budget > 0 -> for_stmt env depth
+  | 7 when depth > 0 && env.budget > 0 -> while_stmt env depth
+  | 8 when env.has_in0 && env.doubles <> [] ->
+      (* own-slot-safe input read: (gid + c) % n is always in [0, n) *)
+      let dst = pick env env.doubles in
+      let idx = ebin "%" (ebin "+" (id "gid") (eint (Rng.int env.rng 8))) (id "n") in
+      sexpr (eassign "+=" (id dst) (eindex (id "in0") idx))
+  | _ -> assign_stmt env
+
+and gen_stmts env depth count : Ast.stmt list =
+  let rec go i acc =
+    if i >= count || env.budget <= 0 then List.rev acc
+    else go (i + 1) (gen_stmt env depth :: acc)
+  in
+  go 0 []
+
+and for_stmt env depth : Ast.stmt =
+  let j = fresh env "j" in
+  let trip = 1 + Rng.int env.rng 5 in
+  let body =
+    in_scope env (fun () ->
+        env.ro_ints <- j :: env.ro_ints;
+        let stmts = gen_stmts env (depth - 1) (1 + Rng.int env.rng 2) in
+        let tail =
+          if chance env 0.25 then
+            [ sif (bexpr env 1) (sblock [ s (if chance env 0.5 then Ast.Sbreak else Ast.Scontinue) ]) None ]
+          else []
+        in
+        sblock (stmts @ tail))
+  in
+  s
+    (Ast.Sfor
+       ( Some (sdecl Ast.Cint j (Some (eint 0))),
+         Some (ebin "<" (id j) (eint trip)),
+         Some (e (Ast.Eincdec (false, true, id j))),
+         body ))
+
+and while_stmt env depth : Ast.stmt =
+  let w = fresh env "w" in
+  let trip = 1 + Rng.int env.rng 4 in
+  let body =
+    in_scope env (fun () ->
+        env.ro_ints <- w :: env.ro_ints;
+        (* the decrement comes first so a trailing continue cannot spin *)
+        let dec = sexpr (eassign "-=" (id w) (eint 1)) in
+        let stmts = gen_stmts env (depth - 1) (1 + Rng.int env.rng 2) in
+        let tail =
+          if chance env 0.25 then
+            [ sif (bexpr env 1) (sblock [ s (if chance env 0.5 then Ast.Sbreak else Ast.Scontinue) ]) None ]
+          else []
+        in
+        sblock ((dec :: stmts) @ tail))
+  in
+  (* a braced block (not Sseq): Sseq is a parser-internal grouping that
+     does not survive the pp->reparse roundtrip *)
+  sblock [ sdecl Ast.Cint w (Some (eint trip)); s (Ast.Swhile (ebin ">" (id w) (eint 0), body)) ]
+
+(* ---- kernel assembly ---- *)
+
+let scalar_cty env = pick env [ Ast.Cint; Ast.Clong; Ast.Cfloat; Ast.Cdouble ]
+
+let kernel ~seed ~max_stmts : kernel =
+  let rng = Rng.create seed in
+  let env0 =
+    {
+      rng;
+      ints = [];
+      floats = [];
+      doubles = [];
+      ro_ints = [];
+      fresh = 0;
+      budget = max_stmts;
+      has_in0 = false;
+      iscalars = [];
+      lscalars = [];
+      fscalars = [];
+      dscalars = [];
+    }
+  in
+  let has_aux = chance env0 0.5 in
+  let has_acc = chance env0 0.35 in
+  let has_in0 = chance env0 0.6 in
+  let nscal = 1 + Rng.int rng 3 in
+  let scal_tys = List.init nscal (fun _ -> scalar_cty env0) in
+  let scal_params = List.mapi (fun i ty -> (ty, Printf.sprintf "c%d" i)) scal_tys in
+  let uses_shared = chance env0 0.4 in
+  let shared_ty = if uses_shared then pick env0 [ Ast.Cdouble; Ast.Cfloat; Ast.Cint ] else Ast.Cdouble in
+  let params =
+    [ (Ast.Cptr Ast.Cdouble, "out") ]
+    @ (if has_aux then [ (Ast.Cptr Ast.Cfloat, "aux") ] else [])
+    @ (if has_acc then [ (Ast.Cptr Ast.Cint, "acc") ] else [])
+    @ (if has_in0 then [ (Ast.Cptr Ast.Cdouble, "in0") ] else [])
+    @ scal_params
+    @ [ (Ast.Cint, "n") ]
+  in
+  let args =
+    List.map
+      (fun (ty, name) ->
+        match (ty, name) with
+        | Ast.Cptr Ast.Cint, "acc" -> Aacc
+        | Ast.Cptr elem, _ -> Abuf elem
+        | Ast.Cint, "n" -> Alen
+        | ty, _ -> Ascalar ty)
+      params
+  in
+  (* spec candidates: scalars and n always; pointers occasionally
+     (Proteus folds pointer arguments too - the simulated address is
+     deterministic, so baking it in is safe) *)
+  let spec_args =
+    List.filteri
+      (fun i _ ->
+        let kind = List.nth args i in
+        match kind with
+        | Ascalar _ | Alen -> chance env0 0.4
+        | Abuf _ | Aacc -> chance env0 0.12)
+      (List.mapi (fun i _ -> i + 1) params)
+  in
+  let fattrs =
+    (if spec_args <> [] then [ Ast.Annotate ("jit", spec_args) ] else [])
+    @ if chance env0 0.15 then [ Ast.LaunchBounds (shared_elems, 1) ] else []
+  in
+  let env =
+    {
+      env0 with
+      has_in0;
+      iscalars =
+        List.filter_map (fun (t, n) -> if t = Ast.Cint then Some n else None) scal_params;
+      lscalars =
+        List.filter_map (fun (t, n) -> if t = Ast.Clong then Some n else None) scal_params;
+      fscalars =
+        List.filter_map (fun (t, n) -> if t = Ast.Cfloat then Some n else None) scal_params;
+      dscalars =
+        List.filter_map (fun (t, n) -> if t = Ast.Cdouble then Some n else None) scal_params;
+    }
+  in
+  (* fixed locals, one per type, so expressions always have leaves *)
+  let decls =
+    [
+      sdecl Ast.Cint "li" (Some (iexpr env 1));
+      sdecl Ast.Cfloat "lf" (Some (fexpr env 1 ~dbl:false));
+      sdecl Ast.Cdouble "ld" (Some (fexpr env 1 ~dbl:true));
+    ]
+  in
+  env.ints <- [ "li" ];
+  env.floats <- [ "lf" ];
+  env.doubles <- [ "ld" ];
+  let gid_decl =
+    sdecl Ast.Cint "gid" (Some (ebin "+" (ebin "*" bid_x ntid_x) tid_x))
+  in
+  let top_stmts = gen_stmts env 2 (2 + Rng.int rng 3) in
+  (* shared phase, in uniform control flow: write own slot, barrier,
+     read own slot back into a local *)
+  let shared_phase =
+    if not uses_shared then []
+    else
+      let sl = eindex (id shared_name) tid_x in
+      let write = sexpr (eassign "=" sl (expr_of_ty env shared_ty 2)) in
+      let bar = sexpr (ecall "__syncthreads" []) in
+      let read =
+        match shared_ty with
+        | Ast.Cint -> sexpr (eassign "+=" (id "li") sl)
+        | Ast.Cfloat -> sexpr (eassign "+=" (id "lf") sl)
+        | _ -> sexpr (eassign "+=" (id "ld") sl)
+      in
+      [ write; bar; read ]
+  in
+  let guarded =
+    let inner = gen_stmts env 1 (1 + Rng.int rng 2) in
+    let writes =
+      [ sexpr (eassign "=" (eindex (id "out") (id "gid")) (fexpr env 2 ~dbl:true)) ]
+      @ (if has_aux then
+           [ sexpr (eassign "=" (eindex (id "aux") (id "gid")) (fexpr env 2 ~dbl:false)) ]
+         else [])
+      @
+      if has_acc then
+        [ sexpr (ecall "atomicAdd" [ id "acc"; ebin "%" (iexpr env 1) (eint 17) ]) ]
+      else []
+    in
+    sif (ebin "<" (id "gid") (id "n")) (sblock (inner @ writes)) None
+  in
+  let body = sblock ((gid_decl :: decls) @ top_stmts @ shared_phase @ [ guarded ]) in
+  let fdef =
+    {
+      Ast.fattrs;
+      fkind = Ast.Fglobal;
+      fret = Ast.Cvoid;
+      fcname = "k";
+      fparams = params;
+      fbody = Some body;
+      fpos = dpos;
+    }
+  in
+  let globs =
+    if uses_shared then
+      [
+        Ast.Dglob
+          {
+            Ast.gkind = Ast.Fdevice;
+            gshared = true;
+            gcty = Ast.Carr (shared_ty, shared_elems);
+            gcname = shared_name;
+            gcinit = None;
+            gpos = dpos;
+          };
+      ]
+    else []
+  in
+  {
+    kseed = seed;
+    prog = globs @ [ Ast.Dfun fdef ];
+    sym = "k";
+    args;
+    spec_args;
+    uses_shared;
+    uses_atomic = has_acc;
+  }
+
+(* Launch configuration: drawn from an independent stream so shrinking
+   the kernel never perturbs the launch. Kept small - the harness runs
+   every thread through the IR interpreter twice per kernel. *)
+let launch ~seed (k : kernel) : launch =
+  let rng = Rng.create (seed lxor 0x5bd1e995) in
+  let block = if Rng.int rng 2 = 0 then 32 else 64 in
+  let grid = if k.uses_shared then 1 else 1 + Rng.int rng 2 in
+  let total = grid * block in
+  (* n may exceed the thread count: the guard must cope both ways *)
+  let n = 1 + Rng.int rng (total + 16) in
+  { grid; block; n; lseed = seed lxor 0x2545f491 }
+
+let case ~seed ~max_stmts : kernel * launch =
+  let k = kernel ~seed ~max_stmts in
+  (k, launch ~seed k)

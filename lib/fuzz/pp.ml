@@ -1,0 +1,235 @@
+(* Kernel-C pretty-printer over the frontend AST, written so that
+   [Parse.parse_program (program_to_string p)] reproduces [p] exactly
+   (modulo source positions) for every program the parser can itself
+   produce. Expressions are printed fully parenthesized: parentheses
+   leave no trace in the AST, so over-parenthesizing is free and makes
+   the roundtrip independent of the precedence table.
+
+   Two parser normalizations cannot roundtrip and are simply never
+   printed by the fuzz generator: [Sseq] (multi-declarator groups) and
+   do-while (which desugars into a duplicated body at parse time). The
+   printer still renders [Sseq] - as its statements, without braces -
+   so shrunk or hand-built ASTs stay printable. *)
+
+open Proteus_frontend
+
+let rec cty_str = function
+  | Ast.Cvoid -> "void"
+  | Ast.Cbool -> "bool"
+  | Ast.Cint -> "int"
+  | Ast.Clong -> "long"
+  | Ast.Cfloat -> "float"
+  | Ast.Cdouble -> "double"
+  | Ast.Cptr t -> cty_str t ^ "*"
+  | Ast.Carr (t, _) -> cty_str t ^ "*" (* arrays decay outside decl sites *)
+
+let float_lit v is_double =
+  (* %.17g roundtrips every finite double through the lexer's
+     float_of_string; force a '.' so the token stays a float *)
+  let s = Printf.sprintf "%.17g" v in
+  let s =
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s
+    else s ^ ".0"
+  in
+  if is_double then s else s ^ "f"
+
+let escape_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\000' -> Buffer.add_string buf "\\0"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec expr (x : Ast.expr) : string =
+  match x.Ast.desc with
+  | Ast.Eint (v, long) -> Int64.to_string v ^ if long then "L" else ""
+  | Ast.Efloat (v, dbl) -> float_lit v dbl
+  | Ast.Ebool b -> if b then "true" else "false"
+  | Ast.Estr s -> "\"" ^ escape_str s ^ "\""
+  | Ast.Eid x -> x
+  | Ast.Ebin (op, a, b) -> "(" ^ expr a ^ " " ^ op ^ " " ^ expr b ^ ")"
+  | Ast.Eun (Ast.Neg, a) -> "(-" ^ expr a ^ ")"
+  | Ast.Eun (Ast.Not, a) -> "(!" ^ expr a ^ ")"
+  | Ast.Eun (Ast.BitNot, a) -> "(~" ^ expr a ^ ")"
+  | Ast.Eassign (op, l, r) -> "(" ^ expr l ^ " " ^ op ^ " " ^ expr r ^ ")"
+  | Ast.Eincdec (pre, incr, l) ->
+      let t = if incr then "++" else "--" in
+      if pre then "(" ^ t ^ expr l ^ ")" else "(" ^ expr l ^ t ^ ")"
+  | Ast.Ecall (f, args) -> f ^ "(" ^ String.concat ", " (List.map expr args) ^ ")"
+  | Ast.Eindex (a, i) -> postfix_base a ^ "[" ^ expr i ^ "]"
+  | Ast.Emember (a, m) -> postfix_base a ^ "." ^ m
+  | Ast.Econd (c, t, f) -> "(" ^ expr c ^ " ? " ^ expr t ^ " : " ^ expr f ^ ")"
+  | Ast.Ecast (ty, a) -> "((" ^ cty_str ty ^ ")" ^ expr a ^ ")"
+  | Ast.Eaddr a -> "(&" ^ expr a ^ ")"
+  | Ast.Ederef a -> "(*" ^ expr a ^ ")"
+  | Ast.Elaunch l ->
+      l.Ast.lkernel ^ "<<<" ^ expr l.Ast.lgrid ^ ", " ^ expr l.Ast.lblock
+      ^ (match l.Ast.lshmem with Some e -> ", " ^ expr e | None -> "")
+      ^ ">>>(" ^ String.concat ", " (List.map expr l.Ast.largs) ^ ")"
+
+(* Array/member bases that are not plain identifiers need their own
+   parentheses ([(a + b)[i]] style); identifiers and nested postfix
+   expressions do not. *)
+and postfix_base (a : Ast.expr) : string =
+  match a.Ast.desc with
+  | Ast.Eid _ | Ast.Eindex _ | Ast.Emember _ | Ast.Ecall _ -> expr a
+  | _ -> "(" ^ expr a ^ ")"
+
+let decl_str ty name init =
+  let head =
+    match ty with
+    | Ast.Carr (t, n) -> Printf.sprintf "%s %s[%d]" (cty_str t) name n
+    | t -> Printf.sprintf "%s %s" (cty_str t) name
+  in
+  head ^ match init with Some e -> " = " ^ expr e | None -> ""
+
+let rec stmt buf ind (x : Ast.stmt) : unit =
+  let line s = Buffer.add_string buf (ind ^ s ^ "\n") in
+  match x.Ast.sdesc with
+  | Ast.Sdecl (ty, name, init) -> line (decl_str ty name init ^ ";")
+  | Ast.Sexpr e -> line (expr e ^ ";")
+  | Ast.Sif (c, t, f) ->
+      line ("if (" ^ expr c ^ ")");
+      stmt buf (ind ^ "  ") t;
+      (match f with
+      | Some f ->
+          line "else";
+          stmt buf (ind ^ "  ") f
+      | None -> ())
+  | Ast.Swhile (c, body) ->
+      line ("while (" ^ expr c ^ ")");
+      stmt buf (ind ^ "  ") body
+  | Ast.Sfor (init, cond, step, body) ->
+      let init_s =
+        match init with
+        | Some { Ast.sdesc = Ast.Sdecl (ty, name, i); _ } -> decl_str ty name i
+        | Some { Ast.sdesc = Ast.Sexpr e; _ } -> expr e
+        | Some _ -> "" (* not produced by the parser *)
+        | None -> ""
+      in
+      let cond_s = match cond with Some e -> expr e | None -> "" in
+      let step_s = match step with Some e -> expr e | None -> "" in
+      line (Printf.sprintf "for (%s; %s; %s)" init_s cond_s step_s);
+      stmt buf (ind ^ "  ") body
+  | Ast.Sreturn None -> line "return;"
+  | Ast.Sreturn (Some e) -> line ("return " ^ expr e ^ ";")
+  | Ast.Sblock stmts ->
+      line "{";
+      List.iter (stmt buf (ind ^ "  ")) stmts;
+      line "}"
+  | Ast.Sseq stmts -> List.iter (stmt buf ind) stmts
+  | Ast.Sbreak -> line "break;"
+  | Ast.Scontinue -> line "continue;"
+
+let attr_str = function
+  | Ast.Annotate (key, args) ->
+      Printf.sprintf "__attribute__((annotate(\"%s\"%s)))" (escape_str key)
+        (String.concat "" (List.map (fun i -> Printf.sprintf ", %d" i) args))
+  | Ast.LaunchBounds (t, 1) -> Printf.sprintf "__launch_bounds__(%d)" t
+  | Ast.LaunchBounds (t, b) -> Printf.sprintf "__launch_bounds__(%d, %d)" t b
+
+let fundef buf (f : Ast.fundef) : unit =
+  let kind =
+    match f.Ast.fkind with
+    | Ast.Fglobal -> "__global__ "
+    | Ast.Fdevice -> "__device__ "
+    | Ast.Fhost -> ""
+  in
+  let attrs = String.concat "" (List.map (fun a -> attr_str a ^ " ") f.Ast.fattrs) in
+  let params =
+    String.concat ", "
+      (List.map (fun (ty, name) -> cty_str ty ^ " " ^ name) f.Ast.fparams)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s%s %s(%s)" kind attrs (cty_str f.Ast.fret) f.Ast.fcname params);
+  match f.Ast.fbody with
+  | None -> Buffer.add_string buf ";\n"
+  | Some body ->
+      Buffer.add_string buf "\n";
+      stmt buf "" body
+
+let globdef buf (g : Ast.globdef) : unit =
+  let quals =
+    if g.Ast.gshared then "__shared__ "
+    else match g.Ast.gkind with Ast.Fdevice -> "__device__ " | _ -> ""
+  in
+  Buffer.add_string buf
+    (quals ^ decl_str g.Ast.gcty g.Ast.gcname g.Ast.gcinit ^ ";\n")
+
+let program_to_string (p : Ast.program) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun d ->
+      (match d with Ast.Dfun f -> fundef buf f | Ast.Dglob g -> globdef buf g);
+      Buffer.add_char buf '\n')
+    p;
+  Buffer.contents buf
+
+(* ---- position-insensitive structural equality ---- *)
+
+let rec erase_expr (x : Ast.expr) : Ast.expr =
+  let d =
+    match x.Ast.desc with
+    | (Ast.Eint _ | Ast.Efloat _ | Ast.Ebool _ | Ast.Estr _ | Ast.Eid _) as d -> d
+    | Ast.Ebin (op, a, b) -> Ast.Ebin (op, erase_expr a, erase_expr b)
+    | Ast.Eun (op, a) -> Ast.Eun (op, erase_expr a)
+    | Ast.Eassign (op, l, r) -> Ast.Eassign (op, erase_expr l, erase_expr r)
+    | Ast.Eincdec (p, i, l) -> Ast.Eincdec (p, i, erase_expr l)
+    | Ast.Ecall (f, args) -> Ast.Ecall (f, List.map erase_expr args)
+    | Ast.Eindex (a, i) -> Ast.Eindex (erase_expr a, erase_expr i)
+    | Ast.Emember (a, m) -> Ast.Emember (erase_expr a, m)
+    | Ast.Econd (c, t, f) -> Ast.Econd (erase_expr c, erase_expr t, erase_expr f)
+    | Ast.Ecast (ty, a) -> Ast.Ecast (ty, erase_expr a)
+    | Ast.Eaddr a -> Ast.Eaddr (erase_expr a)
+    | Ast.Ederef a -> Ast.Ederef (erase_expr a)
+    | Ast.Elaunch l ->
+        Ast.Elaunch
+          {
+            l with
+            Ast.lgrid = erase_expr l.Ast.lgrid;
+            lblock = erase_expr l.Ast.lblock;
+            lshmem = Option.map erase_expr l.Ast.lshmem;
+            largs = List.map erase_expr l.Ast.largs;
+          }
+  in
+  { Ast.desc = d; epos = Gen.dpos }
+
+let rec erase_stmt (x : Ast.stmt) : Ast.stmt =
+  let d =
+    match x.Ast.sdesc with
+    | Ast.Sdecl (ty, n, i) -> Ast.Sdecl (ty, n, Option.map erase_expr i)
+    | Ast.Sexpr e -> Ast.Sexpr (erase_expr e)
+    | Ast.Sif (c, t, f) -> Ast.Sif (erase_expr c, erase_stmt t, Option.map erase_stmt f)
+    | Ast.Swhile (c, b) -> Ast.Swhile (erase_expr c, erase_stmt b)
+    | Ast.Sfor (i, c, st, b) ->
+        Ast.Sfor
+          (Option.map erase_stmt i, Option.map erase_expr c, Option.map erase_expr st,
+           erase_stmt b)
+    | Ast.Sreturn e -> Ast.Sreturn (Option.map erase_expr e)
+    | Ast.Sblock l -> Ast.Sblock (List.map erase_stmt l)
+    | Ast.Sseq l -> Ast.Sseq (List.map erase_stmt l)
+    | (Ast.Sbreak | Ast.Scontinue) as d -> d
+  in
+  { Ast.sdesc = d; spos = Gen.dpos }
+
+let erase_decl (d : Ast.decl) : Ast.decl =
+  match d with
+  | Ast.Dfun f ->
+      Ast.Dfun
+        { f with Ast.fbody = Option.map erase_stmt f.Ast.fbody; fpos = Gen.dpos }
+  | Ast.Dglob g ->
+      Ast.Dglob { g with Ast.gcinit = Option.map erase_expr g.Ast.gcinit; gpos = Gen.dpos }
+
+let erase_program (p : Ast.program) : Ast.program = List.map erase_decl p
+
+(* NaN-safe (compare, not =): float literal payloads may be NaN in
+   hand-built ASTs even though the generator never emits them. *)
+let equal_program (a : Ast.program) (b : Ast.program) : bool =
+  Stdlib.compare (erase_program a) (erase_program b) = 0

@@ -1,0 +1,97 @@
+(* Replay of saved KernelFuzz reproducer (.kc) files.
+
+   A reproducer carries its provenance in header comments:
+
+     // seed:   <case seed>
+     // launch: grid=<g> block=<b> n=<n>
+
+   The program text that follows uses the generator's fixed parameter
+   naming (out/aux/acc/in0, c0.., trailing n), so the argument kinds -
+   and therefore the deterministic memory rig - are reconstructible
+   from the parsed parameter list alone. The launch's argument seed is
+   a pure function of the case seed, exactly as in [Gen.launch]. *)
+
+open Proteus_frontend
+
+let header_int (src : string) (key : string) : int option =
+  let re = key ^ ":" in
+  let lines = String.split_on_char '\n' src in
+  List.find_map
+    (fun line ->
+      let line = String.trim line in
+      if String.length line > 2 && String.sub line 0 2 = "//" then
+        let body = String.trim (String.sub line 2 (String.length line - 2)) in
+        if String.length body > String.length re && String.sub body 0 (String.length re) = re
+        then
+          int_of_string_opt
+            (String.trim (String.sub body (String.length re) (String.length body - String.length re)))
+        else None
+      else None)
+    lines
+
+let header_launch (src : string) : (int * int * int) option =
+  let lines = String.split_on_char '\n' src in
+  List.find_map
+    (fun line ->
+      try Scanf.sscanf (String.trim line) "// launch: grid=%d block=%d n=%d" (fun g b n -> Some (g, b, n))
+      with Scanf.Scan_failure _ | End_of_file | Failure _ -> None)
+    lines
+
+let arg_kinds (params : (Ast.cty * string) list) : Gen.arg_kind list =
+  List.map
+    (fun (ty, name) ->
+      match (ty, name) with
+      | Ast.Cptr Ast.Cint, "acc" -> Gen.Aacc
+      | Ast.Cptr elem, _ -> Gen.Abuf elem
+      | Ast.Cint, "n" -> Gen.Alen
+      | ty, _ -> Gen.Ascalar ty)
+    params
+
+(* Parse reproducer text into a kernel + launch ready for [Oracle.run]. *)
+let parse (src : string) : Gen.kernel * Gen.launch =
+  let seed =
+    match header_int src "seed" with
+    | Some s -> s
+    | None -> Proteus_support.Util.failf "repro: missing '// seed:' header"
+  in
+  let grid, block, n =
+    match header_launch src with
+    | Some l -> l
+    | None -> Proteus_support.Util.failf "repro: missing '// launch:' header"
+  in
+  let prog = Parse.parse_program src in
+  let f =
+    match
+      List.find_map
+        (function Ast.Dfun f when f.Ast.fbody <> None -> Some f | _ -> None)
+        prog
+    with
+    | Some f -> f
+    | None -> Proteus_support.Util.failf "repro: no kernel definition"
+  in
+  let spec_args =
+    List.find_map
+      (function Ast.Annotate ("jit", l) -> Some l | _ -> None)
+      f.Ast.fattrs
+    |> Option.value ~default:[]
+  in
+  let kernel =
+    {
+      Gen.kseed = seed;
+      prog;
+      sym = f.Ast.fcname;
+      args = arg_kinds f.Ast.fparams;
+      spec_args;
+      uses_shared = List.exists (function Ast.Dglob _ -> true | _ -> false) prog;
+      uses_atomic = List.exists (fun (ty, nm) -> ty = Ast.Cptr Ast.Cint && nm = "acc") f.Ast.fparams;
+    }
+  in
+  let launch = { Gen.grid; block; n; lseed = seed lxor 0x2545f491 } in
+  (kernel, launch)
+
+let load (path : string) : Gen.kernel * Gen.launch =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src

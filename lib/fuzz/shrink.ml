@@ -1,0 +1,143 @@
+(* Greedy structural shrinker for failing fuzz kernels.
+
+   Works on the kernel's AST body: repeatedly proposes one-step
+   simplifications (drop a statement, replace an if with one of its
+   branches, unwrap a loop to its body, zero an initializer) and
+   accepts a candidate iff the *same oracle* still rejects it. The
+   launch configuration and parameter list are never touched, so a
+   shrunk kernel replays with the original seed's arguments.
+
+   Candidates that no longer typecheck simply fail a different oracle
+   stage (or none) and are rejected; there is no need to track scopes
+   while shrinking. *)
+
+open Proteus_frontend
+
+let is_literal (ex : Ast.expr) =
+  match ex.Ast.desc with Ast.Eint _ | Ast.Efloat _ -> true | _ -> false
+
+let zero_init ty =
+  match ty with
+  | Ast.Cint | Ast.Clong -> Some (Gen.eint 0)
+  | Ast.Cfloat -> Some (Gen.efloat ~dbl:false 0.0)
+  | Ast.Cdouble -> Some (Gen.efloat ~dbl:true 0.0)
+  | _ -> None
+
+(* All one-step simplifications of a statement, roughly biggest
+   reduction first (greedy search adopts the first that still fails). *)
+let rec stmt_variants (st : Ast.stmt) : Ast.stmt list =
+  let mk d = { st with Ast.sdesc = d } in
+  match st.Ast.sdesc with
+  | Ast.Sif (c, t, f) ->
+      (t :: (match f with Some fe -> [ fe; mk (Ast.Sif (c, t, None)) ] | None -> []))
+      @ List.map (fun t' -> mk (Ast.Sif (c, t', f))) (stmt_variants t)
+      @ (match f with
+        | Some fe -> List.map (fun f' -> mk (Ast.Sif (c, t, Some f'))) (stmt_variants fe)
+        | None -> [])
+  | Ast.Sfor (init, cond, step, body) ->
+      (match init with
+      | Some i -> [ mk (Ast.Sblock [ i; body ]) ]
+      | None -> [ body ])
+      @ List.map (fun b -> mk (Ast.Sfor (init, cond, step, b))) (stmt_variants body)
+  | Ast.Swhile (c, body) ->
+      body :: List.map (fun b -> mk (Ast.Swhile (c, b))) (stmt_variants body)
+  | Ast.Sblock l -> List.map (fun l' -> mk (Ast.Sblock l')) (list_variants l)
+  | Ast.Sdecl (ty, name, Some init) when not (is_literal init) -> (
+      match zero_init ty with
+      | Some z -> [ mk (Ast.Sdecl (ty, name, Some z)) ]
+      | None -> [])
+  | _ -> []
+
+and list_variants (l : Ast.stmt list) : Ast.stmt list list =
+  let drops = List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) l) l in
+  let repls =
+    List.concat
+      (List.mapi
+         (fun i si ->
+           List.map
+             (fun si' -> List.mapi (fun j sj -> if j = i then si' else sj) l)
+             (stmt_variants si))
+         l)
+  in
+  drops @ repls
+
+let rec stmt_size (st : Ast.stmt) : int =
+  match st.Ast.sdesc with
+  | Ast.Sblock l | Ast.Sseq l -> List.fold_left (fun a x -> a + stmt_size x) 1 l
+  | Ast.Sif (_, t, f) ->
+      1 + stmt_size t + (match f with Some fe -> stmt_size fe | None -> 0)
+  | Ast.Sfor (i, _, _, b) ->
+      1 + stmt_size b + (match i with Some x -> stmt_size x | None -> 0)
+  | Ast.Swhile (_, b) -> 1 + stmt_size b
+  | _ -> 1
+
+let body_of (k : Gen.kernel) : Ast.stmt =
+  let rec go = function
+    | Ast.Dfun f :: _ when f.Ast.fcname = k.Gen.sym -> (
+        match f.Ast.fbody with
+        | Some b -> b
+        | None -> Proteus_support.Util.failf "fuzz: kernel %s has no body" k.Gen.sym)
+    | _ :: rest -> go rest
+    | [] -> Proteus_support.Util.failf "fuzz: kernel %s not found" k.Gen.sym
+  in
+  go k.Gen.prog
+
+let rebuild (k : Gen.kernel) (body : Ast.stmt) : Gen.kernel =
+  let prog =
+    List.map
+      (function
+        | Ast.Dfun f when f.Ast.fcname = k.Gen.sym ->
+            Ast.Dfun { f with Ast.fbody = Some body }
+        | d -> d)
+      k.Gen.prog
+  in
+  { k with Gen.prog }
+
+type result = {
+  kernel : Gen.kernel; (* minimized *)
+  failure : Oracle.failure; (* failure of the minimized kernel *)
+  oracle_runs : int; (* oracle executions spent shrinking *)
+}
+
+let shrink ?(budget = 200) (opts : Oracle.opts) (k0 : Gen.kernel) (l : Gen.launch)
+    (f0 : Oracle.failure) : result =
+  let runs = ref 0 in
+  (* Failures are compared by oracle AND by the detail's leading
+     category ("IR verifier", "frontend", "O0 vs O3 interpretation",
+     ...), so shrinking cannot drift from the interesting failure into
+     e.g. a plain typechecker error caused by deleting a declaration. *)
+  let category (f : Oracle.failure) =
+    match String.index_opt f.Oracle.detail ':' with
+    | Some i -> (f.Oracle.oracle, String.sub f.Oracle.detail 0 i)
+    | None -> (f.Oracle.oracle, f.Oracle.detail)
+  in
+  let cat0 = category f0 in
+  let still_fails k =
+    if !runs >= budget then None
+    else begin
+      incr runs;
+      match Oracle.run opts k l with
+      | Error f when category f = cat0 -> Some f
+      | Error _ | Ok _ -> None
+    end
+  in
+  let rec go k f =
+    if !runs >= budget then (k, f)
+    else begin
+      let cands = stmt_variants (body_of k) in
+      let rec try_cands = function
+        | [] -> (k, f)
+        | c :: rest ->
+            if !runs >= budget then (k, f)
+            else begin
+              let k' = rebuild k c in
+              match still_fails k' with
+              | Some f' -> go k' f'
+              | None -> try_cands rest
+            end
+      in
+      try_cands cands
+    end
+  in
+  let k, f = go k0 f0 in
+  { kernel = k; failure = f; oracle_runs = !runs }

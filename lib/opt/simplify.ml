@@ -11,6 +11,22 @@ let is_int_zero = function Ir.Imm (Konst.KInt (0L, _)) -> true | _ -> false
 let is_int_one = function Ir.Imm (Konst.KInt (1L, _)) -> true | _ -> false
 let is_fp v = function Ir.Imm (Konst.KFloat (x, _)) -> x = v | _ -> false
 
+(* Bit-level float test: [is_fp 0.0] matches -0.0 too (OCaml float
+   equality), which is too loose for identities that are only sound for
+   one sign of zero. *)
+let is_fp_bits v = function
+  | Ir.Imm (Konst.KFloat (x, _)) -> Int64.bits_of_float x = Int64.bits_of_float v
+  | _ -> false
+
+(* 1/c is exact iff c is a power of two (and the reciprocal neither
+   overflows nor underflows at the operand's width). *)
+let exact_recip c bits =
+  c <> 0.0
+  && (let m, _ = Float.frexp c in Float.abs m = 0.5)
+  &&
+  let r = if bits = 32 then Util.to_f32 (1.0 /. c) else 1.0 /. c in
+  Float.is_finite r && r <> 0.0
+
 let same_operand a b =
   match (a, b) with
   | Ir.Reg x, Ir.Reg y -> x = y
@@ -56,21 +72,30 @@ let simplify_instr (f : Ir.func) (i : Ir.instr) : action =
               Subst (Ir.Imm (Konst.kint ~bits:(match Ir.reg_ty f d with Types.TInt b -> b | _ -> 32) 0L))
           | Xor, x, y when same_operand x y && Types.is_int (Ir.reg_ty f d) ->
               Subst (Ir.Imm (Konst.kint ~bits:(match Ir.reg_ty f d with Types.TInt b -> b | _ -> 32) 0L))
-          (* GPU fast-math contract: x * 0 = 0 (NaN/Inf propagation is
-             waived, as under -ffast-math which HPC GPU builds use) *)
-          | FMul, _, (Ir.Imm (Konst.KFloat (0.0, bits)) as z) ->
-              ignore bits;
-              Subst z
-          | FAdd, x, z when is_fp 0.0 z -> Subst x
-          | FSub, x, z when is_fp 0.0 z -> Subst x
+          (* FP identities are applied only when bit-exact for every
+             input (including NaN, infinities and signed zeros): the
+             JIT's contract - checked by the differential fuzzer - is
+             that O3 and specialization never change results.
+             Dropped as unsound: x*0 -> 0 (NaN/Inf), x+0 -> x (-0.0),
+             and the general reciprocal rewrite (inexact rounding). *)
+          | FAdd, x, z when is_fp_bits (-0.0) z -> Subst x (* x + -0.0 = x *)
+          | FSub, x, z when is_fp_bits 0.0 z -> Subst x (* x - +0.0 = x *)
           | FMul, x, o when is_fp 1.0 o -> Subst x
           | FDiv, x, o when is_fp 1.0 o -> Subst x
           | FMul, x, Ir.Imm (Konst.KFloat (2.0, _)) ->
               Replace (Ir.IBin (d, FAdd, x, x))
-          (* fast-math reciprocal: division by a non-zero constant
-             becomes a multiply (GPU builds compile with -ffast-math) *)
-          | FDiv, x, Ir.Imm (Konst.KFloat (c, bits)) when c <> 0.0 ->
-              Replace (Ir.IBin (d, FMul, x, Ir.Imm (Konst.KFloat ((if bits = 32 then Proteus_support.Util.to_f32 (1.0 /. c) else 1.0 /. c), bits))))
+          (* division by a power-of-two constant becomes a multiply;
+             the reciprocal is exact, so results are unchanged *)
+          | FDiv, x, Ir.Imm (Konst.KFloat (c, bits)) when exact_recip c bits ->
+              Replace
+                (Ir.IBin
+                   ( d,
+                     FMul,
+                     x,
+                     Ir.Imm
+                       (Konst.KFloat
+                          ( (if bits = 32 then Util.to_f32 (1.0 /. c) else 1.0 /. c),
+                            bits )) ))
           | _ -> Keep))
   | Ir.ICmp (_, op, a, b) -> (
       match (imm_of a, imm_of b) with

@@ -124,21 +124,36 @@ let merge_linear (f : Ir.func) =
     | Some b ->
         let s = (match b.Ir.term with Ir.TBr s -> s | _ -> assert false) in
         let sb = Ir.find_block f s in
-        (* Phis in s have a single incoming (from b): replace uses. *)
-        let phis, rest =
-          List.partition (function Ir.IPhi _ -> true | _ -> false) sb.Ir.insts
+        (* Phis in s have a single incoming (from b): replace uses.
+           [replace_uses] rebuilds instruction lists rather than
+           mutating in place, so resolve one phi at a time and re-read
+           [sb.insts] each round - a list captured up front would splice
+           stale, unsubstituted instructions into [b] (uses of the phi
+           inside s itself would survive as undefined registers). *)
+        let rec resolve () =
+          match
+            List.find_map
+              (function Ir.IPhi (d, inc) -> Some (d, inc) | _ -> None)
+              sb.Ir.insts
+          with
+          | None -> ()
+          | Some (d, inc) ->
+              let v =
+                match inc with
+                | [ (_, v) ] -> Some v
+                | _ -> List.assoc_opt b.Ir.label inc
+              in
+              sb.Ir.insts <-
+                List.filter
+                  (function Ir.IPhi (d', _) -> d' <> d | _ -> true)
+                  sb.Ir.insts;
+              (match v with
+              | Some v when v <> Ir.Reg d -> Ir.replace_uses f d v
+              | _ -> ());
+              resolve ()
         in
-        List.iter
-          (fun i ->
-            match i with
-            | Ir.IPhi (d, [ (_, v) ]) -> Ir.replace_uses f d v
-            | Ir.IPhi (d, inc) -> (
-                match List.assoc_opt b.Ir.label inc with
-                | Some v -> Ir.replace_uses f d v
-                | None -> ())
-            | _ -> ())
-          phis;
-        b.Ir.insts <- b.Ir.insts @ rest;
+        resolve ();
+        b.Ir.insts <- b.Ir.insts @ sb.Ir.insts;
         b.Ir.term <- sb.Ir.term;
         f.Ir.blocks <- List.filter (fun (x : Ir.block) -> x.Ir.label <> s) f.Ir.blocks;
         (* Successors of s referenced b's merged label in phis. *)
@@ -150,19 +165,31 @@ let merge_linear (f : Ir.func) =
   !changed
 
 let remove_trivial_phis (f : Ir.func) =
+  (* Remove the phi from the block *before* substituting: replace_uses
+     rebuilds every instruction list, so a filter over a list captured
+     beforehand would write the unsubstituted instructions back. *)
   let changed = ref false in
   List.iter
     (fun (b : Ir.block) ->
-      b.Ir.insts <-
-        List.filter
-          (fun i ->
-            match i with
-            | Ir.IPhi (d, [ (_, v) ]) when v <> Ir.Reg d ->
-                Ir.replace_uses f d v;
-                changed := true;
-                false
-            | _ -> true)
-          b.Ir.insts)
+      let rec go () =
+        match
+          List.find_map
+            (function
+              | Ir.IPhi (d, [ (_, v) ]) when v <> Ir.Reg d -> Some (d, v)
+              | _ -> None)
+            b.Ir.insts
+        with
+        | None -> ()
+        | Some (d, v) ->
+            b.Ir.insts <-
+              List.filter
+                (function Ir.IPhi (d', _) -> d' <> d | _ -> true)
+                b.Ir.insts;
+            Ir.replace_uses f d v;
+            changed := true;
+            go ()
+      in
+      go ())
     f.Ir.blocks;
   !changed
 

@@ -10,14 +10,32 @@
 open Proteus_ir
 
 (* Replace uses of specialized parameters with constants. The parameter
-   list itself is unchanged (the launch ABI stays identical). *)
+   list itself is unchanged (the launch ABI stays identical). Pointer
+   arguments fold through a typed cast register rather than a raw i64
+   immediate: a GEP takes its element size from the base operand's
+   static type, which an integer immediate no longer carries (the same
+   subtlety [link_globals_typed] handles for device globals). *)
 let fold_arguments (f : Ir.func) (values : (int * Konst.t) list) : unit =
+  let casts = ref [] in
   List.iteri
     (fun i (_, reg) ->
       match List.assoc_opt (i + 1) values with
-      | Some k -> Ir.replace_uses f reg (Ir.Imm k)
+      | Some k -> (
+          match Ir.reg_ty f reg with
+          | Types.TPtr _ as pty ->
+              let r = Ir.fresh_reg f pty in
+              casts := Ir.ICast (r, Ops.Bitcast, Ir.Imm k) :: !casts;
+              Ir.replace_uses f reg (Ir.Reg r)
+          | _ -> Ir.replace_uses f reg (Ir.Imm k))
       | None -> ())
-    f.Ir.params
+    f.Ir.params;
+  if !casts <> [] then begin
+    let entry = Ir.entry f in
+    let phis, rest =
+      List.partition (function Ir.IPhi _ -> true | _ -> false) entry.Ir.insts
+    in
+    entry.Ir.insts <- phis @ List.rev !casts @ rest
+  end
 
 let set_launch_bounds (f : Ir.func) ~(threads : int) : unit =
   f.Ir.attrs.launch_bounds <- Some (threads, 1)

@@ -1,0 +1,30 @@
+(* Deterministic seeding for the qcheck property suites.
+
+   Every property runs from a fixed seed by default so test results are
+   reproducible; set PROTEUS_QCHECK_SEED to explore other seeds (CI can
+   rotate it) or to replay a failure. The active seed is printed when a
+   property fails. *)
+
+let seed =
+  match Sys.getenv_opt "PROTEUS_QCHECK_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "PROTEUS_QCHECK_SEED=%S is not an integer\n%!" s;
+          exit 2)
+  | None -> 0x5eed
+
+let qtest cell =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) cell
+  in
+  ( name,
+    speed,
+    fun () ->
+      try run ()
+      with e ->
+        Printf.eprintf
+          "[qcheck] %s failed under seed %d (replay with PROTEUS_QCHECK_SEED=%d)\n%!"
+          name seed seed;
+        raise e )

@@ -284,6 +284,87 @@ let test_verify_gate_off_by_default () =
       check Alcotest.bool v expected (Config.env_bool "PROTEUS_VERIFY_TEST" false))
     [ ("1", true); ("true", true); ("ON", true); ("0", false); ("no", false); ("", false) ]
 
+(* ------------------------------------------------------------------ *)
+(* Affine index forms: algebra, lane-shape classification, interval
+   evaluation and guard narrowing (clamp) per comparison operator. *)
+
+let itv = Alcotest.testable (Fmt.of_to_string (fun (i : Affine.itv) ->
+    let s = function None -> "_" | Some v -> string_of_int v in
+    Printf.sprintf "[%s,%s]" (s i.Affine.lo) (s i.Affine.hi)))
+    (fun a b -> a = b)
+
+let mul_exn a b =
+  match Affine.mul a b with
+  | Some t -> t
+  | None -> Alcotest.fail "affine product unexpectedly exceeded size caps"
+
+let test_affine_algebra () =
+  let tid = Affine.of_atom (Affine.Tid 0) in
+  let s = Affine.add (Affine.mul_const tid 2) (Affine.const 3) in
+  (* 2*tid + 3 *)
+  check Alcotest.string "pretty form" "2*tid.0 + 3" (Affine.to_string s);
+  check Alcotest.bool "equal to itself" true (Affine.equal s s);
+  check Alcotest.bool "sub gives const" true
+    (Affine.to_const (Affine.sub s s) = Some 0);
+  let tdep, unif = Affine.split s in
+  check Alcotest.string "thread part" "2*tid.0" (Affine.to_string tdep);
+  check Alcotest.string "uniform part" "3" (Affine.to_string unif)
+
+let test_affine_shapes () =
+  let tid = Affine.of_atom (Affine.Tid 0) in
+  let bid = Affine.of_atom (Affine.Bid 0) in
+  let ntid = Affine.of_atom (Affine.Ntid 0) in
+  let shape t = Affine.shape_of (fst (Affine.split t)) in
+  (match shape (Affine.const 7) with
+  | Affine.Uniform -> ()
+  | _ -> Alcotest.fail "const should be Uniform");
+  (match shape (Affine.mul_const tid 4) with
+  | Affine.Tid_only { axis = 0; stride = 4 } -> ()
+  | _ -> Alcotest.fail "4*tid should be Tid_only stride 4");
+  let gid = Affine.add tid (mul_exn bid ntid) in
+  (match shape gid with
+  | Affine.Gid { axis = 0; stride = 1 } -> ()
+  | _ -> Alcotest.fail "tid + bid*ntid should be Gid stride 1");
+  (match shape (Affine.mul_const bid 3) with
+  | Affine.Block_uniform -> ()
+  | _ -> Alcotest.fail "3*bid should be Block_uniform");
+  match shape (mul_exn gid gid) with
+  | Affine.Other -> ()
+  | _ -> Alcotest.fail "gid*gid should be Other"
+
+let test_affine_eval () =
+  let tid = Affine.of_atom (Affine.Tid 0) in
+  let env = function
+    | Affine.Tid 0 -> Affine.range (Some 0) (Some 63)
+    | _ -> Affine.top
+  in
+  (* 2*tid + 3 over tid in [0,63] *)
+  let s = Affine.add (Affine.mul_const tid 2) (Affine.const 3) in
+  check itv "2*tid+3" (Affine.range (Some 3) (Some 129)) (Affine.eval env s);
+  (* negative stride flips the interval *)
+  let n = Affine.mul_const tid (-1) in
+  check itv "-tid" (Affine.range (Some (-63)) (Some 0)) (Affine.eval env n);
+  (* unknown symbol -> top *)
+  let sym = Affine.of_atom (Affine.Sym 9) in
+  check itv "unknown sym" Affine.top (Affine.eval env sym)
+
+let test_affine_clamp () =
+  let open Proteus_ir.Ops in
+  let t = Affine.top in
+  check itv "x < 10" (Affine.range None (Some 9)) (Affine.clamp t CLt 10);
+  check itv "x <= 10" (Affine.range None (Some 10)) (Affine.clamp t CLe 10);
+  check itv "x > 4" (Affine.range (Some 5) None) (Affine.clamp t CGt 4);
+  check itv "x >= 4" (Affine.range (Some 4) None) (Affine.clamp t CGe 4);
+  check itv "x == 4" (Affine.exactly 4) (Affine.clamp t CEq 4);
+  check itv "x != 4 learns nothing" t (Affine.clamp t CNe 4);
+  (* clamp only ever narrows: a tighter existing bound is kept *)
+  let narrow = Affine.range (Some 8) (Some 9) in
+  check itv "no widening hi" narrow (Affine.clamp narrow CLt 100);
+  check itv "no widening lo" narrow (Affine.clamp narrow CGe 0);
+  (* guard narrowing composes: 0 <= x < 64 *)
+  let g = Affine.clamp (Affine.clamp t CGe 0) CLt 64 in
+  check itv "0 <= x < 64" (Affine.range (Some 0) (Some 63)) g
+
 let () =
   Alcotest.run "analysis"
     [
@@ -301,6 +382,13 @@ let () =
           Alcotest.test_case "info verdicts only under --all" `Quick
             test_info_findings_under_all;
         ] );
+      ( "affine",
+        [
+          Alcotest.test_case "algebra and split" `Quick test_affine_algebra;
+          Alcotest.test_case "lane shapes" `Quick test_affine_shapes;
+          Alcotest.test_case "interval evaluation" `Quick test_affine_eval;
+          Alcotest.test_case "guard narrowing (clamp)" `Quick test_affine_clamp;
+        ] );
       ( "uniformity",
         [
           Alcotest.test_case "analysis agrees with backend codegen" `Quick
@@ -316,7 +404,7 @@ let () =
             test_verify_rejects_nondominating_def;
         ] );
       ( "property",
-        [ QCheck_alcotest.to_alcotest prop_o3_stays_clean ] );
+        [ Qseed.qtest prop_o3_stays_clean ] );
       ( "verify-gate",
         [
           Alcotest.test_case "clean kernels pass through" `Quick

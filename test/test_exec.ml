@@ -13,7 +13,7 @@ open Proteus_runtime
 open Proteus_hecbench
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qseed.qtest
 
 let compile_kernel ?(vendor = Device.Amd) src sym =
   let fe_vendor =

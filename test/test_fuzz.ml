@@ -1,0 +1,169 @@
+(* KernelFuzz: generator determinism, pp->reparse roundtrip, the full
+   differential-oracle stack as qcheck properties, the committed corpus
+   of (fixed) historical reproducers, and the armed-fault campaign that
+   proves a deliberately corrupted specialization is caught, shrunk and
+   reported with seed provenance. *)
+
+open Proteus_fuzz
+
+let qtest = Qseed.qtest
+
+(* Case seeds drawn the same way campaigns derive them, over a few
+   disjoint base seeds, so properties cover fresh kernels rather than
+   re-walking the default campaign. *)
+let seed_gen = QCheck.map (fun i -> 7000 + (i * 1_000_003)) QCheck.(int_bound 5_000)
+
+let qcheck_gen_deterministic =
+  QCheck.Test.make ~name:"generator is deterministic per seed" ~count:100 seed_gen
+    (fun seed ->
+      let k1, l1 = Gen.case ~seed ~max_stmts:12 in
+      let k2, l2 = Gen.case ~seed ~max_stmts:12 in
+      Pp.program_to_string k1.Gen.prog = Pp.program_to_string k2.Gen.prog && l1 = l2)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"parse(pp(ast)) = ast on generated kernels" ~count:200
+    seed_gen (fun seed ->
+      let k, _ = Gen.case ~seed ~max_stmts:12 in
+      let src = Pp.program_to_string k.Gen.prog in
+      let re = Proteus_frontend.Parse.parse_program src in
+      Pp.equal_program k.Gen.prog re)
+
+let qcheck_all_oracles =
+  QCheck.Test.make ~name:"all four oracles agree on generated kernels" ~count:30
+    seed_gen (fun seed ->
+      let k, l = Gen.case ~seed ~max_stmts:12 in
+      match Oracle.run (Oracle.default_opts ()) k l with
+      | Ok checks -> checks > 0
+      | Error f ->
+          QCheck.Test.fail_reportf "seed %d: oracle %s: %s" seed f.Oracle.oracle
+            f.Oracle.detail)
+
+(* ---- committed reproducers of historical (now fixed) bugs ---- *)
+
+(* runtest executes in the test directory; `dune exec` from the repo
+   root does not - probe both. *)
+let corpus_dir =
+  List.find_opt Sys.file_exists [ "corpus"; "test/corpus" ]
+  |> Option.value ~default:"corpus"
+
+let corpus_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".kc")
+  |> List.sort compare
+
+let test_corpus_parses () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus is non-empty" true (List.length files >= 5);
+  List.iter
+    (fun f ->
+      let k, l = Repro.load (Filename.concat corpus_dir f) in
+      Alcotest.(check bool)
+        (f ^ " has a kernel symbol")
+        true
+        (String.length k.Gen.sym > 0);
+      Alcotest.(check bool) (f ^ " has a sane launch") true (l.Gen.n >= 1))
+    files
+
+let test_corpus_oracles_clean () =
+  (* every corpus entry once failed an oracle; all underlying bugs are
+     fixed, so the whole stack must now agree on each of them *)
+  List.iter
+    (fun f ->
+      let k, l = Repro.load (Filename.concat corpus_dir f) in
+      match Oracle.run (Oracle.default_opts ()) k l with
+      | Ok _ -> ()
+      | Error fl ->
+          Alcotest.failf "%s: oracle %s regressed: %s" f fl.Oracle.oracle
+            fl.Oracle.detail)
+    (corpus_files ())
+
+(* ---- armed fault campaign ---- *)
+
+let corrupt_plan =
+  match Proteus_core.Fault.plan_of_string "specialize-corrupt=always" with
+  | Ok p -> p
+  | Error e -> failwith e
+
+let test_armed_corruption_caught () =
+  let tmp = Filename.concat (Filename.get_temp_dir_name ()) "kernelfuzz-test-out" in
+  let cfg =
+    {
+      Fuzz.default_config with
+      Fuzz.seed = 42;
+      count = 30;
+      fault_plan = corrupt_plan;
+      shrink_budget = 60;
+      out_dir = Some tmp;
+    }
+  in
+  let r = Fuzz.run cfg in
+  Alcotest.(check bool)
+    "corrupted specialization is detected" true
+    (List.length r.Fuzz.failures > 0);
+  List.iter
+    (fun (fr : Fuzz.fail_report) ->
+      Alcotest.(check string) "caught by the specialization oracle" "c"
+        fr.Fuzz.failure.Oracle.oracle;
+      Alcotest.(check bool) "shrinking never grows the kernel" true
+        (fr.Fuzz.shrunk_size <= fr.Fuzz.original_size);
+      (match fr.Fuzz.file with
+      | Some path ->
+          Alcotest.(check bool) "reproducer file exists" true (Sys.file_exists path);
+          (* seed provenance: the written file replays to the same kernel *)
+          let k, l = Repro.load path in
+          Alcotest.(check int) "replayed case seed" fr.Fuzz.case_seed k.Gen.kseed;
+          Alcotest.(check int) "replayed launch n" fr.Fuzz.launch.Gen.n l.Gen.n
+      | None -> Alcotest.fail "reproducer file was not written");
+      (* the minimized kernel still fails the same oracle when replayed *)
+      match
+        Oracle.run
+          { (Oracle.default_opts ()) with Oracle.faults = Proteus_core.Fault.of_plan corrupt_plan }
+          fr.Fuzz.kernel fr.Fuzz.launch
+      with
+      | Error f -> Alcotest.(check string) "replay fails oracle c" "c" f.Oracle.oracle
+      | Ok _ -> Alcotest.fail "minimized reproducer no longer fails")
+    r.Fuzz.failures
+
+(* ---- shrinker sanity on a synthetic always-failing oracle ---- *)
+
+let test_shrinker_structural () =
+  let k, l = Gen.case ~seed:9_123_457 ~max_stmts:12 in
+  let body = Shrink.body_of k in
+  let vars = Shrink.stmt_variants body in
+  Alcotest.(check bool) "variants exist for a generated body" true (vars <> []);
+  List.iter
+    (fun v ->
+      (* drops shrink strictly; unwraps (if -> branch, loop -> body)
+         and initializer zeroing never grow the statement count *)
+      Alcotest.(check bool) "no variant grows the body" true
+        (Shrink.stmt_size v <= Shrink.stmt_size body))
+    vars;
+  Alcotest.(check bool) "some variant strictly shrinks" true
+    (List.exists (fun v -> Shrink.stmt_size v < Shrink.stmt_size body) vars);
+  (* rebuilding with the original body is the identity on the program *)
+  let k' = Shrink.rebuild k body in
+  Alcotest.(check string) "rebuild round-trips"
+    (Pp.program_to_string k.Gen.prog)
+    (Pp.program_to_string k'.Gen.prog);
+  ignore l
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "generator",
+        [ qtest qcheck_gen_deterministic; qtest qcheck_roundtrip ] );
+      ("oracles", [ qtest qcheck_all_oracles ]);
+      ( "corpus",
+        [
+          Alcotest.test_case "reproducers parse and replay" `Quick test_corpus_parses;
+          Alcotest.test_case "historical bugs stay fixed" `Quick
+            test_corpus_oracles_clean;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "specialize-corrupt is caught and minimized" `Quick
+            test_armed_corruption_caught;
+        ] );
+      ( "shrinker",
+        [ Alcotest.test_case "structural variants shrink" `Quick test_shrinker_structural ] );
+    ]

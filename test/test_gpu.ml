@@ -9,7 +9,7 @@ open Proteus_backend
 open Proteus_gpu
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qseed.qtest
 
 (* ---- Gmem ---- *)
 

@@ -5,7 +5,7 @@ open Proteus_support
 open Proteus_ir
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qseed.qtest
 
 (* ------------------------------------------------------------------ *)
 (* Types *)
@@ -256,6 +256,82 @@ let test_verify_phi_after_nonphi () =
   Builder.ret b None;
   expect_invalid "phi after non-phi" f
 
+(* ---- phi / dominance invariants over a diamond CFG ----
+
+   entry -(x<0)-> t | e, both to join; [mk_join] builds the join block
+   given the two branch values so each test can plant a different phi
+   (or none) at the merge. *)
+let build_diamond mk_join =
+  let f = Ir.create_func "dia" [ ("x", Types.i32) ] Types.i32 in
+  let b = Builder.create f in
+  let x = Ir.Reg (snd (List.hd f.Ir.params)) in
+  let t = Builder.new_block b "t" in
+  let e = Builder.new_block b "e" in
+  let j = Builder.new_block b "join" in
+  let c = Builder.cmp b Ops.CLt x (Ir.Imm (Konst.ki32 0)) in
+  Builder.cond_br b c t.Ir.label e.Ir.label;
+  Builder.position_at b t;
+  let tv = Builder.bin b Ops.Add Types.i32 x (Ir.Imm (Konst.ki32 1)) in
+  Builder.br b j.Ir.label;
+  Builder.position_at b e;
+  let ev = Builder.bin b Ops.Add Types.i32 x (Ir.Imm (Konst.ki32 2)) in
+  Builder.br b j.Ir.label;
+  Builder.position_at b j;
+  mk_join b tv ev;
+  f
+
+let test_verify_phi_good_diamond () =
+  let f =
+    build_diamond (fun b tv ev ->
+        let p = Builder.phi b Types.i32 [ ("t", tv); ("e", ev) ] in
+        Builder.ret b (Some p))
+  in
+  match Verify.check (module_with [ f ]) with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "good diamond rejected: %s" (String.concat "; " msgs)
+
+let test_verify_phi_missing_incoming () =
+  let f =
+    build_diamond (fun b tv _ ->
+        let p = Builder.phi b Types.i32 [ ("t", tv) ] in
+        Builder.ret b (Some p))
+  in
+  expect_invalid "phi missing an incoming for predecessor e" f
+
+let test_verify_phi_duplicate_incoming () =
+  let f =
+    build_diamond (fun b tv ev ->
+        let p = Builder.phi b Types.i32 [ ("t", tv); ("t", tv); ("e", ev) ] in
+        Builder.ret b (Some p))
+  in
+  expect_invalid "phi with duplicate incoming labels" f
+
+let test_verify_phi_nonpred_incoming () =
+  let f =
+    build_diamond (fun b tv ev ->
+        let p =
+          Builder.phi b Types.i32
+            [ ("t", tv); ("e", ev); ("entry", Ir.Imm (Konst.ki32 0)) ]
+        in
+        Builder.ret b (Some p))
+  in
+  expect_invalid "phi incoming from non-predecessor" f
+
+let test_verify_phi_value_edge_dominance () =
+  (* the e-defined value is not available at the end of the t->join
+     edge; a phi may only draw values that dominate their edge *)
+  let f =
+    build_diamond (fun b _ ev ->
+        let p = Builder.phi b Types.i32 [ ("t", ev); ("e", ev) ] in
+        Builder.ret b (Some p))
+  in
+  expect_invalid "phi value must dominate its incoming edge" f
+
+let test_verify_branch_def_no_dominance () =
+  (* using a branch-local value at the join without a phi *)
+  let f = build_diamond (fun b tv _ -> Builder.ret b (Some tv)) in
+  expect_invalid "use at join not dominated by branch-local def" f
+
 let test_verify_accepts_good () =
   let m = module_with [ build_abs_add () ] in
   match Verify.check m with
@@ -438,6 +514,18 @@ let () =
           Alcotest.test_case "wrong return type" `Quick test_verify_ret_type;
           Alcotest.test_case "double definition" `Quick test_verify_double_def;
           Alcotest.test_case "phi placement" `Quick test_verify_phi_after_nonphi;
+          Alcotest.test_case "phi: clean diamond accepted" `Quick
+            test_verify_phi_good_diamond;
+          Alcotest.test_case "phi: missing incoming" `Quick
+            test_verify_phi_missing_incoming;
+          Alcotest.test_case "phi: duplicate incoming" `Quick
+            test_verify_phi_duplicate_incoming;
+          Alcotest.test_case "phi: non-predecessor incoming" `Quick
+            test_verify_phi_nonpred_incoming;
+          Alcotest.test_case "phi: value must dominate its edge" `Quick
+            test_verify_phi_value_edge_dominance;
+          Alcotest.test_case "dominance: branch-local use at join" `Quick
+            test_verify_branch_def_no_dominance;
         ] );
       ( "bitcode",
         [

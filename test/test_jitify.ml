@@ -72,6 +72,101 @@ let test_device_globals_unsupported () =
     (try ignore (Jitify.instantiate jt prog ~sym:"k" ~consts:[]); false
      with Jitify.Unsupported _ -> true)
 
+(* ---- differential vs the Proteus path on the shared examples ----
+
+   The bundled example programs (lib/examples) drive both tools through
+   the same plugin-rewritten call sites: once with the Proteus JIT
+   runtime installed, once with launches redirected through the Jitify
+   baseline. Outputs must be bit-identical; what differs is the cache
+   key discipline (Jitify never bakes the launch configuration in). *)
+
+let run_with_jitify (exe : Proteus_driver.Driver.exe) : string * Jitify.t =
+  let rt = Gpurt.create (Device.by_vendor Device.Nvidia) in
+  let _lm = Gpurt.load_module rt exe.Proteus_driver.Driver.fatbin in
+  let jt = Jitify.create rt in
+  let prog =
+    Jitify.program ~name:exe.Proteus_driver.Driver.name
+      exe.Proteus_driver.Driver.source
+  in
+  let extra h name args = Jitify.host_hook jt prog h name args in
+  let result = Hostexec.run ~extra rt exe.Proteus_driver.Driver.host in
+  (result.Hostexec.output, jt)
+
+let runnable_examples () =
+  (* montecarlo_pi is a bare kernel without a main; skip it here *)
+  List.filter
+    (fun (e : Proteus_examples.Sources.t) ->
+      let re = Str.regexp_string "int main" in
+      try ignore (Str.search_forward re e.Proteus_examples.Sources.source 0); true
+      with Not_found -> false)
+    Proteus_examples.Sources.all
+
+let test_examples_differential () =
+  List.iter
+    (fun (e : Proteus_examples.Sources.t) ->
+      let name = e.Proteus_examples.Sources.name in
+      let src = e.Proteus_examples.Sources.source in
+      let exe =
+        Proteus_driver.Driver.compile ~name ~vendor:Device.Nvidia
+          ~mode:Proteus_driver.Driver.Proteus src
+      in
+      let proteus = Proteus_driver.Driver.run exe in
+      let jitify_out, jt = run_with_jitify exe in
+      check Alcotest.string (name ^ ": Jitify output = Proteus output")
+        proteus.Proteus_driver.Driver.output jitify_out;
+      Alcotest.(check bool) (name ^ ": Jitify compiled something") true
+        (jt.Jitify.compiles > 0);
+      let aot =
+        Proteus_driver.Driver.run
+          (Proteus_driver.Driver.compile ~name ~vendor:Device.Nvidia
+             ~mode:Proteus_driver.Driver.Aot src)
+      in
+      check Alcotest.string (name ^ ": AOT output agrees")
+        aot.Proteus_driver.Driver.output jitify_out)
+    (runnable_examples ())
+
+let test_cache_key_divergence () =
+  (* Same specialization constants, two different block sizes. Jitify's
+     instantiation key ignores the launch configuration, so the second
+     launch is a cache hit; Proteus's specialization key bakes the
+     launch bounds in, so the same situation is two distinct entries. *)
+  let rt = Gpurt.create (Device.by_vendor Device.Nvidia) in
+  let jt = Jitify.create rt in
+  let src = (Proteus_examples.Sources.find "quickstart").Proteus_examples.Sources.source in
+  let prog = Jitify.program ~name:"quickstart" src in
+  let n = 128 in
+  let x = Gpurt.dmalloc rt (n * 8) and y = Gpurt.dmalloc rt (n * 8) in
+  let consts = [ (1, Konst.kf64 2.0); (4, Konst.ki32 n) ] in
+  let args =
+    [| Konst.kf64 2.0; Konst.kint ~bits:64 x; Konst.kint ~bits:64 y; Konst.ki32 n |]
+  in
+  Jitify.launch jt prog ~sym:"daxpy" ~consts ~grid:2 ~block:64 ~args;
+  Jitify.launch jt prog ~sym:"daxpy" ~consts ~grid:1 ~block:128 ~args;
+  check Alcotest.int "Jitify: block size change does not recompile" 1
+    jt.Jitify.compiles;
+  let spec_values = consts in
+  let key b =
+    Proteus_core.Speckey.to_string
+      (Proteus_core.Speckey.compute ~mid:"m0" ~sym:"daxpy" ~spec_values
+         ~launch_bounds:(Some b))
+  in
+  Alcotest.(check bool) "Proteus: block size change is a new cache key" true
+    (key 64 <> key 128);
+  (* and both tools agree that new constants mean a new compilation *)
+  Jitify.launch jt prog ~sym:"daxpy"
+    ~consts:[ (1, Konst.kf64 3.0); (4, Konst.ki32 n) ]
+    ~grid:2 ~block:64
+    ~args:[| Konst.kf64 3.0; Konst.kint ~bits:64 x; Konst.kint ~bits:64 y; Konst.ki32 n |];
+  check Alcotest.int "Jitify: new constants recompile" 2 jt.Jitify.compiles;
+  let key_c v =
+    Proteus_core.Speckey.to_string
+      (Proteus_core.Speckey.compute ~mid:"m0" ~sym:"daxpy"
+         ~spec_values:[ (1, Konst.kf64 v); (4, Konst.ki32 n) ]
+         ~launch_bounds:(Some 64))
+  in
+  Alcotest.(check bool) "Proteus: new constants are a new cache key" true
+    (key_c 2.0 <> key_c 3.0)
+
 let test_overhead_charged () =
   let rt = Gpurt.create (Device.by_vendor Device.Nvidia) in
   let jt = Jitify.create rt in
@@ -91,5 +186,12 @@ let () =
           Alcotest.test_case "unknown kernel" `Quick test_unknown_kernel;
           Alcotest.test_case "device globals unsupported" `Quick test_device_globals_unsupported;
           Alcotest.test_case "overhead charged" `Quick test_overhead_charged;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "examples: Jitify = Proteus = AOT output" `Quick
+            test_examples_differential;
+          Alcotest.test_case "cache keys: launch config baked in vs not" `Quick
+            test_cache_key_divergence;
         ] );
     ]

@@ -6,7 +6,7 @@ open Proteus_frontend
 open Proteus_opt
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qseed.qtest
 
 let device_of src =
   (Compile.compile ~vendor:Lower.Cuda src).Compile.device

@@ -10,7 +10,7 @@ open Proteus_core
 open Proteus_driver
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qseed.qtest
 
 let daxpy_src =
   {|

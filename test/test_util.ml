@@ -3,7 +3,7 @@
 open Proteus_support
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qseed.qtest
 
 (* ---- FNV hashing ---- *)
 
