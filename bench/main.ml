@@ -382,6 +382,95 @@ let analyze_bench () =
     (!tot_compile *. 1e3) (!tot_analyze *. 1e3)
 
 (* ------------------------------------------------------------------ *)
+(* SpecAdvisor policy comparison (--advise, Fig. 6 style): run every
+   app cold under PROTEUS_SPEC_POLICY=all, advise and none, and check
+   the policy contract — advised specialization is bit-identical to
+   full specialization while compiling no more kernels and holding no
+   more cache entries (it may hold fewer: arguments the advisor scored
+   below threshold stop multiplying keys). Any output divergence or a
+   compile/entry regression fails the run (exit 1).                   *)
+
+type advise_row = {
+  ar_app : string;
+  ar_vendor : Device.vendor;
+  ar_ok : bool;
+  ar_compiles_all : int;
+  ar_compiles_adv : int;
+  ar_compiles_none : int;
+  ar_entries_all : int;
+  ar_entries_adv : int;
+  ar_hits_all : int;
+  ar_hits_adv : int;
+  ar_skipped : int;
+  ar_advise_s : float;
+}
+
+let advise_rows : advise_row list ref = ref []
+
+let advise_bench () =
+  header "SpecAdvisor policy: full vs advised vs no specialization (Proteus, cold)";
+  let open Proteus_core in
+  let failures = ref 0 in
+  Printf.printf "%-9s %-7s %13s %16s %10s %8s %10s %7s\n" "" "" "all cmp/hit"
+    "advise cmp/hit" "none cmp" "entries" "skipped" "output";
+  List.iter
+    (fun vendor ->
+      List.iter
+        (fun (a : App.t) ->
+          let run_policy policy =
+            Harness.run
+              ~config:{ Config.default with Config.spec_policy = policy }
+              a vendor Harness.Proteus_cold
+          in
+          let m_all = run_policy Config.Spec_all in
+          let m_adv = run_policy Config.Spec_advise in
+          let m_none = run_policy Config.Spec_none in
+          let st (m : Harness.measurement) =
+            match m.Harness.stats with
+            | Some s -> s
+            | None -> Stats.create ()
+          in
+          let compiles m = (st m).Stats.compiles in
+          let hits m = (st m).Stats.mem_hits + (st m).Stats.disk_hits in
+          let entries m = Stats.cache_entries_total (st m) in
+          let ok =
+            m_all.Harness.ok && m_adv.Harness.ok && m_none.Harness.ok
+            && m_adv.Harness.output = m_all.Harness.output
+            && m_none.Harness.output = m_all.Harness.output
+            && compiles m_adv <= compiles m_all
+            && entries m_adv <= entries m_all
+          in
+          if not ok then incr failures;
+          let row =
+            {
+              ar_app = a.App.name;
+              ar_vendor = vendor;
+              ar_ok = ok;
+              ar_compiles_all = compiles m_all;
+              ar_compiles_adv = compiles m_adv;
+              ar_compiles_none = compiles m_none;
+              ar_entries_all = entries m_all;
+              ar_entries_adv = entries m_adv;
+              ar_hits_all = hits m_all;
+              ar_hits_adv = hits m_adv;
+              ar_skipped = (st m_adv).Stats.spec_skipped_args;
+              ar_advise_s = (st m_adv).Stats.advise_time_s;
+            }
+          in
+          advise_rows := row :: !advise_rows;
+          Printf.printf "%-9s %-7s %8d/%-4d %11d/%-4d %10d %4d/%-3d %10d %7s\n"
+            a.App.name (vname vendor) row.ar_compiles_all row.ar_hits_all
+            row.ar_compiles_adv row.ar_hits_adv row.ar_compiles_none
+            row.ar_entries_all row.ar_entries_adv row.ar_skipped
+            (if ok then "same" else "DIFF"))
+        Suite.apps)
+    vendors;
+  if !failures > 0 then begin
+    Printf.printf "\n%d advise-policy cell(s) regressed\n" !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Fault-injection sweep (--inject-faults): run the whole HeCBench
    suite with a failure forced at every JIT stage in turn and verify
    the robustness contract — every program completes with output
@@ -503,7 +592,33 @@ let write_json path ~(target_times : (string * float) list) ~(total_s : float) =
            m.Harness.cache_bytes
            (if i = List.length cells - 1 then "" else ",")))
     cells;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ]";
+  (* SpecAdvisor policy comparison, present when the advise target ran *)
+  let arows =
+    List.sort
+      (fun a b -> compare (a.ar_app, a.ar_vendor) (b.ar_app, b.ar_vendor))
+      !advise_rows
+  in
+  if arows <> [] then begin
+    Buffer.add_string buf ",\n  \"advise\": [\n";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"app\": \"%s\", \"vendor\": \"%s\", \"ok\": %b, \
+              \"compiles_all\": %d, \"compiles_advise\": %d, \"compiles_none\": %d, \
+              \"cache_entries_all\": %d, \"cache_entries_advise\": %d, \
+              \"hits_all\": %d, \"hits_advise\": %d, \"skipped_args\": %d, \
+              \"advise_ms\": %s}%s\n"
+             (json_escape r.ar_app) (vname r.ar_vendor) r.ar_ok r.ar_compiles_all
+             r.ar_compiles_adv r.ar_compiles_none r.ar_entries_all r.ar_entries_adv
+             r.ar_hits_all r.ar_hits_adv r.ar_skipped
+             (json_ms r.ar_advise_s)
+             (if i = List.length arows - 1 then "" else ",")))
+      arows;
+    Buffer.add_string buf "  ]"
+  end;
+  Buffer.add_string buf "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -540,6 +655,7 @@ let () =
     | "fig11" -> timed "fig11" fig11
     | "micro" -> timed "micro" micro
     | "--analyze" | "analyze" -> timed "analyze" analyze_bench
+    | "--advise" | "advise" -> timed "advise" advise_bench
     | "--inject-faults" | "inject-faults" | "faults" ->
         timed "inject-faults" inject_faults
     | "all" ->
@@ -555,11 +671,12 @@ let () =
         timed "fig9" fig9;
         timed "fig10" fig10;
         timed "fig11" fig11;
+        timed "advise" advise_bench;
         timed "micro" micro
     | w ->
         Printf.eprintf
           "unknown target %s (use \
-           all|table1|table2|table3|fig3..fig11|micro|--analyze|--inject-faults)\n"
+           all|table1|table2|table3|fig3..fig11|micro|--analyze|--advise|--inject-faults)\n"
           w;
         exit 2
   in

@@ -1,10 +1,15 @@
-(* Smoke checker for `proteus bench --json` output, run from the
-   @bench-smoke alias (part of runtest). Parses the JSON strictly with
-   a self-contained recursive-descent reader (no JSON library in the
-   environment) and asserts the measurement schema: a non-empty array
-   of objects, every required field present and well-typed, every
-   method either ok or explicitly n/a, and n/a rows carrying null
-   timings rather than garbage. *)
+(* Smoke checker for `proteus bench --json` and `proteus advise
+   --format machine` output, run from the @bench-smoke and @advise
+   aliases (part of runtest). Parses the JSON strictly with a
+   self-contained recursive-descent reader (no JSON library in the
+   environment) and asserts the respective schema: for measurements, a
+   non-empty array of objects, every required field present and
+   well-typed, every method either ok or explicitly n/a, and n/a rows
+   carrying null timings rather than garbage; for advise reports
+   (--advise FILE), a non-empty array of per-kernel impact objects
+   with a consistent argument table (scores sorted descending, the
+   recommended list matching per-argument flags, no pointer argument
+   recommended). *)
 
 type json =
   | Null
@@ -173,17 +178,82 @@ let check_row row =
     [ "e2e_ms"; "kernel_ms"; "jit_overhead_ms" ];
   meth
 
+(* ---- advise report schema (proteus advise --format machine) ---- *)
+
+let as_num what = function Num v -> v | _ -> bad "%s: expected a number" what
+let as_int what v =
+  let f = as_num what v in
+  if Float.is_integer f then int_of_float f else bad "%s: expected an integer" what
+let as_arr what = function Arr xs -> xs | _ -> bad "%s: expected an array" what
+
+let check_advise_arg kernel a =
+  let ctx what = Printf.sprintf "kernel %s: %s" kernel what in
+  let index = as_int (ctx "index") (field a "index") in
+  if index < 0 then bad "%s" (ctx "negative argument index");
+  ignore (as_str (ctx "name") (field a "name"));
+  ignore (as_str (ctx "type") (field a "type"));
+  let ptr = as_bool (ctx "ptr") (field a "ptr") in
+  List.iter
+    (fun f ->
+      if as_int (ctx f) (field a f) < 0 then bad "%s" (ctx (f ^ " is negative")))
+    [ "folds"; "uses"; "branches"; "loops"; "loop_insts"; "addrs" ];
+  let score = as_num (ctx "score") (field a "score") in
+  if Float.is_nan score || score < 0.0 then bad "%s" (ctx "bad score");
+  let recommended = as_bool (ctx "recommended") (field a "recommended") in
+  if recommended && ptr then bad "%s" (ctx "pointer argument recommended");
+  (index, score, recommended)
+
+let check_advise_row row =
+  ignore (as_str "program" (field row "program"));
+  let kernel = as_str "kernel" (field row "kernel") in
+  let nparams = as_int "nparams" (field row "nparams") in
+  let threshold = as_num "threshold" (field row "threshold") in
+  let advise_ms = as_num "advise_ms" (field row "advise_ms") in
+  if advise_ms < 0.0 then bad "kernel %s: negative advise_ms" kernel;
+  ignore (as_bool "launch_bounds" (field row "launch_bounds"));
+  let rec_list =
+    List.map (as_int "recommended entry") (as_arr "recommended" (field row "recommended"))
+  in
+  let args = List.map (check_advise_arg kernel) (as_arr "args" (field row "args")) in
+  (* one row per parameter plus the launch pseudo-argument *)
+  if List.length args <> nparams + 1 then
+    bad "kernel %s: %d arg rows for %d parameters" kernel (List.length args) nparams;
+  (* ranking is score-descending *)
+  ignore
+    (List.fold_left
+       (fun prev (_, score, _) ->
+         (match prev with
+         | Some p when score > p +. 1e-9 ->
+             bad "kernel %s: args not sorted by descending score" kernel
+         | _ -> ());
+         Some score)
+       None args);
+  (* the recommended list and the per-argument flags agree *)
+  List.iter
+    (fun (idx, score, r) ->
+      if idx > 0 && r <> List.mem idx rec_list then
+        bad "kernel %s: argument %d flag disagrees with recommended list" kernel idx;
+      if r && score +. 1e-9 < threshold then
+        bad "kernel %s: argument %d recommended below threshold" kernel idx)
+    args;
+  kernel
+
 let () =
-  let path =
+  let advise, path =
     match Sys.argv with
-    | [| _; p |] -> p
-    | _ -> prerr_endline "usage: bench_check FILE.json"; exit 2
+    | [| _; p |] -> (false, p)
+    | [| _; "--advise"; p |] -> (true, p)
+    | _ -> prerr_endline "usage: bench_check [--advise] FILE.json"; exit 2
   in
   let ic = open_in_bin path in
   let src = really_input_string ic (in_channel_length ic) in
   close_in ic;
   try
     match parse src with
+    | Arr rows when advise ->
+        if rows = [] then bad "empty advise report";
+        let kernels = List.map check_advise_row rows in
+        Printf.printf "bench_check: %s ok (%d kernel reports)\n" path (List.length kernels)
     | Arr rows ->
         if rows = [] then bad "empty measurement array";
         let meths = List.map check_row rows in

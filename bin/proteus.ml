@@ -49,13 +49,18 @@ let compile_cmd =
     Arg.(value & flag & info [ "werror" ]
            ~doc:"Fail the build if KernelSan reports any finding (Proteus mode).")
   in
-  let run file vendor proteus werror dump_host dump_device dump_ptx dump_mach =
+  let advise =
+    Arg.(value & flag & info [ "advise" ]
+           ~doc:"Let SpecAdvisor infer annotate(\"jit\") metadata for unannotated \
+                 kernels (Proteus mode).")
+  in
+  let run file vendor proteus werror advise dump_host dump_device dump_ptx dump_mach =
     let source = read_file file in
     let mode = if proteus then Proteus_driver.Driver.Proteus else Proteus_driver.Driver.Aot in
     let exe =
       try
-        Proteus_driver.Driver.compile ~name:(Filename.basename file) ~werror ~vendor ~mode
-          source
+        Proteus_driver.Driver.compile ~name:(Filename.basename file) ~werror ~advise
+          ~vendor ~mode source
       with Proteus_core.Plugin.Werror msg ->
         Printf.eprintf "proteus: error: %s\n" msg;
         exit 1
@@ -89,7 +94,7 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"AOT-compile a Kernel-C program")
     Term.(
-      const run $ file_arg $ vendor_arg $ proteus_flag $ werror $ dump_host
+      const run $ file_arg $ vendor_arg $ proteus_flag $ werror $ advise $ dump_host
       $ dump_device $ dump_ptx $ dump_mach)
 
 (* ---- analyze ---- *)
@@ -162,6 +167,110 @@ let analyze_cmd =
        ~doc:"Run the KernelSan static analyses (barrier divergence, shared-memory \
              races, out-of-bounds accesses) over kernel code")
     Term.(const go $ files $ bundled $ all $ werror $ format)
+
+(* ---- advise ---- *)
+
+let advise_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Kernel-C source files to advise on.")
+  in
+  let bundled =
+    Arg.(value & flag & info [ "bundled" ]
+           ~doc:"Also advise on the bundled HeCBench mini-apps and examples.")
+  in
+  let threshold =
+    Arg.(value
+         & opt float Proteus_analysis.Specadvisor.default_threshold
+         & info [ "threshold" ]
+             ~doc:"Minimum impact score for an argument to be recommended.")
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("machine", `Machine) ]) `Text
+         & info [ "format" ]
+             ~doc:"Output format: $(b,text) or $(b,machine) (JSON, the schema \
+                   bench_check --advise validates).")
+  in
+  let auto =
+    Arg.(value & flag & info [ "auto-annotate" ]
+           ~doc:"Rewrite the given FILEs in place, inserting \
+                 __attribute__((annotate(\"jit\", ...))) on unannotated kernels with a \
+                 non-empty recommendation. Idempotent: annotated kernels are skipped.")
+  in
+  let go files bundled threshold format auto =
+    let open Proteus_analysis in
+    let targets =
+      List.map (fun f -> (f, read_file f)) files
+      @
+      if bundled then
+        List.map
+          (fun (a : Proteus_hecbench.App.t) ->
+            (a.Proteus_hecbench.App.name, a.Proteus_hecbench.App.source))
+          Proteus_hecbench.Suite.apps
+        @ List.map
+            (fun (e : Proteus_examples.Sources.t) ->
+              (e.Proteus_examples.Sources.name, e.Proteus_examples.Sources.source))
+            Proteus_examples.Sources.all
+      else []
+    in
+    if targets = [] then begin
+      prerr_endline "proteus advise: no input (pass FILE arguments or --bundled)";
+      exit 2
+    end;
+    let advised =
+      List.map
+        (fun (name, source) ->
+          let m = Proteus_frontend.Compile.compile_device_only ~name ~debug:true source in
+          (name, source, Specadvisor.advise_module ~threshold m))
+        targets
+    in
+    (match format with
+    | `Text ->
+        List.iter
+          (fun (name, _, reports) ->
+            List.iter (fun k -> print_string (Specadvisor.to_string ~file:name k)) reports)
+          advised;
+        Printf.printf "advised %d program(s), %d kernel(s)\n" (List.length advised)
+          (List.fold_left (fun acc (_, _, ks) -> acc + List.length ks) 0 advised)
+    | `Machine ->
+        print_string
+          (Specadvisor.json_of_programs
+             (List.map (fun (name, _, ks) -> (name, ks)) advised)));
+    if auto then
+      List.iter
+        (fun (name, source, reports) ->
+          (* only real files can be rewritten; bundled sources are skipped *)
+          if Sys.file_exists name then begin
+            let advice =
+              List.map (fun k -> (k.Specadvisor.kernel, Specadvisor.recommended_args k)) reports
+            in
+            let rewritten, kernels =
+              Proteus_frontend.Rewrite.auto_annotate source ~advice
+            in
+            if kernels <> [] then begin
+              let oc = open_out_bin name in
+              output_string oc rewritten;
+              close_out oc
+            end;
+            (* idempotence check: a second pass must plan no insertions *)
+            (match Proteus_frontend.Rewrite.auto_annotate rewritten ~advice with
+            | _, [] -> ()
+            | _, again ->
+                Printf.eprintf "proteus advise: rewrite of %s not idempotent (%s)\n" name
+                  (String.concat ", " again);
+                exit 1);
+            Printf.printf "%s: annotated %d kernel(s)%s\n" name (List.length kernels)
+              (if kernels = [] then "" else ": " ^ String.concat ", " kernels)
+          end)
+        advised
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Rank kernel arguments by specialization profitability (SpecAdvisor): \
+             what folds, which branches prune and which loops unroll if the JIT pins \
+             each argument; optionally auto-annotate sources")
+    Term.(const go $ files $ bundled $ threshold $ format $ auto)
 
 (* ---- run ---- *)
 
@@ -288,7 +397,8 @@ let fuzz_cmd =
   in
   let oracle =
     Arg.(value & opt (some string) None & info [ "oracle" ]
-           ~doc:"Comma-separated subset of $(b,a),$(b,b),$(b,c),$(b,d) to run (default: all four).")
+           ~doc:"Comma-separated subset of $(b,a),$(b,b),$(b,c),$(b,d),$(b,e) to run \
+                 (default: all five).")
   in
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
@@ -315,7 +425,7 @@ let fuzz_cmd =
     List.iter
       (fun o ->
         if not (List.mem o Proteus_fuzz.Oracle.all_oracles) then begin
-          Printf.eprintf "proteus fuzz: unknown oracle %s (a|b|c|d)\n" o;
+          Printf.eprintf "proteus fuzz: unknown oracle %s (a|b|c|d|e)\n" o;
           exit 2
         end)
       oracles;
@@ -369,4 +479,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; analyze_cmd; run_cmd; bench_cmd; fuzz_cmd; devices_cmd ]))
+          [ compile_cmd; analyze_cmd; advise_cmd; run_cmd; bench_cmd; fuzz_cmd; devices_cmd ]))

@@ -15,13 +15,19 @@ let severity_to_string = function
 
 let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
 
-type kind = Barrier_divergence | Shared_race | Out_of_bounds | Invalid_ir
+type kind =
+  | Barrier_divergence
+  | Shared_race
+  | Out_of_bounds
+  | Invalid_ir
+  | Spec_impact (* Specadvisor provenance: why an argument scored *)
 
 let kind_to_string = function
   | Barrier_divergence -> "barrier-divergence"
   | Shared_race -> "shared-race"
   | Out_of_bounds -> "out-of-bounds"
   | Invalid_ir -> "invalid-ir"
+  | Spec_impact -> "spec-impact"
 
 type t = {
   kind : kind;

@@ -24,15 +24,11 @@ open Proteus_support
 open Proteus_ir
 
 (* ------------------------------------------------------------------ *)
-(* Normalization                                                       *)
+(* Normalization — shared with Specadvisor (see Normalize): drivers
+   that run both analyses normalize once and call the `*_normalized`
+   entry points, so both passes see identical block ids. *)
 
-let normalize (m : Ir.modul) : Ir.modul =
-  let m = Ir.clone_module m in
-  let stats = Proteus_opt.Pass.mk_stats () in
-  Proteus_opt.Pass.run_pipeline stats
-    [ Proteus_opt.Simplifycfg.pass; Proteus_opt.Mem2reg.pass ]
-    m;
-  m
+let normalize (m : Ir.modul) : Ir.modul = Normalize.clone m
 
 (* ------------------------------------------------------------------ *)
 (* Pointer provenance                                                  *)
@@ -661,8 +657,9 @@ let analyze_func (m : Ir.modul) (f : Ir.func) : Finding.t list =
 (* ------------------------------------------------------------------ *)
 (* Module driver                                                       *)
 
-let analyze_module ?kernels (m : Ir.modul) : Finding.t list =
-  let m = normalize m in
+(* [m] must already be a normalized clone (Normalize.clone); used by
+   drivers that share one normalization across several analyses. *)
+let analyze_normalized ?kernels (m : Ir.modul) : Finding.t list =
   let wanted (f : Ir.func) =
     (not f.Ir.is_decl)
     && f.Ir.blocks <> []
@@ -674,14 +671,19 @@ let analyze_module ?kernels (m : Ir.modul) : Finding.t list =
   |> List.concat_map (analyze_func m)
   |> List.sort Finding.compare
 
+let analyze_module ?kernels (m : Ir.modul) : Finding.t list =
+  analyze_normalized ?kernels (normalize m)
+
 (* Analyze one function by name regardless of its [fkind]: the JIT
    verify gate operates on extracted single-kernel modules whose
    function kinds the bitcode round-trip may not preserve. *)
-let analyze_kernel (m : Ir.modul) (sym : string) : Finding.t list =
-  let m = normalize m in
+let analyze_kernel_normalized (m : Ir.modul) (sym : string) : Finding.t list =
   match Ir.find_func_opt m sym with
   | Some f when (not f.Ir.is_decl) && f.Ir.blocks <> [] -> analyze_func m f
   | _ -> []
+
+let analyze_kernel (m : Ir.modul) (sym : string) : Finding.t list =
+  analyze_kernel_normalized (normalize m) sym
 
 (* Default reporting hides conservative Info verdicts. *)
 let reportable ?(all = false) findings =

@@ -1,0 +1,25 @@
+(* Shared analysis normalization: every IR-level analysis (Kernelsan,
+   Specadvisor) wants the same view of a module — a clone simplified
+   with simplifycfg + mem2reg so scalar locals become registers the
+   dataflow and affine machinery can see through, with dbg.loc markers
+   preserved for finding provenance.
+
+   Factoring the clone here fixes a subtle disagreement: when two
+   analyses each normalized privately, simplifycfg could merge blocks
+   in clone-order-dependent ways and the passes would report findings
+   against different block ids for the same kernel. Drivers that run
+   more than one analysis normalize once with [clone] and hand the
+   *same* normalized module to each `*_normalized` entry point, so
+   block ids (and register numbering) agree across reports — and the
+   simplifycfg+mem2reg work is paid once per kernel instead of once
+   per analysis. *)
+
+open Proteus_ir
+
+let clone (m : Ir.modul) : Ir.modul =
+  let m = Ir.clone_module m in
+  let stats = Proteus_opt.Pass.mk_stats () in
+  Proteus_opt.Pass.run_pipeline stats
+    [ Proteus_opt.Simplifycfg.pass; Proteus_opt.Mem2reg.pass ]
+    m;
+  m

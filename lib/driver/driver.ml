@@ -34,15 +34,15 @@ let frontend_vendor = function
    (device extraction before optimization; host rewriting), O3-optimize
    both sides, compile the device side with the vendor backend, embed. *)
 let compile ?(name = "app") ?(diagnostics = true) ?(werror = false)
-    ~(vendor : Device.vendor) ~(mode : mode) (source : string) : exe =
+    ?(advise = false) ~(vendor : Device.vendor) ~(mode : mode) (source : string) : exe =
   let t0 = Unix.gettimeofday () in
   let u = Compile.compile ~name ~vendor:(frontend_vendor vendor) source in
   let device = u.Compile.device and host = u.Compile.host in
   let sections =
     match mode with
     | Proteus ->
-        let r = Plugin.run_device ~diagnostics ~werror ~vendor device in
-        Plugin.run_host ~vendor host;
+        let r = Plugin.run_device ~diagnostics ~werror ~advise ~vendor device in
+        Plugin.run_host ~inferred:r.Plugin.inferred ~vendor host;
         r.Plugin.dsections
     | Aot -> []
   in

@@ -1,0 +1,73 @@
+(* Source-to-source auto-annotation: given per-kernel specialization
+   advice (from SpecAdvisor, but this module only sees names and
+   argument indices), insert `__attribute__((annotate("jit", ...)))`
+   in front of each unannotated __global__ definition. The rewrite is
+   positional, not a pretty-print: everything the programmer wrote —
+   comments, spacing, macros the parser tolerates — survives
+   untouched, and re-running the rewriter on its own output is the
+   identity (annotated kernels are skipped). *)
+
+let has_jit_annotation (fd : Ast.fundef) : bool =
+  List.exists
+    (function Ast.Annotate ("jit", _) -> true | _ -> false)
+    fd.Ast.fattrs
+
+(* Byte offsets of line starts; the lexer's positions are 1-based in
+   both line and column, with a column counted in bytes from the line
+   start. *)
+let line_starts (src : string) : int array =
+  let starts = ref [ 0 ] in
+  String.iteri (fun i c -> if c = '\n' then starts := (i + 1) :: !starts) src;
+  Array.of_list (List.rev !starts)
+
+let byte_of_pos (starts : int array) (src : string) (p : Ast.pos) : int =
+  let ls =
+    if p.Ast.line >= 1 && p.Ast.line <= Array.length starts then starts.(p.Ast.line - 1)
+    else String.length src
+  in
+  min (String.length src) (ls + max 0 (p.Ast.col - 1))
+
+let annotation_text (args : int list) : string =
+  Printf.sprintf "__attribute__((annotate(\"jit\"%s))) "
+    (String.concat "" (List.map (Printf.sprintf ", %d") args))
+
+(* The planned insertions for [src]: (byte offset, kernel, text).
+   Only defined, unannotated __global__ functions for which [advice]
+   has a non-empty recommendation are touched. *)
+let plan (src : string) ~(advice : (string * int list) list) :
+    (int * string * string) list =
+  let prog = Parse.parse_program src in
+  let starts = line_starts src in
+  List.filter_map
+    (function
+      | Ast.Dfun fd
+        when fd.Ast.fkind = Ast.Fglobal
+             && fd.Ast.fbody <> None
+             && not (has_jit_annotation fd) -> (
+          match List.assoc_opt fd.Ast.fcname advice with
+          | Some (_ :: _ as args) ->
+              Some
+                ( byte_of_pos starts src fd.Ast.fpos,
+                  fd.Ast.fcname,
+                  annotation_text args )
+          | _ -> None)
+      | _ -> None)
+    prog
+
+(* Rewrite [src]; returns the new text and the kernels annotated (in
+   source order). Unparseable sources raise Ast.Error like the
+   compiler proper. *)
+let auto_annotate (src : string) ~(advice : (string * int list) list) :
+    string * string list =
+  let inserts = plan src ~advice in
+  let buf = Buffer.create (String.length src + 64) in
+  let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare a b) inserts in
+  let rec emit pos = function
+    | [] -> Buffer.add_substring buf src pos (String.length src - pos)
+    | (off, _, text) :: rest ->
+        Buffer.add_substring buf src pos (off - pos);
+        Buffer.add_string buf text;
+        emit off rest
+  in
+  emit 0 sorted;
+  (Buffer.contents buf, List.map (fun (_, k, _) -> k) sorted)

@@ -12,7 +12,13 @@
        outputs to the unspecialized path (the paper's core claim);
    (d) static cleanliness: the IR verifier and KernelSan must stay
        error-free on the generated program and on its O3 and
-       specialized forms.
+       specialized forms;
+   (e) advise-safe: SpecAdvisor must be deterministic (two advisory
+       passes over the same kernel produce identical impact reports),
+       and specializing only the advisor-recommended subset of the
+       annotated arguments must still produce bit-identical outputs to
+       the unspecialized path (dropping a key component may cost
+       folding, never correctness).
 
    Every run builds its own memory rig with a deterministic layout
    (module globals first, then parameter buffers in order, contents
@@ -29,11 +35,11 @@ module Rng = Util.Rng
 type failure = { oracle : string; detail : string }
 
 type opts = {
-  oracles : string list; (* subset of ["a"; "b"; "c"; "d"] *)
+  oracles : string list; (* subset of ["a"; "b"; "c"; "d"; "e"] *)
   faults : Proteus_core.Fault.t; (* armed fault points for the spec path *)
 }
 
-let all_oracles = [ "a"; "b"; "c"; "d" ]
+let all_oracles = [ "a"; "b"; "c"; "d"; "e" ]
 
 let default_opts () = { oracles = all_oracles; faults = Proteus_core.Fault.of_plan [] }
 
@@ -312,7 +318,7 @@ let run_source (opts : opts) ~(src : string) (gk : Gen.kernel) (l : Gen.launch) 
           Verify.verify_module m3;
           ksan_errors "d" "O3" m3;
           tick ());
-    let need_interp = sel "a" || sel "b" || sel "c" in
+    let need_interp = sel "a" || sel "b" || sel "c" || sel "e" in
     let snap0 = if need_interp then guard "a" (fun () -> interp_run m0 gk l) else "" in
     (* (a) part 2: O0 vs O3 under the interpreter *)
     if sel "a" then
@@ -384,6 +390,59 @@ let run_source (opts : opts) ~(src : string) (gk : Gen.kernel) (l : Gen.launch) 
           let snapc = snapshot rig in
           if snapc <> snap0 then
             failf "c" "specialized vs unspecialized outputs: %s" (snap_diff snapc snap0);
+          tick ());
+    (* (e): SpecAdvisor determinism + advise-policy execution equality *)
+    if sel "e" then
+      guard "e" (fun () ->
+          let module Sa = Proteus_analysis.Specadvisor in
+          let me = Proteus_core.Extract.extract_kernel m0 gk.Gen.sym in
+          let advise () = Sa.advise_kernel (clone_module me) gk.Gen.sym in
+          let ki1 = advise () and ki2 = advise () in
+          (match (ki1, ki2) with
+          | Some k1, Some k2 ->
+              let s1 = Sa.signature k1 and s2 = Sa.signature k2 in
+              if s1 <> s2 then
+                failf "e" "advisor nondeterministic: %s vs %s" s1 s2
+          | None, None -> failf "e" "advisor found no kernel %s" gk.Gen.sym
+          | _ -> failf "e" "advisor nondeterministic: report presence differs");
+          tick ();
+          let recommended =
+            match ki1 with Some k -> Sa.recommended_args k | None -> []
+          in
+          let rig = make_rig gk l in
+          let ms = clone_module me in
+          let spec_values =
+            List.map (fun i -> (i, rig.args.(i - 1))) gk.Gen.spec_args
+          in
+          let keep, skipped =
+            Proteus_core.Speckey.apply_policy ~policy:Proteus_core.Config.Spec_advise
+              ~recommended spec_values
+          in
+          if List.length keep + skipped <> List.length spec_values then
+            failf "e" "policy lost arguments: kept %d + skipped %d of %d"
+              (List.length keep) skipped (List.length spec_values);
+          let config =
+            {
+              Proteus_core.Config.default with
+              Proteus_core.Config.enable_rcf = true;
+              enable_lb = true;
+            }
+          in
+          Proteus_core.Specialize.apply config ms ~kernel:gk.Gen.sym ~spec_values:keep
+            ~block:l.Gen.block ~resolve_global:(global_of rig);
+          ignore (Proteus_opt.Pipeline.optimize_o3 ms);
+          let obj = Gcn.compile ms in
+          let mk = Mach.find_kernel obj gk.Gen.sym in
+          let dev = Device.mi250x in
+          let l2 = L2cache.create dev in
+          ignore
+            (Exec.launch ~reference:false ~domains:1 ~device:dev ~mem:rig.mem ~l2
+               ~symbols:(global_of rig) mk ~grid:l.Gen.grid ~block:l.Gen.block
+               ~args:rig.args);
+          let snape = snapshot rig in
+          if snape <> snap0 then
+            failf "e" "advise-policy vs unspecialized outputs (%d of %d args keyed): %s"
+              (List.length keep) (List.length spec_values) (snap_diff snape snap0);
           tick ());
     Ok !checks
   with Fail f -> Error f

@@ -15,6 +15,37 @@ type stats = {
 
 let mk_stats () = { work = 0; runs = [] }
 
+(* Fine-grained fold/prune counters, exposed for the specialization
+   cost model (Specadvisor): the advisor's static predictions are
+   calibrated against what SCCP and the unroller actually did after
+   arguments were folded to constants. Process-global and cumulative;
+   snapshot with [read_counters] before/after an optimization run and
+   subtract. *)
+type counters = {
+  mutable sccp_folds : int; (* instructions SCCP replaced by constants *)
+  mutable sccp_branches : int; (* conditional branches SCCP proved one-sided *)
+  mutable unroll_loops : int; (* loops fully unrolled *)
+  mutable unroll_copies : int; (* loop-body instruction copies emitted *)
+}
+
+let counters = { sccp_folds = 0; sccp_branches = 0; unroll_loops = 0; unroll_copies = 0 }
+
+let read_counters () =
+  {
+    sccp_folds = counters.sccp_folds;
+    sccp_branches = counters.sccp_branches;
+    unroll_loops = counters.unroll_loops;
+    unroll_copies = counters.unroll_copies;
+  }
+
+let counters_diff ~(before : counters) (after : counters) =
+  {
+    sccp_folds = after.sccp_folds - before.sccp_folds;
+    sccp_branches = after.sccp_branches - before.sccp_branches;
+    unroll_loops = after.unroll_loops - before.unroll_loops;
+    unroll_copies = after.unroll_copies - before.unroll_copies;
+  }
+
 let func_size (f : Ir.func) =
   List.fold_left (fun acc (b : Ir.block) -> acc + List.length b.insts + 1) 0 f.blocks
 

@@ -162,6 +162,17 @@ let run (_m : Ir.modul) (f : Ir.func) : bool =
   done;
   (* Apply results: substitute constants, fold proven branches. *)
   let changed = ref false in
+  (* account proven branches before fold_const_branches rewrites them *)
+  List.iter
+    (fun (b : Ir.block) ->
+      if Util.Sset.mem b.Ir.label !block_exec then
+        match b.Ir.term with
+        | Ir.TCondBr (c, _, _) -> (
+            match operand_lat c with
+            | Const _ -> Pass.counters.Pass.sccp_branches <- Pass.counters.Pass.sccp_branches + 1
+            | _ -> ())
+        | _ -> ())
+    f.Ir.blocks;
   let rewrite o =
     match o with
     | Ir.Reg r -> (
@@ -183,6 +194,7 @@ let run (_m : Ir.modul) (f : Ir.func) : bool =
                   match lat.(d) with
                   | Const _ ->
                       changed := true;
+                      Pass.counters.Pass.sccp_folds <- Pass.counters.Pass.sccp_folds + 1;
                       false
                   | _ -> true)
               | None -> true)

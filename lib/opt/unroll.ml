@@ -374,6 +374,14 @@ let run (_m : Ir.modul) (f : Ir.func) : bool =
       | l :: rest -> (
           match analyze f cfg dom l with
           | Some plan ->
+              let body_size =
+                Util.Sset.fold
+                  (fun lbl acc -> acc + List.length (Ir.find_block f lbl).Ir.insts)
+                  plan.body 0
+              in
+              Pass.counters.Pass.unroll_loops <- Pass.counters.Pass.unroll_loops + 1;
+              Pass.counters.Pass.unroll_copies <-
+                Pass.counters.Pass.unroll_copies + ((plan.trips + 1) * body_size);
               apply f plan;
               ignore (Cfg.remove_unreachable f);
               true

@@ -4,6 +4,26 @@
    plus the fault-containment policy (fault injection plan and kernel
    quarantine thresholds). *)
 
+(* Which annotated arguments enter the specialization key.
+   [Spec_all] keys every annotated argument (the paper's behaviour);
+   [Spec_advise] consults the SpecAdvisor impact report and drops
+   arguments scoring below [spec_threshold], trading a little folding
+   for fewer JIT compiles and smaller caches; [Spec_none] keys no
+   argument values (launch bounds still apply under LB). *)
+type spec_policy = Spec_all | Spec_advise | Spec_none
+
+let policy_name = function
+  | Spec_all -> "all"
+  | Spec_advise -> "advise"
+  | Spec_none -> "none"
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "all" -> Some Spec_all
+  | "advise" -> Some Spec_advise
+  | "none" -> Some Spec_none
+  | _ -> None
+
 type t = {
   enable_rcf : bool; (* runtime constant folding of kernel arguments *)
   enable_lb : bool; (* dynamic launch bounds *)
@@ -24,11 +44,28 @@ type t = {
       (* PROTEUS_EXEC_DOMAINS: domains the executor schedules
          thread-blocks across; 0 = automatic (the executor picks the
          recommended domain count); 1 forces serial execution *)
+  spec_policy : spec_policy; (* PROTEUS_SPEC_POLICY=all|advise|none *)
+  spec_threshold : float;
+      (* PROTEUS_SPEC_THRESHOLD: minimum SpecAdvisor score an argument
+         needs to stay in the key under the advise policy *)
 }
 
 let env_int name default =
   match Sys.getenv_opt name with
   | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 0 -> n | _ -> default)
+  | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some x when x >= 0.0 -> x
+      | _ -> default)
+  | None -> default
+
+let env_policy name default =
+  match Sys.getenv_opt name with
+  | Some s -> Option.value (policy_of_string s) ~default
   | None -> default
 
 let env_bool name default =
@@ -51,6 +88,9 @@ let default =
     quarantine_backoff = env_int "PROTEUS_QUARANTINE_BACKOFF" 16;
     verify_jit = env_bool "PROTEUS_VERIFY" false;
     exec_domains = env_int "PROTEUS_EXEC_DOMAINS" 0;
+    spec_policy = env_policy "PROTEUS_SPEC_POLICY" Spec_all;
+    spec_threshold =
+      env_float "PROTEUS_SPEC_THRESHOLD" Proteus_analysis.Specadvisor.default_threshold;
   }
 
 (* Paper mode names *)

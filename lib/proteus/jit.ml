@@ -40,6 +40,9 @@ type t = {
   faults : Fault.t;
   quarantine : (string, qstate) Hashtbl.t;
   registered_vars : (string, unit) Hashtbl.t;
+  advice : (string, int list) Hashtbl.t;
+      (* (mid/sym) -> SpecAdvisor-recommended argument indices; filled
+         lazily on the first launch under the advise policy *)
 }
 
 let create ?(config = Config.default) (rt : Gpurt.ctx) (vendor : Device.vendor) : t =
@@ -53,6 +56,7 @@ let create ?(config = Config.default) (rt : Gpurt.ctx) (vendor : Device.vendor) 
     faults = Fault.of_env ~base:config.Config.fault_plan ();
     quarantine = Hashtbl.create 8;
     registered_vars = Hashtbl.create 8;
+    advice = Hashtbl.create 8;
   }
 
 let charge t s = Clock.advance t.rt.Gpurt.clock s
@@ -269,6 +273,57 @@ let note_failure t (q : qstate) =
 
 let note_success t ~mid ~sym = Hashtbl.remove t.quarantine (qkey ~mid ~sym)
 
+(* ---- specialization policy (SpecAdvisor) ------------------------- *)
+
+(* Recommended specialization arguments for (mid, sym), computed once
+   per kernel from its extracted bitcode and memoized for the life of
+   the JIT. Runs inside the same Fetch_bitcode/Decode containment
+   stages as compilation, so advisor failures are contained, counted
+   and quarantined exactly like compile failures. *)
+let advised_args (t : t) ~(mid : string) ~(sym : string) : int list =
+  let k = qkey ~mid ~sym in
+  match Hashtbl.find_opt t.advice k with
+  | Some r -> r
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let bitcode = fetch_bitcode t sym in
+      let m = in_stage t Fault.Decode (fun () -> Bitcode.decode_module bitcode) in
+      let recommended =
+        match
+          Proteus_analysis.Specadvisor.advise_kernel
+            ~threshold:t.config.Config.spec_threshold m sym
+        with
+        | Some ki -> Proteus_analysis.Specadvisor.recommended_args ki
+        | None -> []
+      in
+      t.stats.Stats.advise_time_s <-
+        t.stats.Stats.advise_time_s +. (Unix.gettimeofday () -. t0);
+      (* one advisory IR pass costs about as much as one optimizer
+         sweep of the kernel; charge the simulated clock accordingly *)
+      charge t
+        (float_of_int (String.length bitcode)
+        *. t.rt.Gpurt.cost.Costmodel.bitcode_parse_per_byte_s);
+      Hashtbl.replace t.advice k recommended;
+      recommended
+
+(* Apply the configured specialization policy to the annotated values.
+   The filtered list feeds BOTH the cache key and the specializer, so
+   a cached object is always exactly the code the key describes. *)
+let policy_spec_values (t : t) ~(mid : string) ~(sym : string)
+    (spec_values : (int * Konst.t) list) : (int * Konst.t) list =
+  if spec_values = [] then spec_values
+  else begin
+    let policy = t.config.Config.spec_policy in
+    let recommended =
+      match policy with
+      | Config.Spec_advise -> advised_args t ~mid ~sym
+      | Config.Spec_all | Config.Spec_none -> []
+    in
+    let keep, skipped = Speckey.apply_policy ~policy ~recommended spec_values in
+    t.stats.Stats.spec_skipped_args <- t.stats.Stats.spec_skipped_args + skipped;
+    keep
+  end
+
 (* ---- launch ------------------------------------------------------ *)
 
 (* The JIT path proper: raises Stage_failure on any contained error. *)
@@ -282,6 +337,12 @@ let jit_launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : i
         (fun i -> if i <= Array.length args then Some (i, args.(i - 1)) else None)
         (Annotate.args_of_mask spec_mask)
     else []
+  in
+  (* The specialization policy filters the values before they reach
+     either the key or the specializer. *)
+  let spec_values =
+    if t.config.Config.enable_rcf then policy_spec_values t ~mid ~sym spec_values
+    else spec_values
   in
   (* Hash always encodes what the generated code depends on. *)
   let key =
@@ -315,6 +376,8 @@ let jit_launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : i
         let bitcode = fetch_bitcode t sym in
         let obj = compile_specialization t ~bitcode ~sym ~spec_values ~block in
         let e = in_stage t Fault.Cache_write (fun () -> Cachestore.insert t.cache key obj) in
+        Stats.record_cache_entry t.stats
+          (Config.policy_name t.config.Config.spec_policy);
         t.stats.Stats.object_bytes <- t.stats.Stats.object_bytes + e.Cachestore.bytes;
         charge t (float_of_int e.Cachestore.bytes *. cost.Costmodel.module_load_per_byte_s);
         e

@@ -17,6 +17,10 @@ type device_result = {
   (* extra object sections, for toolchains that preserve them (AMD) *)
   dsections : (string * string) list;
   extracted : (string * string) list; (* kernel sym -> bitcode *)
+  inferred : (string * int list) list;
+      (* kernels with no annotate("jit") that SpecAdvisor annotated at
+         AOT time (advise mode): kernel sym -> recommended arguments.
+         The host pass needs this list to annotate the matching stubs. *)
 }
 
 exception Werror of string
@@ -25,10 +29,15 @@ exception Werror of string
    warn-by-default on stderr; [werror] escalates any Warning/Error
    finding into a compilation failure. Runs on a normalized clone, so
    the module the plugin goes on to extract is untouched. *)
-let diagnose ?(werror = false) ?(out = stderr) (m : Ir.modul) : unit =
+let diagnose ?(werror = false) ?(out = stderr) ?normalized (m : Ir.modul) : unit =
+  let norm =
+    match normalized with
+    | Some n -> n
+    | None -> Proteus_analysis.Normalize.clone m
+  in
   let findings =
     Proteus_analysis.Kernelsan.reportable
-      (Proteus_analysis.Kernelsan.analyze_module m)
+      (Proteus_analysis.Kernelsan.analyze_normalized norm)
   in
   List.iter
     (fun fd ->
@@ -43,9 +52,37 @@ let diagnose ?(werror = false) ?(out = stderr) (m : Ir.modul) : unit =
 
 (* Device-mode pass. [vendor] decides the embedding strategy. Must run
    BEFORE AOT optimization: the paper extracts unoptimized IR. *)
-let run_device ?(diagnostics = true) ?(werror = false)
+let run_device ?(diagnostics = true) ?(werror = false) ?(advise = false)
     ~(vendor : Proteus_gpu.Device.vendor) (m : Ir.modul) : device_result =
-  if diagnostics then diagnose ~werror m;
+  (* one normalized clone feeds both KernelSan and SpecAdvisor, so
+     their block-level provenance agrees *)
+  let normalized =
+    if diagnostics || advise then Some (Proteus_analysis.Normalize.clone m) else None
+  in
+  if diagnostics then diagnose ~werror ?normalized m;
+  (* advise mode: kernels the programmer left unannotated get inferred
+     annotate("jit", ...) registration metadata from SpecAdvisor *)
+  let inferred =
+    match (advise, normalized) with
+    | true, Some norm ->
+        let already =
+          List.map (fun (a : Annotate.jit_annotation) -> a.Annotate.kernel)
+            (Annotate.jit_annotations m)
+        in
+        Proteus_analysis.Specadvisor.advise_normalized norm
+        |> List.filter_map (fun (ki : Proteus_analysis.Specadvisor.kernel_impact) ->
+               if List.mem ki.Proteus_analysis.Specadvisor.kernel already then None
+               else
+                 match Proteus_analysis.Specadvisor.recommended_args ki with
+                 | [] -> None
+                 | args -> Some (ki.Proteus_analysis.Specadvisor.kernel, args))
+    | _ -> []
+  in
+  List.iter
+    (fun (k, args) ->
+      m.Ir.annotations <-
+        m.Ir.annotations @ [ { Ir.afunc = k; akey = "jit"; aargs = args } ])
+    inferred;
   let annots = Annotate.jit_annotations m in
   let extracted =
     List.map (fun (a : Annotate.jit_annotation) ->
@@ -77,11 +114,22 @@ let run_device ?(diagnostics = true) ?(werror = false)
       | Proteus_gpu.Device.Amd -> List.map (fun (sym, bc) -> (jit_section sym, bc)) extracted
       | Proteus_gpu.Device.Nvidia -> []);
     extracted;
+    inferred;
   }
 
 (* Host-mode pass: rewrite launches of annotated kernels and register
    device globals with the JIT runtime. *)
-let run_host ~(vendor : Proteus_gpu.Device.vendor) (m : Ir.modul) : unit =
+let run_host ?(inferred = []) ~(vendor : Proteus_gpu.Device.vendor) (m : Ir.modul) :
+    unit =
+  (* mirror device-side inferred annotations onto the host stubs so the
+     launch-rewriting below treats them like hand-written ones *)
+  List.iter
+    (fun (k, args) ->
+      let stub = Annotate.stub_prefix ^ k in
+      if Annotate.find_for m stub = None && Ir.find_func_opt m stub <> None then
+        m.Ir.annotations <-
+          m.Ir.annotations @ [ { Ir.afunc = stub; akey = "jit"; aargs = args } ])
+    inferred;
   let vname =
     match vendor with Proteus_gpu.Device.Nvidia -> "cuda" | Proteus_gpu.Device.Amd -> "hip"
   in

@@ -35,3 +35,21 @@ let compute ~(mid : string) ~(sym : string) ~(spec_values : (int * Konst.t) list
 
 let to_string t = t.hash
 let cache_filename t = Printf.sprintf "cache-jit-%s.o" t.hash
+
+(* Filter the specialization values a policy admits into the key.
+   Returns the surviving (index, value) pairs plus how many were
+   dropped. [recommended] is the SpecAdvisor ranking for the kernel
+   (1-based argument indices); it is only consulted under
+   [Spec_advise]. Dropping an argument can only *reduce* key
+   cardinality: two launches differing only in a dropped value now
+   share one cache entry. *)
+let apply_policy ~(policy : Config.spec_policy) ~(recommended : int list)
+    (spec_values : (int * Konst.t) list) : (int * Konst.t) list * int =
+  match policy with
+  | Config.Spec_all -> (spec_values, 0)
+  | Config.Spec_none -> ([], List.length spec_values)
+  | Config.Spec_advise ->
+      let keep, drop =
+        List.partition (fun (idx, _) -> List.mem idx recommended) spec_values
+      in
+      (keep, List.length drop)

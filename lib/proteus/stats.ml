@@ -28,6 +28,13 @@ type t = {
   mutable verify_rejections : int;
       (* launches the PROTEUS_VERIFY gate sent to the AOT kernel because
          post-specialize/post-O3 IR failed verification or KernelSan *)
+  (* specialization policy (SpecAdvisor) *)
+  mutable spec_skipped_args : int;
+      (* annotated argument values dropped from specialization keys by
+         the active policy (advise: below-threshold; none: all) *)
+  mutable advise_time_s : float; (* wall-clock spent in SpecAdvisor at JIT time *)
+  cache_entries_by_policy : (string, int) Hashtbl.t;
+      (* policy name -> code-cache entries inserted under that policy *)
 }
 
 let create () =
@@ -38,7 +45,19 @@ let create () =
     fallbacks = 0; failures_by_stage = Hashtbl.create 8; quarantine_events = 0;
     quarantined_launches = 0; quarantine_retries = 0; cache_corruptions = 0;
     host_hook_errors = 0; verify_rejections = 0;
+    spec_skipped_args = 0; advise_time_s = 0.0;
+    cache_entries_by_policy = Hashtbl.create 4;
   }
+
+let record_cache_entry t policy =
+  let n = Option.value (Hashtbl.find_opt t.cache_entries_by_policy policy) ~default:0 in
+  Hashtbl.replace t.cache_entries_by_policy policy (n + 1)
+
+let cache_entries_for t policy =
+  Option.value (Hashtbl.find_opt t.cache_entries_by_policy policy) ~default:0
+
+let cache_entries_total t =
+  Hashtbl.fold (fun _ n acc -> acc + n) t.cache_entries_by_policy 0
 
 let record_failure t stage =
   let n = Option.value (Hashtbl.find_opt t.failures_by_stage stage) ~default:0 in
@@ -50,25 +69,65 @@ let stage_failures t =
   Hashtbl.fold (fun s n acc -> (s, n) :: acc) t.failures_by_stage []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let to_string s =
+(* The printable ledger as ordered key/value pairs. Segments whose
+   counters are all zero are omitted so the quiet case stays short;
+   within a segment every field always prints, so the same fields
+   always appear in the same order and "column" across runs (the old
+   hand-rolled printer drifted: mixed millisecond precisions and
+   fields that appeared conditionally mid-line). *)
+let to_pairs s =
+  let ms x = Printf.sprintf "%.3fms" (x *. 1e3) in
   let base =
-    Printf.sprintf
-      "jit launches=%d mem-hits=%d disk-hits=%d compiles=%d overhead=%.3fms \
-       real-compile=%.1fms tcode-hits=%d tcode-decodes=%d"
-      s.jit_launches s.mem_hits s.disk_hits s.compiles (s.jit_overhead_s *. 1e3)
-      (s.real_compile_s *. 1e3) s.tcode_hits s.tcode_decodes
+    [
+      ("launches", string_of_int s.jit_launches);
+      ("mem-hits", string_of_int s.mem_hits);
+      ("disk-hits", string_of_int s.disk_hits);
+      ("compiles", string_of_int s.compiles);
+      ("overhead", ms s.jit_overhead_s);
+      ("real-compile", ms s.real_compile_s);
+      ("tcode-hits", string_of_int s.tcode_hits);
+      ("tcode-decodes", string_of_int s.tcode_decodes);
+    ]
   in
-  if failures_total s = 0 && s.fallbacks = 0 && s.cache_corruptions = 0
-     && s.host_hook_errors = 0 && s.quarantined_launches = 0
-     && s.verify_rejections = 0
-  then base
-  else
-    Printf.sprintf
-      "%s fallbacks=%d failures=[%s] quarantine-events=%d quarantined-launches=%d \
-       quarantine-retries=%d cache-corruptions=%d host-hook-errors=%d \
-       verify-rejections=%d"
-      base s.fallbacks
-      (String.concat ","
-         (List.map (fun (st, n) -> Printf.sprintf "%s:%d" st n) (stage_failures s)))
-      s.quarantine_events s.quarantined_launches s.quarantine_retries s.cache_corruptions
-      s.host_hook_errors s.verify_rejections
+  let faults =
+    if failures_total s = 0 && s.fallbacks = 0 && s.cache_corruptions = 0
+       && s.host_hook_errors = 0 && s.quarantined_launches = 0
+       && s.quarantine_events = 0 && s.verify_rejections = 0
+    then []
+    else
+      [
+        ("fallbacks", string_of_int s.fallbacks);
+        ( "failures",
+          "["
+          ^ String.concat ","
+              (List.map (fun (st, n) -> Printf.sprintf "%s:%d" st n) (stage_failures s))
+          ^ "]" );
+        ("quarantine-events", string_of_int s.quarantine_events);
+        ("quarantined-launches", string_of_int s.quarantined_launches);
+        ("quarantine-retries", string_of_int s.quarantine_retries);
+        ("cache-corruptions", string_of_int s.cache_corruptions);
+        ("host-hook-errors", string_of_int s.host_hook_errors);
+        ("verify-rejections", string_of_int s.verify_rejections);
+      ]
+  in
+  let policy =
+    if s.spec_skipped_args = 0 && s.advise_time_s = 0.0
+       && Hashtbl.length s.cache_entries_by_policy = 0
+    then []
+    else
+      [
+        ("spec-skipped-args", string_of_int s.spec_skipped_args);
+        ("advise-time", ms s.advise_time_s);
+        ( "cache-entries",
+          "["
+          ^ String.concat ","
+              (Hashtbl.fold (fun p n acc -> (p, n) :: acc) s.cache_entries_by_policy []
+              |> List.sort compare
+              |> List.map (fun (p, n) -> Printf.sprintf "%s:%d" p n))
+          ^ "]" );
+      ]
+  in
+  base @ faults @ policy
+
+let to_string s =
+  "jit " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) (to_pairs s))
