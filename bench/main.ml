@@ -479,7 +479,11 @@ let advise_bench () =
    (exit 1), so automation can gate on it. The verify and
    specialize-corrupt points run with the PROTEUS_VERIFY=1 gate on;
    for those, containment additionally requires counted verify
-   rejections (corruption detected, not silently executed).           *)
+   rejections (corruption detected, not silently executed).
+   Pressure-class points (disk-full, mem-pressure) are absorbed by the
+   degradation ladder rather than the fallback path, so their
+   containment contract is output equivalence plus counted degradation
+   steps, with no requirement that launches fell back.                *)
 
 let inject_faults () =
   header "Fault-injection sweep: AOT-equivalence under per-stage JIT failures";
@@ -513,10 +517,15 @@ let inject_faults () =
                   let contained =
                     match m.Harness.stats with
                     | Some s ->
-                        s.Stats.fallbacks + s.Stats.quarantined_launches
-                        >= s.Stats.jit_launches
-                        && Stats.failures_total s > 0
-                        && (not needs_gate || s.Stats.verify_rejections > 0)
+                        if Fault.is_pressure_point point then
+                          (* absorbed by the degradation ladder: the
+                             run must have stepped down, not fallen *)
+                          s.Stats.degrade_events + s.Stats.disk_degrades > 0
+                        else
+                          s.Stats.fallbacks + s.Stats.quarantined_launches
+                          >= s.Stats.jit_launches
+                          && Stats.failures_total s > 0
+                          && (not needs_gate || s.Stats.verify_rejections > 0)
                     | None -> false
                   in
                   if same && m.Harness.ok && contained then

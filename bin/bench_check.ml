@@ -176,6 +176,25 @@ let check_row row =
           if v < 0.0 then bad "method %s: %s is negative (%g)" meth f v
       | false, _ -> bad "method %s: %s must be a number" meth f)
     [ "e2e_ms"; "kernel_ms"; "jit_overhead_ms" ];
+  (* per-launch overhead percentiles: null on rows with no JIT (AOT,
+     n/a); otherwise a well-formed, monotone p50 <= p90 <= p99 *)
+  let pct f =
+    match field row f with
+    | Null -> None
+    | Num v ->
+        if Float.is_nan v then bad "method %s: %s is NaN" meth f;
+        if v < 0.0 then bad "method %s: %s is negative (%g)" meth f v;
+        Some v
+    | _ -> bad "method %s: %s must be a number or null" meth f
+  in
+  (match (pct "p50_ms", pct "p90_ms", pct "p99_ms") with
+  | Some p50, Some p90, Some p99 ->
+      if na then bad "method %s: n/a row carries percentiles" meth;
+      if p50 > p90 +. 1e-9 || p90 > p99 +. 1e-9 then
+        bad "method %s: percentiles not monotone (p50=%g p90=%g p99=%g)" meth p50
+          p90 p99
+  | None, None, None -> ()
+  | _ -> bad "method %s: percentiles must be all-null or all-numeric" meth);
   meth
 
 (* ---- advise report schema (proteus advise --format machine) ---- *)

@@ -352,16 +352,29 @@ let bench_cmd =
     if json then begin
       (* n/a rows have no timings (nan is not valid JSON): emit null *)
       let ms v = if Float.is_nan v then "null" else Printf.sprintf "%.6f" (v *. 1e3) in
+      (* per-launch JIT overhead percentiles; AOT rows have no JIT and
+         carry null, like the n/a timing fields *)
+      let pct (m : Harness.measurement) f =
+        match m.Harness.stats with
+        | Some s
+          when Proteus_support.Hist.count s.Proteus_core.Stats.launch_hist > 0 ->
+            Printf.sprintf "%.6f" (f s.Proteus_core.Stats.launch_hist *. 1e3)
+        | _ -> "null"
+      in
       print_string "[\n";
       List.iteri
         (fun i (meth, m) ->
           Printf.printf
             "  {\"benchmark\": %S, \"method\": %S, \"na\": %b, \"ok\": %b, \
-             \"e2e_ms\": %s, \"kernel_ms\": %s, \"jit_overhead_ms\": %s}%s\n"
+             \"e2e_ms\": %s, \"kernel_ms\": %s, \"jit_overhead_ms\": %s, \
+             \"p50_ms\": %s, \"p90_ms\": %s, \"p99_ms\": %s}%s\n"
             name
             (Harness.method_name meth)
             m.Harness.na m.Harness.ok (ms m.Harness.e2e_s) (ms m.Harness.kernel_s)
             (ms m.Harness.jit_overhead_s)
+            (pct m Proteus_support.Hist.p50)
+            (pct m Proteus_support.Hist.p90)
+            (pct m Proteus_support.Hist.p99)
             (if i < List.length results - 1 then "," else ""))
         results;
       print_string "]\n"
@@ -462,6 +475,169 @@ let fuzz_cmd =
              each other")
     Term.(const go $ seed $ count $ max_stmts $ oracle $ out $ inject)
 
+(* ---- crashtest ---- *)
+
+(* Crash-recovery harness for the persistent cache: forked children
+   write entries through the real locked, chunked, atomic-rename write
+   path and are SIGKILLed at a seeded random write tick - before the
+   tmp file is complete, between close and rename, or while holding the
+   entry lock. Every third iteration the parent also flips a byte in a
+   surviving entry. At the end a fresh store runs the recovery sweep;
+   the invariant is a clean directory: no .tmp or .lock litter, every
+   surviving entry CRC-valid, every lookup a disk hit or a miss. *)
+
+let crashtest_cmd =
+  let iters =
+    Arg.(value & opt int 200 & info [ "iters" ] ~doc:"Number of crash iterations.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic campaign seed.") in
+  let keys =
+    Arg.(value & opt int 8 & info [ "keys" ]
+           ~doc:"Distinct cache keys the children write to.")
+  in
+  let dir_opt =
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Cache directory (default: a fresh temp dir, removed on success).")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the final summary.") in
+  let go iters seed keys dir_opt quiet =
+    let open Proteus_core in
+    let open Proteus_backend in
+    let module Rng = Proteus_support.Util.Rng in
+    if iters <= 0 || keys <= 0 then begin
+      prerr_endline "proteus crashtest: --iters and --keys must be positive";
+      exit 2
+    end;
+    let dir, ephemeral =
+      match dir_opt with
+      | Some d -> (d, false)
+      | None ->
+          let d = Filename.temp_file "proteus-crash" "" in
+          Sys.remove d;
+          Unix.mkdir d 0o755;
+          (d, true)
+    in
+    let spec_key k =
+      Speckey.compute ~mid:"crashtest" ~sym:(Printf.sprintf "k%d" k) ~spec_values:[]
+        ~launch_bounds:None
+    in
+    (* child: write a few entries, armed to die at tick [kill_at] *)
+    let child child_seed kill_at =
+      let c = Cachestore.create ~persistent_dir:dir () in
+      let rng = Rng.create child_seed in
+      let ticks = ref 0 in
+      Cachestore.set_tick_hook c (fun _ ->
+          incr ticks;
+          if !ticks = kill_at then Unix.kill (Unix.getpid ()) Sys.sigkill);
+      for _ = 1 to 3 do
+        let k = Rng.int rng keys in
+        let payload =
+          String.init (512 + Rng.int rng 2048) (fun i -> Char.chr (i land 0xff))
+        in
+        let obj =
+          { Mach.okind = Mach.VGcn; kernels = []; oglobals = [];
+            sections = [ ("s", payload) ] }
+        in
+        ignore (Cachestore.insert c (spec_key k) obj)
+      done
+    in
+    let entry_files () =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f ->
+             (not (Filename.check_suffix f ".lock"))
+             && not (Filename.check_suffix f ".tmp"))
+    in
+    (* flip one byte of a surviving entry in place *)
+    let corrupt_one rng =
+      match entry_files () with
+      | [] -> ()
+      | l ->
+          let f = Filename.concat dir (List.nth l (Rng.int rng (List.length l))) in
+          let fd = Unix.openfile f [ Unix.O_RDWR ] 0 in
+          let len = (Unix.fstat fd).Unix.st_size in
+          if len > 0 then begin
+            let off = Rng.int rng len in
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            let b = Bytes.create 1 in
+            let _ = Unix.read fd b 0 1 in
+            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x5A));
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            ignore (Unix.write fd b 0 1)
+          end;
+          Unix.close fd
+    in
+    let rng = Rng.create seed in
+    let kills = ref 0 and survivors = ref 0 in
+    for i = 1 to iters do
+      let kill_at = 1 + Rng.int rng 40 in
+      let child_seed = seed + (i * 7919) in
+      match Unix.fork () with
+      | 0 ->
+          (try child child_seed kill_at with _ -> ());
+          Unix._exit 0
+      | pid ->
+          (match Unix.waitpid [] pid with
+          | _, Unix.WSIGNALED s when s = Sys.sigkill -> incr kills
+          | _ -> incr survivors);
+          if i mod 3 = 0 then corrupt_one rng;
+          if (not quiet) && i mod 50 = 0 then
+            Printf.eprintf "crashtest: %d/%d (%d killed)\n%!" i iters !kills
+    done;
+    (* fresh store: runs the recovery sweep over the litter *)
+    let c = Cachestore.create ~persistent_dir:dir () in
+    let leftovers = Array.to_list (Sys.readdir dir) in
+    let tmps = List.filter (fun f -> Filename.check_suffix f ".tmp") leftovers in
+    let locks = List.filter (fun f -> Filename.check_suffix f ".lock") leftovers in
+    let entries = entry_files () in
+    let invalid =
+      List.filter
+        (fun f -> not (Cachestore.validate_file (Filename.concat dir f)))
+        entries
+    in
+    let bad_lookups = ref 0 in
+    for k = 0 to keys - 1 do
+      match Cachestore.lookup c (spec_key k) with
+      | Cachestore.Disk_hit _ | Cachestore.Mem_hit _ | Cachestore.Miss -> ()
+      | exception _ -> incr bad_lookups
+    done;
+    Printf.printf
+      "crashtest: %d iterations (%d killed mid-write, %d survived); final sweep \
+       reaped %d tmp + %d stale locks, swept %d corrupt; %d valid entries remain\n"
+      iters !kills !survivors c.Cachestore.reaped_tmp c.Cachestore.reaped_locks
+      c.Cachestore.corruptions (List.length entries);
+    let complain what = function
+      | [] -> false
+      | l ->
+          Printf.eprintf "crashtest: FAIL: %s after recovery: %s\n" what
+            (String.concat ", " l);
+          true
+    in
+    let failed =
+      let f1 = complain ".tmp litter" tmps in
+      let f2 = complain ".lock litter" locks in
+      let f3 = complain "corrupt entries" invalid in
+      let f4 =
+        if !bad_lookups > 0 then begin
+          Printf.eprintf "crashtest: FAIL: %d lookups raised\n" !bad_lookups;
+          true
+        end
+        else false
+      in
+      f1 || f2 || f3 || f4
+    in
+    if failed then exit 1;
+    if ephemeral then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  Cmd.v
+    (Cmd.info "crashtest"
+       ~doc:"Torture the persistent cache: SIGKILL writers at random points \
+             mid-write, corrupt survivors, and verify the recovery sweep restores \
+             a clean, CRC-valid cache")
+    Term.(const go $ iters $ seed $ keys $ dir_opt $ quiet)
+
 let devices_cmd =
   let go () =
     List.iter
@@ -479,4 +655,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; analyze_cmd; advise_cmd; run_cmd; bench_cmd; fuzz_cmd; devices_cmd ]))
+          [
+            compile_cmd; analyze_cmd; advise_cmd; run_cmd; bench_cmd; fuzz_cmd;
+            crashtest_cmd; devices_cmd;
+          ]))

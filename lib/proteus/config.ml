@@ -48,6 +48,21 @@ type t = {
   spec_threshold : float;
       (* PROTEUS_SPEC_THRESHOLD: minimum SpecAdvisor score an argument
          needs to stay in the key under the advise policy *)
+  stage_deadline_ms : float;
+      (* PROTEUS_STAGE_DEADLINE_MS: wall-clock budget per JIT stage; an
+         overrun is a transient failure (retried with backoff, then
+         AOT). 0 disables the check - the default, so tier-1 runs stay
+         free of wall-clock nondeterminism *)
+  retry_max : int;
+      (* PROTEUS_RETRY_MAX: transient-failure retries per launch before
+         the AOT fallback; permanent failures never retry *)
+  retry_backoff_ms : float;
+      (* PROTEUS_RETRY_BACKOFF_MS: base of the jittered exponential
+         backoff between retries, charged to the simulated clock *)
+  lock_timeout_ms : float;
+      (* PROTEUS_LOCK_TIMEOUT_MS: bound on waiting for a cross-process
+         cache entry lock; a timeout is a transient failure. 0 waits
+         forever *)
 }
 
 let env_int name default =
@@ -91,6 +106,10 @@ let default =
     spec_policy = env_policy "PROTEUS_SPEC_POLICY" Spec_all;
     spec_threshold =
       env_float "PROTEUS_SPEC_THRESHOLD" Proteus_analysis.Specadvisor.default_threshold;
+    stage_deadline_ms = env_float "PROTEUS_STAGE_DEADLINE_MS" 0.0;
+    retry_max = env_int "PROTEUS_RETRY_MAX" 2;
+    retry_backoff_ms = env_float "PROTEUS_RETRY_BACKOFF_MS" 1.0;
+    lock_timeout_ms = env_float "PROTEUS_LOCK_TIMEOUT_MS" 1000.0;
   }
 
 (* Paper mode names *)

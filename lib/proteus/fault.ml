@@ -21,10 +21,15 @@ type point =
   | Codegen
   | Cache_read
   | Cache_write
+  | Cache_lock (* contention/timeout acquiring the shared cache store *)
+  | Stage_timeout (* a stage ran past its deadline (Deadline.Exceeded) *)
+  | Disk_full (* ENOSPC-class failure writing the persistent cache *)
+  | Mem_pressure (* host memory pressure observed at launch entry *)
 
 let all_points =
   [ Fetch_bitcode; Decode; Specialize; Specialize_corrupt; Optimize; Verify;
-    Codegen; Cache_read; Cache_write ]
+    Codegen; Cache_read; Cache_write; Cache_lock; Stage_timeout; Disk_full;
+    Mem_pressure ]
 
 let point_name = function
   | Fetch_bitcode -> "fetch-bitcode"
@@ -36,6 +41,10 @@ let point_name = function
   | Codegen -> "codegen"
   | Cache_read -> "cache-read"
   | Cache_write -> "cache-write"
+  | Cache_lock -> "cache-lock"
+  | Stage_timeout -> "stage-timeout"
+  | Disk_full -> "disk-full"
+  | Mem_pressure -> "mem-pressure"
 
 (* environment-variable suffix: PROTEUS_FAULT_<this> *)
 let point_env_suffix = function
@@ -48,6 +57,33 @@ let point_env_suffix = function
   | Codegen -> "CODEGEN"
   | Cache_read -> "CACHE_READ"
   | Cache_write -> "CACHE_WRITE"
+  | Cache_lock -> "CACHE_LOCK"
+  | Stage_timeout -> "STAGE_TIMEOUT"
+  | Disk_full -> "DISK_FULL"
+  | Mem_pressure -> "MEM_PRESSURE"
+
+(* ---- failure taxonomy --------------------------------------------
+
+   Transient failures are environmental and worth retrying (lock
+   contention, a deadline overrun, a momentarily-full disk); permanent
+   ones are deterministic properties of the kernel or the pipeline
+   (a decode error will decode wrong again) and go straight to the
+   quarantine policy. Pressure points are neither: they are absorbed
+   by the degradation ladder and never surface as a launch failure. *)
+
+type severity = Transient | Permanent
+
+let point_severity = function
+  | Cache_lock | Stage_timeout | Disk_full | Mem_pressure -> Transient
+  | Fetch_bitcode | Decode | Specialize | Specialize_corrupt | Optimize
+  | Verify | Codegen | Cache_read | Cache_write ->
+      Permanent
+
+(* Pressure-class points feed the degradation ladder (step down, keep
+   serving) instead of the fallback/quarantine path. *)
+let is_pressure_point = function
+  | Disk_full | Mem_pressure -> true
+  | _ -> false
 
 let point_of_name s =
   let s = String.lowercase_ascii (String.trim s) in
@@ -87,6 +123,19 @@ let trigger_of_string s : (trigger, string) result =
 type plan = (point * trigger) list
 
 exception Injected of point
+
+(* Classify an exception that escaped a pipeline stage. Injected
+   faults carry their point's severity; a real deadline overrun is
+   transient by definition (the work completed, it was just slow);
+   everything else - decode errors, verifier rejections, OS errors
+   other than the pressure class - is treated as permanent because
+   retrying deterministic work reproduces the failure. *)
+let classify_exn (e : exn) : severity =
+  match e with
+  | Injected p -> point_severity p
+  | Proteus_support.Deadline.Exceeded _ -> Transient
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR | Unix.EBUSY), _, _) -> Transient
+  | _ -> Permanent
 
 type slot = { mutable trig : trigger; mutable calls : int; mutable injected : int }
 

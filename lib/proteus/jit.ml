@@ -38,6 +38,13 @@ type t = {
   cache : Cachestore.t;
   stats : Stats.t;
   faults : Fault.t;
+  flight : Cachestore.entry Flight.t;
+      (* single-flight compile groups keyed by specialization key:
+         concurrent identical launches coalesce onto one compile *)
+  rng : Util.Rng.t; (* deterministic jitter for retry backoff *)
+  mutable degrade_level : int;
+      (* resource-pressure degradation ladder: 0 full service,
+         1 no decoded-code tier, 2 shrunk memory cache, 3 AOT-only *)
   quarantine : (string, qstate) Hashtbl.t;
   registered_vars : (string, unit) Hashtbl.t;
   advice : (string, int list) Hashtbl.t;
@@ -47,13 +54,19 @@ type t = {
 
 let create ?(config = Config.default) (rt : Gpurt.ctx) (vendor : Device.vendor) : t =
   rt.Gpurt.exec_domains <- config.Config.exec_domains;
+  let faults = Fault.of_env ~base:config.Config.fault_plan () in
   {
     rt;
     vendor;
     config;
-    cache = Cachestore.create ?persistent_dir:config.Config.persistent_dir ();
+    cache =
+      Cachestore.create ?persistent_dir:config.Config.persistent_dir ~faults
+        ~lock_timeout_ms:config.Config.lock_timeout_ms ();
     stats = Stats.create ();
-    faults = Fault.of_env ~base:config.Config.fault_plan ();
+    faults;
+    flight = Flight.create ();
+    rng = Util.Rng.create 0x5EED;
+    degrade_level = 0;
     quarantine = Hashtbl.create 8;
     registered_vars = Hashtbl.create 8;
     advice = Hashtbl.create 8;
@@ -66,15 +79,51 @@ let charge t s = Clock.advance t.rt.Gpurt.clock s
 (* A JIT failure tagged with the pipeline stage it escaped from. *)
 exception Stage_failure of Fault.point * exn
 
-(* Run one pipeline stage: fire the fault-injection point, then tag
-   any escaping exception with the stage so the launch-level handler
-   can account it. Already-tagged exceptions pass through untouched
-   (an outer stage must not re-attribute an inner stage's failure). *)
+(* Run one pipeline stage: fire the fault-injection points, run the
+   stage under its wall-clock deadline (PROTEUS_STAGE_DEADLINE_MS;
+   cooperative and post-hoc - see Deadline), record its real latency
+   into the per-stage histogram, and tag any escaping exception with
+   the stage so the launch-level handler can account it.
+   Already-tagged exceptions pass through untouched (an outer stage
+   must not re-attribute an inner stage's failure). *)
 let in_stage t (p : Fault.point) (f : unit -> 'a) : 'a =
-  (try Fault.hit t.faults p with e -> raise (Stage_failure (p, e)));
-  try f () with
-  | Stage_failure _ as e -> raise e
-  | e -> raise (Stage_failure (p, e))
+  (try
+     Fault.hit t.faults p;
+     (* the simulated deadline overrun: stage-timeout models a stage
+        that blew its budget, without doing any actual slow work *)
+     if Fault.fires t.faults Fault.Stage_timeout then begin
+       t.stats.Stats.deadline_overruns <- t.stats.Stats.deadline_overruns + 1;
+       raise
+         (Deadline.Exceeded
+            {
+              Deadline.label = Fault.point_name p;
+              elapsed_ms = infinity;
+              limit_ms = t.config.Config.stage_deadline_ms;
+            })
+     end
+   with e -> raise (Stage_failure (p, e)));
+  let t0 = Unix.gettimeofday () in
+  let record () =
+    Stats.record_stage_latency t.stats (Fault.point_name p)
+      (Unix.gettimeofday () -. t0)
+  in
+  match
+    Deadline.run ~label:(Fault.point_name p)
+      ~limit_ms:t.config.Config.stage_deadline_ms f
+  with
+  | r ->
+      record ();
+      r
+  | exception (Stage_failure _ as e) ->
+      record ();
+      raise e
+  | exception e ->
+      record ();
+      (match e with
+      | Deadline.Exceeded _ ->
+          t.stats.Stats.deadline_overruns <- t.stats.Stats.deadline_overruns + 1
+      | _ -> ());
+      raise (Stage_failure (p, e))
 
 (* ---- JIT pipeline stages ----------------------------------------- *)
 
@@ -373,35 +422,69 @@ let jit_launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : i
           (float_of_int e.Cachestore.bytes *. cost.Costmodel.module_load_per_byte_s);
         e
     | Cachestore.Miss ->
-        let bitcode = fetch_bitcode t sym in
-        let obj = compile_specialization t ~bitcode ~sym ~spec_values ~block in
-        let e = in_stage t Fault.Cache_write (fun () -> Cachestore.insert t.cache key obj) in
-        Stats.record_cache_entry t.stats
-          (Config.policy_name t.config.Config.spec_policy);
-        t.stats.Stats.object_bytes <- t.stats.Stats.object_bytes + e.Cachestore.bytes;
+        (* Single-flight: concurrent identical launches coalesce onto
+           one compile. The winner re-checks the memory tier inside its
+           flight (double-checked locking: another flight may have
+           finished between our lookup and here), so at most one
+           compile runs per key no matter how the misses interleave. *)
+        let outcome =
+          Flight.run t.flight ~key:(Speckey.to_string key) (fun () ->
+              match Cachestore.peek_mem t.cache key with
+              | Some e -> e
+              | None ->
+                  let bitcode = fetch_bitcode t sym in
+                  let obj =
+                    compile_specialization t ~bitcode ~sym ~spec_values ~block
+                  in
+                  let e =
+                    in_stage t Fault.Cache_write (fun () ->
+                        Cachestore.insert t.cache key obj)
+                  in
+                  Stats.record_cache_entry t.stats
+                    (Config.policy_name t.config.Config.spec_policy);
+                  t.stats.Stats.object_bytes <-
+                    t.stats.Stats.object_bytes + e.Cachestore.bytes;
+                  e)
+        in
+        let e =
+          match outcome with
+          | Flight.Led e ->
+              t.stats.Stats.flight_leads <- t.stats.Stats.flight_leads + 1;
+              e
+          | Flight.Coalesced e ->
+              (* a duplicate compile suppressed: this launch pays only
+                 the module-load cost of the shared artifact *)
+              t.stats.Stats.flight_suppressed <-
+                t.stats.Stats.flight_suppressed + 1;
+              e
+        in
         charge t (float_of_int e.Cachestore.bytes *. cost.Costmodel.module_load_per_byte_s);
         e
   in
-  t.stats.Stats.jit_overhead_s <-
-    t.stats.Stats.jit_overhead_s +. (Clock.read t.rt.Gpurt.clock -. clock_before);
+  let overhead = Clock.read t.rt.Gpurt.clock -. clock_before in
+  t.stats.Stats.jit_overhead_s <- t.stats.Stats.jit_overhead_s +. overhead;
+  Hist.record t.stats.Stats.launch_hist overhead;
   let k = Mach.find_kernel entry.Cachestore.obj sym in
   (* decoded-code tier: reuse the threaded program attached to this
      cache entry, or decode once and attach it. Undecodable kernels
      leave nothing attached; the executor runs them on the reference
-     interpreter. *)
+     interpreter. Ladder step 1 (and below) disables the tier: the
+     interpreter path trades speed for decoded-code memory. *)
   let tcode =
-    match List.assoc_opt sym entry.Cachestore.tcodes with
-    | Some p when p.Tcode.tf == k ->
-        t.stats.Stats.tcode_hits <- t.stats.Stats.tcode_hits + 1;
-        Some p
-    | _ -> (
-        match Tcode.decode k with
-        | p ->
-            t.stats.Stats.tcode_decodes <- t.stats.Stats.tcode_decodes + 1;
-            entry.Cachestore.tcodes <-
-              (sym, p) :: List.remove_assoc sym entry.Cachestore.tcodes;
-            Some p
-        | exception Tcode.Decode_error _ -> None)
+    if t.degrade_level >= 1 then None
+    else
+      match List.assoc_opt sym entry.Cachestore.tcodes with
+      | Some p when p.Tcode.tf == k ->
+          t.stats.Stats.tcode_hits <- t.stats.Stats.tcode_hits + 1;
+          Some p
+      | _ -> (
+          match Tcode.decode k with
+          | p ->
+              t.stats.Stats.tcode_decodes <- t.stats.Stats.tcode_decodes + 1;
+              entry.Cachestore.tcodes <-
+                (sym, p) :: List.remove_assoc sym entry.Cachestore.tcodes;
+              Some p
+          | exception Tcode.Decode_error _ -> None)
   in
   Gpurt.launch_mfunc t.rt ?tcode k ~grid ~block ~args
 
@@ -414,38 +497,112 @@ let aot_fallback (t : t) ~(sym : string) ~(grid : int) ~(block : int)
     Util.failf "Proteus: no AOT fallback for kernel %s" sym;
   Gpurt.launch_kernel t.rt ~sym ~grid ~block ~args
 
+(* ---- resource-pressure degradation ladder ------------------------ *)
+
+let degrade_level_name = function
+  | 0 -> "full"
+  | 1 -> "no-tcode"
+  | 2 -> "small-mem"
+  | _ -> "aot-only"
+
+(* One deliberate step down, never an abort: 1 drops the decoded-code
+   tier, 2 shrinks the memory cache, 3 serves AOT only. Each step is
+   logged and counted; steps do not reverse within a run (recovering
+   capacity is a restart decision, not a flapping one). *)
+let step_down t ~(reason : string) : unit =
+  if t.degrade_level < 3 then begin
+    t.degrade_level <- t.degrade_level + 1;
+    t.stats.Stats.degrade_events <- t.stats.Stats.degrade_events + 1;
+    t.stats.Stats.degrade_level <- t.degrade_level;
+    (match t.degrade_level with
+    | 1 -> Cachestore.drop_tcodes t.cache
+    | 2 -> Cachestore.shrink_mem t.cache
+    | _ -> ());
+    Printf.eprintf "proteus: %s: degrading to %s (step %d/3)\n%!" reason
+      (degrade_level_name t.degrade_level) t.degrade_level
+  end
+
+(* Counters the cache store maintains under its own mutex, mirrored
+   into the printable Stats ledger after every launch. *)
+let sync_cache_counters t =
+  t.stats.Stats.cache_corruptions <- t.cache.Cachestore.corruptions;
+  t.stats.Stats.env_rejections <- t.cache.Cachestore.limit_rejections;
+  t.stats.Stats.lock_waits <- t.cache.Cachestore.lock_waits;
+  t.stats.Stats.lock_contended <- t.cache.Cachestore.lock_contended;
+  t.stats.Stats.disk_degrades <- t.cache.Cachestore.disk_degrades
+
 (* The __jit_launch_kernel entry point: JIT under containment, AOT on
-   any contained failure, quarantine on repeated failure. *)
+   any contained failure, quarantine on repeated failure. Transient
+   failures (lock contention, deadline overruns - see
+   Fault.classify_exn) retry up to Config.retry_max times with
+   jittered exponential backoff before falling back; permanent ones
+   fall back and count toward quarantine immediately. *)
 let launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : int)
     ~(args : Konst.t array) ~(spec_mask : int64) : unit =
   t.stats.Stats.jit_launches <- t.stats.Stats.jit_launches + 1;
-  let q = qstate t ~mid ~sym in
-  if q.cooldown > 0 then begin
-    (* quarantined: serve from the AOT binary, tick down the backoff *)
-    if q.cooldown <> max_int then q.cooldown <- q.cooldown - 1;
-    t.stats.Stats.quarantined_launches <- t.stats.Stats.quarantined_launches + 1;
-    if q.cooldown = 0 then
-      t.stats.Stats.quarantine_retries <- t.stats.Stats.quarantine_retries + 1;
-    aot_fallback t ~sym ~grid ~block ~args
-  end
-  else
-    match jit_launch t ~mid ~sym ~grid ~block ~args ~spec_mask with
-    | () -> note_success t ~mid ~sym
-    | exception e ->
-        let stage_name =
-          match e with
-          | Stage_failure (p, _) -> Fault.point_name p
-          | _ -> "launch" (* escaped outside any instrumented stage *)
-        in
-        (match e with
-        | Stage_failure (Fault.Verify, _) ->
-            t.stats.Stats.verify_rejections <- t.stats.Stats.verify_rejections + 1
-        | _ -> ());
-        t.stats.Stats.fallbacks <- t.stats.Stats.fallbacks + 1;
-        Stats.record_failure t.stats stage_name;
-        t.stats.Stats.cache_corruptions <- t.cache.Cachestore.corruptions;
-        note_failure t q;
-        aot_fallback t ~sym ~grid ~block ~args
+  (* pressure poll: at most one ladder step per launch *)
+  if Fault.fires t.faults Fault.Mem_pressure then
+    step_down t ~reason:"memory pressure";
+  (if t.degrade_level >= 3 then begin
+     (* ladder bottom: deliberate AOT-only service, not a failure *)
+     t.stats.Stats.degraded_launches <- t.stats.Stats.degraded_launches + 1;
+     aot_fallback t ~sym ~grid ~block ~args
+   end
+   else
+     let q = qstate t ~mid ~sym in
+     if q.cooldown > 0 then begin
+       (* quarantined: serve from the AOT binary, tick down the backoff *)
+       if q.cooldown <> max_int then q.cooldown <- q.cooldown - 1;
+       t.stats.Stats.quarantined_launches <- t.stats.Stats.quarantined_launches + 1;
+       if q.cooldown = 0 then
+         t.stats.Stats.quarantine_retries <- t.stats.Stats.quarantine_retries + 1;
+       aot_fallback t ~sym ~grid ~block ~args
+     end
+     else
+       let rec attempt (n : int) : unit =
+         match jit_launch t ~mid ~sym ~grid ~block ~args ~spec_mask with
+         | () ->
+             if n > 0 then
+               t.stats.Stats.retry_successes <- t.stats.Stats.retry_successes + 1;
+             note_success t ~mid ~sym
+         | exception e ->
+             let transient =
+               match e with
+               | Stage_failure (_, inner) ->
+                   Fault.classify_exn inner = Fault.Transient
+               | _ -> false
+             in
+             if transient && n < t.config.Config.retry_max then begin
+               t.stats.Stats.retries <- t.stats.Stats.retries + 1;
+               (* jittered exponential backoff, charged to the simulated
+                  clock (deterministic: the jitter comes from a seeded
+                  Rng, the clock from the cost model) *)
+               let delay_ms =
+                 Deadline.backoff_ms ~base_ms:t.config.Config.retry_backoff_ms
+                   ~attempt:n ~rand:(Util.Rng.float t.rng) ()
+               in
+               charge t (delay_ms *. 1e-3);
+               attempt (n + 1)
+             end
+             else begin
+               let stage_name =
+                 match e with
+                 | Stage_failure (p, _) -> Fault.point_name p
+                 | _ -> "launch" (* escaped outside any instrumented stage *)
+               in
+               (match e with
+               | Stage_failure (Fault.Verify, _) ->
+                   t.stats.Stats.verify_rejections <-
+                     t.stats.Stats.verify_rejections + 1
+               | _ -> ());
+               t.stats.Stats.fallbacks <- t.stats.Stats.fallbacks + 1;
+               Stats.record_failure t.stats stage_name;
+               note_failure t q;
+               aot_fallback t ~sym ~grid ~block ~args
+             end
+       in
+       attempt 0);
+  sync_cache_counters t
 
 (* --------------------------------------------------------------- *)
 (* Host extern bindings: installs __jit_launch_kernel and

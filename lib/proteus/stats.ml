@@ -1,7 +1,11 @@
 (* Runtime statistics of the Proteus JIT library: cache behaviour,
-   compilation overhead (simulated and real), code-cache sizes, and the
+   compilation overhead (simulated and real), code-cache sizes, the
    fault-containment ledger (AOT fallbacks, failures by JIT stage,
-   quarantine activity, cache corruption). *)
+   quarantine activity, cache corruption), and the resilience ledger
+   (single-flight coalescing, transient retries, deadline overruns,
+   degradation-ladder steps) with p50/p90/p99 latency histograms. *)
+
+open Proteus_support
 
 type t = {
   mutable jit_launches : int;
@@ -35,6 +39,22 @@ type t = {
   mutable advise_time_s : float; (* wall-clock spent in SpecAdvisor at JIT time *)
   cache_entries_by_policy : (string, int) Hashtbl.t;
       (* policy name -> code-cache entries inserted under that policy *)
+  (* resilience: single-flight, retries/deadlines, degradation ladder *)
+  mutable flight_leads : int; (* cache-miss compiles this process led *)
+  mutable flight_suppressed : int; (* duplicate compiles coalesced onto a leader *)
+  mutable retries : int; (* launch re-attempts after a transient failure *)
+  mutable retry_successes : int; (* launches that succeeded on a retry *)
+  mutable deadline_overruns : int; (* stages that ran past PROTEUS_STAGE_DEADLINE_MS *)
+  mutable degrade_events : int; (* degradation-ladder steps taken (mem pressure) *)
+  mutable degrade_level : int; (* gauge: 0 full .. 3 AOT-only *)
+  mutable degraded_launches : int; (* launches served AOT because the ladder hit bottom *)
+  mutable disk_degrades : int; (* times the persistent cache tier was dropped *)
+  mutable env_rejections : int; (* malformed PROTEUS_*_CACHE_LIMIT values rejected *)
+  mutable lock_waits : int; (* cross-process cache entry-lock acquisitions *)
+  mutable lock_contended : int; (* acquisitions that had to wait *)
+  lock_wait_hist : Hist.t; (* seconds acquiring entry locks *)
+  launch_hist : Hist.t; (* per-launch simulated JIT overhead (deterministic) *)
+  stage_hist : (string, Hist.t) Hashtbl.t; (* stage name -> real wall-clock latency *)
 }
 
 let create () =
@@ -47,7 +67,29 @@ let create () =
     host_hook_errors = 0; verify_rejections = 0;
     spec_skipped_args = 0; advise_time_s = 0.0;
     cache_entries_by_policy = Hashtbl.create 4;
+    flight_leads = 0; flight_suppressed = 0; retries = 0; retry_successes = 0;
+    deadline_overruns = 0; degrade_events = 0; degrade_level = 0;
+    degraded_launches = 0; disk_degrades = 0; env_rejections = 0;
+    lock_waits = 0; lock_contended = 0;
+    lock_wait_hist = Hist.create (); launch_hist = Hist.create ();
+    stage_hist = Hashtbl.create 8;
   }
+
+(* Record one stage's real wall-clock latency into its histogram. *)
+let record_stage_latency t stage (seconds : float) =
+  let h =
+    match Hashtbl.find_opt t.stage_hist stage with
+    | Some h -> h
+    | None ->
+        let h = Hist.create () in
+        Hashtbl.add t.stage_hist stage h;
+        h
+  in
+  Hist.record h seconds
+
+let stage_latencies t =
+  Hashtbl.fold (fun s h acc -> (s, h) :: acc) t.stage_hist []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let record_cache_entry t policy =
   let n = Option.value (Hashtbl.find_opt t.cache_entries_by_policy policy) ~default:0 in
@@ -127,7 +169,37 @@ let to_pairs s =
           ^ "]" );
       ]
   in
-  base @ faults @ policy
+  let resilience =
+    if s.flight_leads = 0 && s.flight_suppressed = 0 && s.retries = 0
+       && s.deadline_overruns = 0 && s.degrade_events = 0 && s.disk_degrades = 0
+       && s.degraded_launches = 0 && s.env_rejections = 0 && s.lock_waits = 0
+    then []
+    else
+      [
+        ("flight-leads", string_of_int s.flight_leads);
+        ("flight-suppressed", string_of_int s.flight_suppressed);
+        ("retries", string_of_int s.retries);
+        ("retry-successes", string_of_int s.retry_successes);
+        ("deadline-overruns", string_of_int s.deadline_overruns);
+        ("degrade-events", string_of_int s.degrade_events);
+        ("degrade-level", string_of_int s.degrade_level);
+        ("degraded-launches", string_of_int s.degraded_launches);
+        ("disk-degrades", string_of_int s.disk_degrades);
+        ("env-rejections", string_of_int s.env_rejections);
+        ("lock-waits", string_of_int s.lock_waits);
+        ("lock-contended", string_of_int s.lock_contended);
+      ]
+  in
+  let latency =
+    if Hist.count s.launch_hist = 0 then []
+    else
+      [
+        ("overhead-p50", ms (Hist.p50 s.launch_hist));
+        ("overhead-p90", ms (Hist.p90 s.launch_hist));
+        ("overhead-p99", ms (Hist.p99 s.launch_hist));
+      ]
+  in
+  base @ faults @ policy @ resilience @ latency
 
 let to_string s =
   "jit " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) (to_pairs s))

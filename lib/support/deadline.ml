@@ -1,0 +1,48 @@
+(* Stage deadlines and retry backoff for the JIT pipeline.
+
+   OCaml has no safe preemption, so a deadline here is cooperative and
+   post-hoc: [run] executes the stage to completion, measures it, and
+   raises [Exceeded] if it ran past its budget. The stage's work is
+   done but the launch-level policy treats the overrun as a transient
+   failure (retry with backoff, then AOT fallback) - exactly the
+   behaviour a shared JIT service wants when one compile stalls: never
+   let it block the launch path indefinitely, but don't quarantine a
+   kernel for one slow compile either.
+
+   The backoff helper is deliberately deterministic-friendly: the
+   caller supplies the random draw (from a seeded Util.Rng), so a
+   retry schedule can be reproduced exactly in tests. *)
+
+type overrun = { label : string; elapsed_ms : float; limit_ms : float }
+
+exception Exceeded of overrun
+
+let () =
+  Printexc.register_printer (function
+    | Exceeded o ->
+        Some
+          (Printf.sprintf "Deadline.Exceeded(%s: %.3fms > %.3fms)" o.label
+             o.elapsed_ms o.limit_ms)
+    | _ -> None)
+
+(* Run [f] under a [limit_ms] budget; <= 0 disables the check. *)
+let run ?(label = "stage") ~(limit_ms : float) (f : unit -> 'a) : 'a =
+  if limit_ms <= 0.0 then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+    if elapsed_ms > limit_ms then raise (Exceeded { label; elapsed_ms; limit_ms });
+    r
+  end
+
+(* Jittered exponential backoff: base * 2^attempt, scaled by a jitter
+   factor in [0.5, 1.0) drawn from [rand] (a float in [0,1)). Capped at
+   [max_ms] so a long retry chain cannot sleep unboundedly. *)
+let backoff_ms ?(max_ms = 1000.0) ~(base_ms : float) ~(attempt : int)
+    ~(rand : float) () : float =
+  let base_ms = if base_ms <= 0.0 then 0.0 else base_ms in
+  let attempt = if attempt < 0 then 0 else if attempt > 20 then 20 else attempt in
+  let raw = base_ms *. float_of_int (1 lsl attempt) in
+  let jitter = 0.5 +. (0.5 *. (if rand < 0.0 then 0.0 else if rand >= 1.0 then 0.999999 else rand)) in
+  Float.min (raw *. jitter) max_ms

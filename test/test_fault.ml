@@ -54,6 +54,14 @@ let rm_rf d =
     Unix.rmdir d
   end
 
+(* entry files only: lock files ride along with every locked store *)
+let cache_entries dir =
+  List.filter
+    (fun f ->
+      (not (Filename.check_suffix f ".lock"))
+      && not (Filename.check_suffix f ".tmp"))
+    (Array.to_list (Sys.readdir dir))
+
 let run_daxpy ?(vendor = Device.Amd) config =
   let exe = Driver.compile ~name:"daxpy-fault" ~vendor ~mode:Driver.Proteus daxpy_src in
   Driver.run ~config exe
@@ -154,7 +162,16 @@ let fault_config point =
 
 let failure_stage_of_point = function
   | Fault.Specialize_corrupt -> "verify"
+  (* cache-lock fires inside the cache lookup and the stage-timeout
+     check runs at the first stage a launch enters, so both surface as
+     cache-read failures *)
+  | Fault.Cache_lock | Fault.Stage_timeout -> "cache-read"
   | p -> Fault.point_name p
+
+(* pressure points are absorbed by the degradation ladder, not the AOT
+   fallback path; they get dedicated tests below *)
+let fallback_points =
+  List.filter (fun p -> not (Fault.is_pressure_point p)) Fault.all_points
 
 let containment_test point () =
   let r = run_daxpy (fault_config point) in
@@ -257,6 +274,85 @@ let test_quarantine_disabled () =
   check Alcotest.int "all launches fell back" 6 s.Stats.fallbacks;
   check Alcotest.int "never quarantined" 0 s.Stats.quarantined_launches
 
+(* ---- pressure points: degradation ladder, transient retry ---- *)
+
+let test_mem_pressure_degrades () =
+  let config =
+    { Config.default with Config.fault_plan = [ (Fault.Mem_pressure, Fault.Always) ] }
+  in
+  let r = run_daxpy config in
+  check Alcotest.string "output under pressure" aot_output r.Driver.output;
+  let s = jit_stats r in
+  check Alcotest.int "walked the full ladder" 3 s.Stats.degrade_events;
+  check Alcotest.int "bottom rung reached" 3 s.Stats.degrade_level;
+  Alcotest.(check bool) "AOT-only launches counted" true
+    (s.Stats.degraded_launches >= 1);
+  check Alcotest.int "degradation is not failure" 0 s.Stats.fallbacks;
+  check Alcotest.int "no stage failures recorded" 0 (Stats.failures_total s)
+
+let test_disk_full_degrades () =
+  let dir = tmpdir () in
+  let config =
+    {
+      Config.default with
+      Config.persistent_dir = Some dir;
+      Config.fault_plan = [ (Fault.Disk_full, Fault.Always) ];
+    }
+  in
+  let r = run_daxpy config in
+  check Alcotest.string "output with disk full" aot_output r.Driver.output;
+  let s = jit_stats r in
+  check Alcotest.int "disk tier dropped once" 1 s.Stats.disk_degrades;
+  check Alcotest.int "compile still succeeded" 1 s.Stats.compiles;
+  check Alcotest.int "no fallbacks" 0 s.Stats.fallbacks;
+  check Alcotest.int "nothing persisted" 0 (List.length (cache_entries dir));
+  rm_rf dir
+
+let test_transient_timeout_retry_succeeds () =
+  (* a single injected stage timeout is transient: the launch retries
+     with backoff and succeeds without touching the AOT path *)
+  let config =
+    { Config.default with Config.fault_plan = [ (Fault.Stage_timeout, Fault.Nth 1) ] }
+  in
+  let r = run_daxpy config in
+  check Alcotest.string "output" aot_output r.Driver.output;
+  let s = jit_stats r in
+  check Alcotest.int "one retry" 1 s.Stats.retries;
+  check Alcotest.int "retry recovered" 1 s.Stats.retry_successes;
+  check Alcotest.int "no fallback" 0 s.Stats.fallbacks;
+  check Alcotest.int "compiled once" 1 s.Stats.compiles;
+  Alcotest.(check bool) "overrun counted" true (s.Stats.deadline_overruns >= 1)
+
+let test_transient_lock_retry_succeeds () =
+  let config =
+    { Config.default with Config.fault_plan = [ (Fault.Cache_lock, Fault.Nth 1) ] }
+  in
+  let r = run_daxpy config in
+  check Alcotest.string "output" aot_output r.Driver.output;
+  let s = jit_stats r in
+  check Alcotest.int "one retry" 1 s.Stats.retries;
+  check Alcotest.int "retry recovered" 1 s.Stats.retry_successes;
+  check Alcotest.int "no fallback" 0 s.Stats.fallbacks;
+  check Alcotest.int "compiled once" 1 s.Stats.compiles
+
+let test_transient_exhausts_to_fallback () =
+  (* a persistent transient fault exhausts the retry budget, then the
+     launch falls back like any other contained failure *)
+  let config =
+    {
+      Config.default with
+      Config.fault_plan = [ (Fault.Stage_timeout, Fault.Always) ];
+      quarantine_threshold = 0;
+    }
+  in
+  let r = run_daxpy config in
+  check Alcotest.string "output" aot_output r.Driver.output;
+  let s = jit_stats r in
+  check Alcotest.int "all launches fell back" 6 s.Stats.fallbacks;
+  (* retry_max (default 2) retries per launch, none recovered *)
+  check Alcotest.int "retries exhausted each launch" 12 s.Stats.retries;
+  check Alcotest.int "no retry recovered" 0 s.Stats.retry_successes
+
 let test_env_fault_injection_end_to_end () =
   Unix.putenv "PROTEUS_FAULT_OPTIMIZE" "always";
   let r = run_daxpy Config.default in
@@ -336,7 +432,7 @@ let test_create_missing_parents () =
   Unix.rmdir base
 
 let single_cache_file dir =
-  match Array.to_list (Sys.readdir dir) with
+  match cache_entries dir with
   | [ f ] -> Filename.concat dir f
   | l -> Alcotest.fail (Printf.sprintf "expected one cache file, got %d" (List.length l))
 
@@ -420,7 +516,7 @@ let test_insert_atomicity () =
         false
         (Filename.check_suffix f ".tmp"))
     (Sys.readdir dir);
-  check Alcotest.int "five entries" 5 (Array.length (Sys.readdir dir));
+  check Alcotest.int "five entries" 5 (List.length (cache_entries dir));
   rm_rf dir
 
 let test_jit_self_heals_corrupt_cache () =
@@ -465,13 +561,19 @@ let hecbench_fault_sweep () =
             m.Harness.output;
           match m.Harness.stats with
           | Some s ->
-              Alcotest.(check bool) (tag ^ " contained") true
-                (Stats.failures_total s >= 1);
-              (match point with
-              | Fault.Verify | Fault.Specialize_corrupt ->
-                  Alcotest.(check bool) (tag ^ " verify-rejected") true
-                    (s.Stats.verify_rejections >= 1)
-              | _ -> ())
+              if Fault.is_pressure_point point then
+                (* pressure is absorbed by degradation, not failure *)
+                Alcotest.(check bool) (tag ^ " degraded") true
+                  (s.Stats.degrade_events + s.Stats.disk_degrades >= 1)
+              else begin
+                Alcotest.(check bool) (tag ^ " contained") true
+                  (Stats.failures_total s >= 1);
+                match point with
+                | Fault.Verify | Fault.Specialize_corrupt ->
+                    Alcotest.(check bool) (tag ^ " verify-rejected") true
+                      (s.Stats.verify_rejections >= 1)
+                | _ -> ()
+              end
           | None -> Alcotest.fail (tag ^ " missing stats"))
         Fault.all_points)
     Suite.apps
@@ -493,8 +595,21 @@ let () =
             Alcotest.test_case
               (Printf.sprintf "AOT fallback on %s failure" (Fault.point_name p))
               `Quick (containment_test p))
-          Fault.all_points
+          fallback_points
         @ [ Alcotest.test_case "NVIDIA path too" `Quick containment_nvidia_test ] );
+      ( "degrade-retry",
+        [
+          Alcotest.test_case "mem-pressure walks the degradation ladder" `Quick
+            test_mem_pressure_degrades;
+          Alcotest.test_case "disk-full drops the persistent tier" `Quick
+            test_disk_full_degrades;
+          Alcotest.test_case "transient timeout retries and recovers" `Quick
+            test_transient_timeout_retry_succeeds;
+          Alcotest.test_case "transient lock failure retries and recovers" `Quick
+            test_transient_lock_retry_succeeds;
+          Alcotest.test_case "exhausted retries fall back" `Quick
+            test_transient_exhausts_to_fallback;
+        ] );
       ( "quarantine",
         [
           Alcotest.test_case "engages after N consecutive failures" `Quick

@@ -1,0 +1,375 @@
+(* Concurrency and crash-recovery tests: histogram percentile
+   estimation, stage deadlines and retry backoff, single-flight
+   compilation groups, cache entry generations (hot swap), the startup
+   recovery sweep, cache-limit env validation, and a multi-domain
+   torture run proving exactly one compile per specialization key with
+   stable hit/miss accounting and zero corruption. *)
+
+open Proteus_support
+open Proteus_backend
+open Proteus_core
+
+let check = Alcotest.check
+
+let tmpdir () =
+  let d = Filename.temp_file "proteus-resil" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let rm_rf d =
+  if Sys.file_exists d then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    Unix.rmdir d
+  end
+
+let write_file p s =
+  let oc = open_out_bin p in
+  output_string oc s;
+  close_out oc
+
+let cache_entries dir =
+  List.filter
+    (fun f ->
+      (not (Filename.check_suffix f ".lock"))
+      && not (Filename.check_suffix f ".tmp"))
+    (Array.to_list (Sys.readdir dir))
+
+let spec_key k =
+  Speckey.compute ~mid:"resil" ~sym:(Printf.sprintf "k%d" k) ~spec_values:[]
+    ~launch_bounds:None
+
+let dummy_obj k =
+  {
+    Mach.okind = Mach.VGcn;
+    kernels = [];
+    oglobals = [];
+    sections = [ ("s", Printf.sprintf "payload-%d-%s" k (String.make 64 'x')) ];
+  }
+
+(* ---- histogram percentiles ---- *)
+
+let test_hist_empty () =
+  let h = Hist.create () in
+  check Alcotest.int "count" 0 (Hist.count h);
+  check (Alcotest.float 0.0) "p50 of empty" 0.0 (Hist.p50 h);
+  check (Alcotest.float 0.0) "mean of empty" 0.0 (Hist.mean h)
+
+let test_hist_uniform_value () =
+  (* one repeated value: every percentile is that value exactly,
+     because estimates clamp to the observed [min, max] *)
+  let h = Hist.create () in
+  for _ = 1 to 10 do
+    Hist.record h 0.004
+  done;
+  check (Alcotest.float 1e-12) "p50" 0.004 (Hist.p50 h);
+  check (Alcotest.float 1e-12) "p90" 0.004 (Hist.p90 h);
+  check (Alcotest.float 1e-12) "p99" 0.004 (Hist.p99 h);
+  check (Alcotest.float 1e-12) "mean" 0.004 (Hist.mean h)
+
+let test_hist_percentiles_monotone () =
+  let h = Hist.create () in
+  for i = 1 to 100 do
+    Hist.record h (float_of_int i *. 1e-3)
+  done;
+  let p50 = Hist.p50 h and p90 = Hist.p90 h and p99 = Hist.p99 h in
+  Alcotest.(check bool) "p50 <= p90" true (p50 <= p90);
+  Alcotest.(check bool) "p90 <= p99" true (p90 <= p99);
+  (* log2 buckets: estimates are coarse but must stay in range and in
+     the right half of the distribution *)
+  Alcotest.(check bool) "p50 plausible" true (p50 >= 0.025 && p50 <= 0.1);
+  Alcotest.(check bool) "p99 within max" true (p99 <= 0.1);
+  check Alcotest.int "count" 100 (Hist.count h)
+
+let test_hist_merge_and_clear () =
+  let a = Hist.create () and b = Hist.create () in
+  Hist.record a 0.001;
+  Hist.record b 0.016;
+  Hist.merge ~into:a b;
+  check Alcotest.int "merged count" 2 (Hist.count a);
+  check (Alcotest.float 1e-12) "merged sum" 0.017 (Hist.sum a);
+  Alcotest.(check bool) "p99 tracks max" true (Hist.p99 a <= 0.016 +. 1e-12);
+  Hist.clear a;
+  check Alcotest.int "cleared" 0 (Hist.count a)
+
+(* ---- deadlines and backoff ---- *)
+
+let test_deadline_pass () =
+  check Alcotest.int "disabled (limit 0)" 5 (Deadline.run ~limit_ms:0.0 (fun () -> 5));
+  check Alcotest.int "under budget" 7 (Deadline.run ~limit_ms:10_000.0 (fun () -> 7))
+
+let test_deadline_trips () =
+  match Deadline.run ~label:"slow" ~limit_ms:1.0 (fun () -> Unix.sleepf 0.02) with
+  | () -> Alcotest.fail "overrun not detected"
+  | exception Deadline.Exceeded o ->
+      check Alcotest.string "label" "slow" o.Deadline.label;
+      Alcotest.(check bool) "elapsed exceeds limit" true
+        (o.Deadline.elapsed_ms > o.Deadline.limit_ms)
+
+let test_backoff_schedule () =
+  (* rand=0 pins jitter at the 0.5 floor: the schedule is exactly
+     base * 2^attempt / 2 until it hits the cap *)
+  List.iter
+    (fun (attempt, expect) ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "attempt %d" attempt)
+        expect
+        (Deadline.backoff_ms ~base_ms:2.0 ~attempt ~rand:0.0 ()))
+    [ (0, 1.0); (1, 2.0); (2, 4.0); (3, 8.0) ];
+  (* jitter stays within [0.5, 1.0) of the raw delay *)
+  let hi = Deadline.backoff_ms ~base_ms:2.0 ~attempt:2 ~rand:0.999 () in
+  Alcotest.(check bool) "jitter under raw" true (hi < 8.0 && hi >= 4.0);
+  (* the cap bounds any attempt count, even absurd ones *)
+  check (Alcotest.float 1e-9) "capped" 1000.0
+    (Deadline.backoff_ms ~base_ms:100.0 ~attempt:10 ~rand:0.9999 ());
+  check (Alcotest.float 1e-9) "custom cap" 3.0
+    (Deadline.backoff_ms ~max_ms:3.0 ~base_ms:100.0 ~attempt:4 ~rand:0.5 ())
+
+(* ---- single-flight groups ---- *)
+
+let test_flight_sequential () =
+  let fl = Flight.create () in
+  (match Flight.run fl ~key:"a" (fun () -> 1) with
+  | Flight.Led 1 -> ()
+  | _ -> Alcotest.fail "first call must lead");
+  (* the first flight closed, so a second call leads a fresh one *)
+  (match Flight.run fl ~key:"a" (fun () -> 2) with
+  | Flight.Led 2 -> ()
+  | _ -> Alcotest.fail "post-close call must lead again");
+  check Alcotest.int "two leads" 2 (Flight.leads fl);
+  check Alcotest.int "nothing suppressed" 0 (Flight.suppressed fl)
+
+let test_flight_coalesces () =
+  let fl = Flight.create () in
+  let in_flight = Atomic.make false in
+  let leader =
+    Domain.spawn (fun () ->
+        Flight.run fl ~key:"k" (fun () ->
+            Atomic.set in_flight true;
+            (* hold the flight open until the follower has joined *)
+            while Flight.suppressed fl < 1 do
+              Domain.cpu_relax ()
+            done;
+            42))
+  in
+  while not (Atomic.get in_flight) do
+    Domain.cpu_relax ()
+  done;
+  let follower = Domain.spawn (fun () -> Flight.run fl ~key:"k" (fun () -> 99)) in
+  let lv = Domain.join leader and fv = Domain.join follower in
+  Alcotest.(check bool) "leader led with its own result" true (lv = Flight.Led 42);
+  Alcotest.(check bool) "follower shares the leader's result" true
+    (fv = Flight.Coalesced 42);
+  check Alcotest.int "one lead" 1 (Flight.leads fl);
+  check Alcotest.int "one suppressed" 1 (Flight.suppressed fl)
+
+exception Boom
+
+let test_flight_propagates_failure () =
+  let fl = Flight.create () in
+  let in_flight = Atomic.make false in
+  let leader =
+    Domain.spawn (fun () ->
+        try
+          ignore
+            (Flight.run fl ~key:"k" (fun () ->
+                 Atomic.set in_flight true;
+                 while Flight.suppressed fl < 1 do
+                   Domain.cpu_relax ()
+                 done;
+                 raise Boom));
+          false
+        with Boom -> true)
+  in
+  while not (Atomic.get in_flight) do
+    Domain.cpu_relax ()
+  done;
+  let follower =
+    Domain.spawn (fun () ->
+        try
+          ignore (Flight.run fl ~key:"k" (fun () -> 1));
+          false
+        with Boom -> true)
+  in
+  Alcotest.(check bool) "leader sees its failure" true (Domain.join leader);
+  Alcotest.(check bool) "follower sees the leader's failure" true
+    (Domain.join follower)
+
+(* ---- entry generations (hot swap) ---- *)
+
+let test_generation_bumps () =
+  let dir = tmpdir () in
+  let c = Cachestore.create ~persistent_dir:dir () in
+  let e1 = Cachestore.insert c (spec_key 1) (dummy_obj 1) in
+  check Alcotest.int "first generation" 1 e1.Cachestore.generation;
+  let e2 = Cachestore.swap c (spec_key 1) (dummy_obj 2) in
+  check Alcotest.int "hot swap bumps the generation" 2 e2.Cachestore.generation;
+  (* the bump survives the disk round-trip: a fresh store sees gen 2 *)
+  let c2 = Cachestore.create ~persistent_dir:dir () in
+  (match Cachestore.lookup c2 (spec_key 1) with
+  | Cachestore.Disk_hit e ->
+      check Alcotest.int "persisted generation" 2 e.Cachestore.generation
+  | _ -> Alcotest.fail "expected a disk hit");
+  rm_rf dir
+
+(* ---- recovery sweep ---- *)
+
+let test_recovery_sweep () =
+  let dir = tmpdir () in
+  let c1 = Cachestore.create ~persistent_dir:dir () in
+  ignore (Cachestore.insert c1 (spec_key 1) (dummy_obj 1));
+  ignore (Cachestore.insert c1 (spec_key 2) (dummy_obj 2));
+  (* plant a crashed writer's litter: a tmp owned by a dead pid and a
+     lock stamped by the same dead pid (no live holder) *)
+  write_file (Filename.concat dir "orphan.99999999.tmp") "partial write";
+  write_file (Filename.concat dir "stale.lock") "99999999\n";
+  (* and corrupt one real entry in place *)
+  let victim =
+    match cache_entries dir with
+    | f :: _ -> Filename.concat dir f
+    | [] -> Alcotest.fail "no entries written"
+  in
+  write_file victim "this is not a cache entry";
+  let c2 = Cachestore.create ~persistent_dir:dir () in
+  check Alcotest.int "tmp litter reaped" 1 c2.Cachestore.reaped_tmp;
+  check Alcotest.int "stale lock reaped" 1 c2.Cachestore.reaped_locks;
+  check Alcotest.int "corrupt entry swept" 1 c2.Cachestore.corruptions;
+  Alcotest.(check bool) "tmp gone" false
+    (Sys.file_exists (Filename.concat dir "orphan.99999999.tmp"));
+  Alcotest.(check bool) "stale lock gone" false
+    (Sys.file_exists (Filename.concat dir "stale.lock"));
+  Alcotest.(check bool) "corrupt entry gone" false (Sys.file_exists victim);
+  (* live locks (stamped by this very process) are left alone *)
+  Alcotest.(check bool) "own locks survive" true
+    (List.exists
+       (fun f -> Filename.check_suffix f ".lock")
+       (Array.to_list (Sys.readdir dir)));
+  (* the surviving entry still disk-hits *)
+  let hit_or_miss k =
+    match Cachestore.lookup c2 (spec_key k) with
+    | Cachestore.Disk_hit _ -> `Hit
+    | Cachestore.Miss -> `Miss
+    | Cachestore.Mem_hit _ -> `Hit
+  in
+  let r1 = hit_or_miss 1 and r2 = hit_or_miss 2 in
+  Alcotest.(check bool) "one survivor, one swept" true
+    ((r1 = `Hit && r2 = `Miss) || (r1 = `Miss && r2 = `Hit));
+  rm_rf dir
+
+let test_env_limit_rejected () =
+  Unix.putenv "PROTEUS_MEM_CACHE_LIMIT" "-5";
+  Unix.putenv "PROTEUS_DISK_CACHE_LIMIT" "lots";
+  let c = Cachestore.create () in
+  (* reset to the valid "unlimited" spelling for later tests *)
+  Unix.putenv "PROTEUS_MEM_CACHE_LIMIT" "0";
+  Unix.putenv "PROTEUS_DISK_CACHE_LIMIT" "0";
+  check Alcotest.int "both malformed limits rejected" 2 c.Cachestore.limit_rejections;
+  check Alcotest.int "fail-safe to unlimited" 0 c.Cachestore.mem_limit;
+  (* a well-formed value is accepted silently *)
+  let c2 = Cachestore.create () in
+  check Alcotest.int "valid limits accepted" 0 c2.Cachestore.limit_rejections
+
+(* ---- multi-domain torture ---- *)
+
+let nkeys = 16
+let rounds = 200
+let ndomains = 4
+
+let test_torture () =
+  let dir = tmpdir () in
+  let c = Cachestore.create ~persistent_dir:dir () in
+  let fl = Flight.create () in
+  let compiles = Array.init nkeys (fun _ -> Atomic.make 0) in
+  let worker wid () =
+    let rng = Util.Rng.create (0xBEEF + wid) in
+    for r = 0 to rounds - 1 do
+      (* every worker covers every key, plus random repeats *)
+      let k = if r < nkeys then r else Util.Rng.int rng nkeys in
+      let key = spec_key k in
+      match Cachestore.lookup c key with
+      | Cachestore.Mem_hit _ | Cachestore.Disk_hit _ -> ()
+      | Cachestore.Miss -> (
+          match
+            Flight.run fl ~key:(Speckey.to_string key) (fun () ->
+                (* double-checked: a flight right after a completed one
+                   must find the leader's artifact, not recompile *)
+                match Cachestore.peek_mem c key with
+                | Some e -> e
+                | None ->
+                    Atomic.incr compiles.(k);
+                    Cachestore.insert c key (dummy_obj k))
+          with
+          | Flight.Led _ | Flight.Coalesced _ -> ())
+    done
+  in
+  let domains = List.init ndomains (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join domains;
+  (* exactly one compile per key, despite 4 domains racing on misses *)
+  Array.iteri
+    (fun k n ->
+      check Alcotest.int (Printf.sprintf "key %d compiled exactly once" k) 1
+        (Atomic.get n))
+    compiles;
+  check Alcotest.int "flight leads + cache hits conserve work" nkeys
+    (Array.fold_left (fun acc a -> acc + Atomic.get a) 0 compiles);
+  (* hit/miss accounting stays conserved under concurrency *)
+  check Alcotest.int "lookups = hits + misses" (ndomains * rounds)
+    (c.Cachestore.mem_hits + c.Cachestore.disk_hits + c.Cachestore.misses);
+  Alcotest.(check bool) "suppression or clean handoff only" true
+    (Flight.leads fl + Flight.suppressed fl >= nkeys);
+  (* nothing corrupted, nothing leaked: a fresh store sweeps nothing
+     and disk-hits every key *)
+  let c2 = Cachestore.create ~persistent_dir:dir () in
+  check Alcotest.int "no corruption" 0 c2.Cachestore.corruptions;
+  check Alcotest.int "no tmp litter" 0 c2.Cachestore.reaped_tmp;
+  check Alcotest.int "no stale locks" 0 c2.Cachestore.reaped_locks;
+  check Alcotest.int "one entry file per key" nkeys
+    (List.length (cache_entries dir));
+  for k = 0 to nkeys - 1 do
+    match Cachestore.lookup c2 (spec_key k) with
+    | Cachestore.Disk_hit _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "key %d must disk-hit after the run" k)
+  done;
+  rm_rf dir
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "hist",
+        [
+          Alcotest.test_case "empty histogram" `Quick test_hist_empty;
+          Alcotest.test_case "uniform value is exact" `Quick test_hist_uniform_value;
+          Alcotest.test_case "percentiles monotone and in range" `Quick
+            test_hist_percentiles_monotone;
+          Alcotest.test_case "merge and clear" `Quick test_hist_merge_and_clear;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "pass and disabled" `Quick test_deadline_pass;
+          Alcotest.test_case "overrun raises" `Quick test_deadline_trips;
+          Alcotest.test_case "backoff schedule, jitter, cap" `Quick
+            test_backoff_schedule;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "sequential calls each lead" `Quick
+            test_flight_sequential;
+          Alcotest.test_case "concurrent calls coalesce" `Quick test_flight_coalesces;
+          Alcotest.test_case "leader failure reaches followers" `Quick
+            test_flight_propagates_failure;
+        ] );
+      ( "cachestore",
+        [
+          Alcotest.test_case "hot swap bumps generations" `Quick
+            test_generation_bumps;
+          Alcotest.test_case "recovery sweep reaps crash litter" `Quick
+            test_recovery_sweep;
+          Alcotest.test_case "malformed cache limits rejected" `Quick
+            test_env_limit_rejected;
+        ] );
+      ( "torture",
+        [
+          Alcotest.test_case "4 domains, one compile per key, no corruption"
+            `Quick test_torture;
+        ] );
+    ]
