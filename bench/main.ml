@@ -550,6 +550,96 @@ let inject_faults () =
   if !failures > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* PerfLint validation (--perf-validate): compare the static
+   transaction-class prediction for every global-memory site against
+   the reference executor's per-site measurement on all six HeCBench
+   apps under AOT. The static side replicates the exact AOT device
+   pipeline (frontend -> O3 -> backend input), so structural site keys
+   (kernel sym, block label, mem-op ordinal, kind) line up with what
+   the machine code executes. The gate is >= 90% interval agreement
+   per app x vendor.                                                  *)
+
+type perf_row = {
+  pr_app : string;
+  pr_vendor : Device.vendor;
+  pr_static : int; (* classifiable (non-scratch) static sites *)
+  pr_matched : int; (* of those, executed at least once *)
+  pr_agreed : int;
+  pr_accuracy : float; (* percent, 100.0 when nothing matched *)
+  pr_by_class : (string * int * int) list; (* class, matched, agreed *)
+}
+
+let perf_rows : perf_row list ref = ref []
+
+let perf_validate () =
+  header
+    "PerfLint validation: static vs measured transaction classes (AOT, all apps)";
+  let module Pl = Proteus_analysis.Perflint in
+  let failures = ref 0 in
+  Printf.printf "%-9s %-7s %7s %8s %7s %9s  %s\n" "" "" "static" "matched"
+    "agreed" "accuracy" "per-class matched/agreed";
+  List.iter
+    (fun vendor ->
+      List.iter
+        (fun (a : App.t) ->
+          let u =
+            Proteus_frontend.Compile.compile ~name:a.App.name
+              ~vendor:(Proteus_driver.Driver.frontend_vendor vendor)
+              a.App.source
+          in
+          ignore (Proteus_opt.Pipeline.optimize_o3 u.Proteus_frontend.Compile.device);
+          let sites = Pl.classify_module u.Proteus_frontend.Compile.device in
+          let tbl = Counters.create_sites () in
+          Counters.site_profile := Some tbl;
+          let m =
+            Fun.protect
+              ~finally:(fun () -> Counters.site_profile := None)
+              (fun () -> Harness.run a vendor Harness.AOT)
+          in
+          let v = Pl.validate ~device:(Device.by_vendor vendor) sites tbl in
+          let acc = Pl.accuracy_pct v in
+          let ok = m.Harness.ok && acc >= 90.0 in
+          if not ok then incr failures;
+          perf_rows :=
+            {
+              pr_app = a.App.name;
+              pr_vendor = vendor;
+              pr_static = v.Pl.v_static;
+              pr_matched = v.Pl.v_matched;
+              pr_agreed = v.Pl.v_agree;
+              pr_accuracy = acc;
+              pr_by_class = v.Pl.v_by_class;
+            }
+            :: !perf_rows;
+          Printf.printf "%-9s %-7s %7d %8d %7d %8.1f%%  %s%s\n" a.App.name
+            (vname vendor) v.Pl.v_static v.Pl.v_matched v.Pl.v_agree acc
+            (String.concat " "
+               (List.map
+                  (fun (c, mm, g) -> Printf.sprintf "%s=%d/%d" c mm g)
+                  v.Pl.v_by_class))
+            (if ok then "" else "  GATE FAILED");
+          (* disagreeing sites, for diagnosis *)
+          List.iter
+            (fun (r : Pl.site_cmp) ->
+              if not r.Pl.c_agree then
+                Printf.printf
+                  "    disagree %s/%%%s#%d %s: static %s, measured %s \
+                   (%.2f lines/issue over %d issues%s)\n"
+                  r.Pl.c_site.Pl.ss_sym r.Pl.c_site.Pl.ss_block
+                  r.Pl.c_site.Pl.ss_ord
+                  (Pl.kind_name r.Pl.c_site.Pl.ss_kind)
+                  (Pl.class_name r.Pl.c_site.Pl.ss_class)
+                  (Pl.class_name r.Pl.c_measured) r.Pl.c_lines r.Pl.c_issues
+                  (if r.Pl.c_full then ", full-mask" else ""))
+            v.Pl.v_rows)
+        Suite.apps)
+    vendors;
+  if !failures > 0 then begin
+    Printf.printf "\n%d perf-validation cell(s) below the 90%% gate\n" !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* --json: machine-readable run summary.                               *)
 
 let json_escape s =
@@ -627,6 +717,34 @@ let write_json path ~(target_times : (string * float) list) ~(total_s : float) =
       arows;
     Buffer.add_string buf "  ]"
   end;
+  (* PerfLint validation table, present when perf-validate ran *)
+  let prows =
+    List.sort
+      (fun a b -> compare (a.pr_app, a.pr_vendor) (b.pr_app, b.pr_vendor))
+      !perf_rows
+  in
+  if prows <> [] then begin
+    Buffer.add_string buf ",\n  \"perf\": [\n";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"app\": \"%s\", \"vendor\": \"%s\", \"static_sites\": %d, \
+              \"matched\": %d, \"agreed\": %d, \"accuracy\": %.2f, \
+              \"classes\": {%s}}%s\n"
+             (json_escape r.pr_app) (vname r.pr_vendor) r.pr_static r.pr_matched
+             r.pr_agreed r.pr_accuracy
+             (String.concat ", "
+                (List.map
+                   (fun (c, m, g) ->
+                     Printf.sprintf
+                       "\"%s\": {\"matched\": %d, \"agreed\": %d}"
+                       (json_escape c) m g)
+                   r.pr_by_class))
+             (if i = List.length prows - 1 then "" else ",")))
+      prows;
+    Buffer.add_string buf "  ]"
+  end;
   Buffer.add_string buf "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -641,7 +759,8 @@ let () =
     | [] -> (List.rev acc, None)
   in
   let targets, json_file = split_json [] args in
-  let what = match targets with t :: _ -> t | [] -> "all" in
+  (* several targets may be listed, e.g. `bench advise perf-validate` *)
+  let targets = match targets with [] -> [ "all" ] | ts -> ts in
   let target_times = ref [] in
   let t0 = Unix.gettimeofday () in
   let timed name f =
@@ -667,6 +786,8 @@ let () =
     | "--advise" | "advise" -> timed "advise" advise_bench
     | "--inject-faults" | "inject-faults" | "faults" ->
         timed "inject-faults" inject_faults
+    | "--perf-validate" | "perf-validate" | "perf" ->
+        timed "perf-validate" perf_validate
     | "all" ->
         timed "table1" table1;
         timed "table2" table2;
@@ -685,11 +806,11 @@ let () =
     | w ->
         Printf.eprintf
           "unknown target %s (use \
-           all|table1|table2|table3|fig3..fig11|micro|--analyze|--advise|--inject-faults)\n"
+           all|table1|table2|table3|fig3..fig11|micro|--analyze|--advise|--perf-validate|--inject-faults)\n"
           w;
         exit 2
   in
-  run what;
+  List.iter run targets;
   let total = Unix.gettimeofday () -. t0 in
   Printf.printf "\n[bench completed in %.1fs wall]\n" total;
   match json_file with

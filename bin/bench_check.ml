@@ -1,5 +1,6 @@
-(* Smoke checker for `proteus bench --json` and `proteus advise
-   --format machine` output, run from the @bench-smoke and @advise
+(* Smoke checker for `proteus bench --json`, `proteus advise
+   --format machine`, the bench harness perf block (--perf) and SARIF
+   exports (--sarif), run from the @bench-smoke, @advise and @perflint
    aliases (part of runtest). Parses the JSON strictly with a
    self-contained recursive-descent reader (no JSON library in the
    environment) and asserts the respective schema: for measurements, a
@@ -257,23 +258,129 @@ let check_advise_row row =
     args;
   kernel
 
+(* ---- perf block (bench --perf-validate --json) ---- *)
+
+let check_perf_row row =
+  let app = as_str "app" (field row "app") in
+  let vendor = as_str "vendor" (field row "vendor") in
+  let ctx what = Printf.sprintf "%s/%s: %s" app vendor what in
+  if vendor <> "AMD" && vendor <> "NVIDIA" then bad "%s" (ctx "unknown vendor");
+  let stat = as_int (ctx "static_sites") (field row "static_sites") in
+  let matched = as_int (ctx "matched") (field row "matched") in
+  let agreed = as_int (ctx "agreed") (field row "agreed") in
+  (* monotone class counts: agreed <= matched <= static sites *)
+  if stat < 0 || matched < 0 || agreed < 0 then bad "%s" (ctx "negative count");
+  if matched > stat then bad "%s" (ctx "matched exceeds static_sites");
+  if agreed > matched then bad "%s" (ctx "agreed exceeds matched");
+  let acc = as_num (ctx "accuracy") (field row "accuracy") in
+  if Float.is_nan acc || acc < 0.0 || acc > 100.0 then
+    bad "%s" (ctx "accuracy outside [0,100]");
+  let expected =
+    if matched = 0 then 100.0
+    else 100.0 *. float_of_int agreed /. float_of_int matched
+  in
+  if Float.abs (acc -. expected) > 0.05 then
+    bad "%s" (ctx "accuracy inconsistent with agreed/matched");
+  (* per-class breakdown sums back to the totals *)
+  let classes =
+    match field row "classes" with
+    | Obj cs -> cs
+    | _ -> bad "%s" (ctx "classes must be an object")
+  in
+  let sum_m = ref 0 and sum_g = ref 0 in
+  List.iter
+    (fun (cname, c) ->
+      let m = as_int (ctx (cname ^ " matched")) (field c "matched") in
+      let g = as_int (ctx (cname ^ " agreed")) (field c "agreed") in
+      if m < 0 || g < 0 || g > m then bad "%s" (ctx ("bad class counts for " ^ cname));
+      sum_m := !sum_m + m;
+      sum_g := !sum_g + g)
+    classes;
+  if !sum_m <> matched || !sum_g <> agreed then
+    bad "%s" (ctx "class breakdown does not sum to totals");
+  (app, vendor)
+
+let check_perf json =
+  let rows = as_arr "perf" (field json "perf") in
+  if rows = [] then bad "empty perf block";
+  let cells = List.map check_perf_row rows in
+  let uniq = List.sort_uniq compare cells in
+  if List.length uniq <> List.length cells then bad "duplicate perf cells";
+  List.length cells
+
+(* ---- SARIF 2.1.0 schema check (proteus ... --format sarif) ---- *)
+
+let check_sarif json =
+  let version = as_str "version" (field json "version") in
+  if version <> "2.1.0" then bad "sarif: version %s, expected 2.1.0" version;
+  ignore (as_str "$schema" (field json "$schema"));
+  let runs = as_arr "runs" (field json "runs") in
+  (match runs with [ _ ] -> () | _ -> bad "sarif: expected exactly one run");
+  let run = List.hd runs in
+  let driver = field (field run "tool") "driver" in
+  ignore (as_str "driver.name" (field driver "name"));
+  let rule_ids =
+    List.map
+      (fun r -> as_str "rule id" (field r "id"))
+      (as_arr "rules" (field driver "rules"))
+  in
+  if List.sort_uniq compare rule_ids <> List.sort compare rule_ids then
+    bad "sarif: duplicate rule ids";
+  let results = as_arr "results" (field run "results") in
+  List.iter
+    (fun r ->
+      let rule = as_str "ruleId" (field r "ruleId") in
+      if not (List.mem rule rule_ids) then
+        bad "sarif: result ruleId %s not in driver.rules" rule;
+      (match as_str "level" (field r "level") with
+      | "note" | "warning" | "error" -> ()
+      | l -> bad "sarif: bad level %s" l);
+      ignore (as_str "message.text" (field (field r "message") "text"));
+      List.iter
+        (fun loc ->
+          let ph = field loc "physicalLocation" in
+          ignore (as_str "artifact uri" (field (field ph "artifactLocation") "uri"));
+          match ph with
+          | Obj fs when List.mem_assoc "region" fs ->
+              let reg = List.assoc "region" fs in
+              if as_int "startLine" (field reg "startLine") < 1 then
+                bad "sarif: startLine < 1";
+              if as_int "startColumn" (field reg "startColumn") < 1 then
+                bad "sarif: startColumn < 1"
+          | _ -> ())
+        (as_arr "locations" (field r "locations")))
+    results;
+  (List.length rule_ids, List.length results)
+
 let () =
-  let advise, path =
+  let mode, path =
     match Sys.argv with
-    | [| _; p |] -> (false, p)
-    | [| _; "--advise"; p |] -> (true, p)
-    | _ -> prerr_endline "usage: bench_check [--advise] FILE.json"; exit 2
+    | [| _; p |] -> (`Bench, p)
+    | [| _; "--advise"; p |] -> (`Advise, p)
+    | [| _; "--perf"; p |] -> (`Perf, p)
+    | [| _; "--sarif"; p |] -> (`Sarif, p)
+    | _ ->
+        prerr_endline "usage: bench_check [--advise|--perf|--sarif] FILE.json";
+        exit 2
   in
   let ic = open_in_bin path in
   let src = really_input_string ic (in_channel_length ic) in
   close_in ic;
   try
-    match parse src with
-    | Arr rows when advise ->
+    match (mode, parse src) with
+    | `Perf, json ->
+        let cells = check_perf json in
+        Printf.printf "bench_check: %s ok (%d perf cells)\n" path cells
+    | `Sarif, json ->
+        let rules, results = check_sarif json in
+        Printf.printf "bench_check: %s ok (SARIF: %d rules, %d results)\n" path
+          rules results
+    | `Advise, Arr rows ->
         if rows = [] then bad "empty advise report";
         let kernels = List.map check_advise_row rows in
         Printf.printf "bench_check: %s ok (%d kernel reports)\n" path (List.length kernels)
-    | Arr rows ->
+    | `Advise, _ -> bad "top level is not an array"
+    | `Bench, Arr rows ->
         if rows = [] then bad "empty measurement array";
         let meths = List.map check_row rows in
         List.iter
@@ -282,7 +389,7 @@ let () =
               bad "method %S missing from output" required)
           [ "AOT"; "Proteus"; "Proteus+$"; "Jitify" ];
         Printf.printf "bench_check: %s ok (%d measurements)\n" path (List.length rows)
-    | _ -> bad "top level is not an array"
+    | `Bench, _ -> bad "top level is not an array"
   with Bad msg ->
     Printf.eprintf "bench_check: %s: %s\n" path msg;
     exit 1

@@ -118,8 +118,10 @@ let analyze_cmd =
   in
   let format =
     Arg.(value
-         & opt (enum [ ("text", `Text); ("machine", `Machine) ]) `Text
-         & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,machine) (tab-separated).")
+         & opt (enum [ ("text", `Text); ("machine", `Machine); ("sarif", `Sarif) ]) `Text
+         & info [ "format" ]
+             ~doc:"Output format: $(b,text), $(b,machine) (tab-separated, \
+                   deterministic order) or $(b,sarif) (SARIF 2.1.0 JSON).")
   in
   let go files bundled all werror format =
     let open Proteus_analysis in
@@ -142,21 +144,31 @@ let analyze_cmd =
       exit 2
     end;
     let shown_total = ref 0 and error_total = ref 0 in
-    List.iter
-      (fun (name, source) ->
-        let m = Proteus_frontend.Compile.compile_device_only ~name ~debug:true source in
-        let findings = Kernelsan.analyze_module m in
-        let shown = Kernelsan.reportable ~all findings in
-        shown_total := !shown_total + List.length shown;
-        error_total := !error_total + List.length (Kernelsan.errors findings);
+    let per_file =
+      List.map
+        (fun (name, source) ->
+          let m = Proteus_frontend.Compile.compile_device_only ~name ~debug:true source in
+          let findings = Kernelsan.analyze_module m in
+          let shown = Kernelsan.reportable ~all findings in
+          shown_total := !shown_total + List.length shown;
+          error_total := !error_total + List.length (Kernelsan.errors findings);
+          (name, shown))
+        targets
+    in
+    (match format with
+    | `Text ->
         List.iter
-          (fun fd ->
-            print_endline
-              (match format with
-              | `Text -> Finding.to_string ~file:name fd
-              | `Machine -> Finding.to_machine ~file:name fd))
-          shown)
-      targets;
+          (fun (name, shown) ->
+            List.iter (fun fd -> print_endline (Finding.to_string ~file:name fd)) shown)
+          per_file
+    | `Machine ->
+        List.iter
+          (fun (name, shown) ->
+            List.iter
+              (fun fd -> print_endline (Finding.to_machine ~file:name fd))
+              (Finding.dedup_sort shown))
+          per_file
+    | `Sarif -> print_endline (Finding.to_sarif ~tool:"kernelsan" per_file));
     if format = `Text then
       Printf.printf "analyzed %d program(s): %d finding(s) shown, %d error(s)\n"
         (List.length targets) !shown_total !error_total;
@@ -271,6 +283,90 @@ let advise_cmd =
              what folds, which branches prune and which loops unroll if the JIT pins \
              each argument; optionally auto-annotate sources")
     Term.(const go $ files $ bundled $ threshold $ format $ auto)
+
+(* ---- perflint ---- *)
+
+let perflint_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Kernel-C source files to analyze.")
+  in
+  let bundled =
+    Arg.(value & flag & info [ "bundled" ]
+           ~doc:"Also analyze the bundled HeCBench mini-apps and examples.")
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("machine", `Machine); ("sarif", `Sarif) ]) `Text
+         & info [ "format" ]
+             ~doc:"Output format: $(b,text) (per-kernel cost report), $(b,machine) \
+                   (tab-separated findings, deterministic order) or $(b,sarif) \
+                   (SARIF 2.1.0 JSON).")
+  in
+  let go files bundled vendor format =
+    let open Proteus_analysis in
+    let targets =
+      List.map (fun f -> (f, read_file f)) files
+      @
+      if bundled then
+        List.map
+          (fun (a : Proteus_hecbench.App.t) ->
+            (a.Proteus_hecbench.App.name, a.Proteus_hecbench.App.source))
+          Proteus_hecbench.Suite.apps
+        @ List.map
+            (fun (e : Proteus_examples.Sources.t) ->
+              (e.Proteus_examples.Sources.name, e.Proteus_examples.Sources.source))
+            Proteus_examples.Sources.all
+      else []
+    in
+    if targets = [] then begin
+      prerr_endline "proteus perflint: no input (pass FILE arguments or --bundled)";
+      exit 2
+    end;
+    let device = Device.by_vendor vendor in
+    let results =
+      List.map
+        (fun (name, source) ->
+          let m =
+            Proteus_frontend.Compile.compile_device_only ~name ~debug:true source
+          in
+          (name, Perflint.report_module ~device m))
+        targets
+    in
+    match format with
+    | `Text ->
+        List.iter
+          (fun (name, rs) ->
+            List.iter (fun r -> print_string (Perflint.to_string ~file:name r)) rs)
+          results;
+        Printf.printf "perflint: %d program(s), %d kernel(s), %d finding(s)\n"
+          (List.length results)
+          (List.fold_left (fun acc (_, rs) -> acc + List.length rs) 0 results)
+          (List.fold_left
+             (fun acc (_, rs) ->
+               acc + List.length (Perflint.findings_of_reports rs))
+             0 results)
+    | `Machine ->
+        List.iter
+          (fun (name, rs) ->
+            List.iter
+              (fun fd -> print_endline (Finding.to_machine ~file:name fd))
+              (Finding.dedup_sort (Perflint.findings_of_reports rs)))
+          results
+    | `Sarif ->
+        print_endline
+          (Finding.to_sarif ~tool:"perflint"
+             (List.map
+                (fun (name, rs) -> (name, Perflint.findings_of_reports rs))
+                results))
+  in
+  Cmd.v
+    (Cmd.info "perflint"
+       ~doc:"Static memory-performance and occupancy analysis: classify every \
+             load/store as coalesced/strided/broadcast/scattered, estimate \
+             shared-memory bank conflicts, register-pressure occupancy and \
+             divergence cost per kernel")
+    Term.(const go $ files $ bundled $ vendor_arg $ format)
 
 (* ---- run ---- *)
 
@@ -410,8 +506,8 @@ let fuzz_cmd =
   in
   let oracle =
     Arg.(value & opt (some string) None & info [ "oracle" ]
-           ~doc:"Comma-separated subset of $(b,a),$(b,b),$(b,c),$(b,d),$(b,e) to run \
-                 (default: all five).")
+           ~doc:"Comma-separated subset of $(b,a),$(b,b),$(b,c),$(b,d),$(b,e),$(b,f) \
+                 to run (default: all six).")
   in
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
@@ -438,7 +534,7 @@ let fuzz_cmd =
     List.iter
       (fun o ->
         if not (List.mem o Proteus_fuzz.Oracle.all_oracles) then begin
-          Printf.eprintf "proteus fuzz: unknown oracle %s (a|b|c|d|e)\n" o;
+          Printf.eprintf "proteus fuzz: unknown oracle %s (a|b|c|d|e|f)\n" o;
           exit 2
         end)
       oracles;
@@ -656,6 +752,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            compile_cmd; analyze_cmd; advise_cmd; run_cmd; bench_cmd; fuzz_cmd;
-            crashtest_cmd; devices_cmd;
+            compile_cmd; analyze_cmd; advise_cmd; perflint_cmd; run_cmd; bench_cmd;
+            fuzz_cmd; crashtest_cmd; devices_cmd;
           ]))

@@ -21,6 +21,10 @@ type kind =
   | Out_of_bounds
   | Invalid_ir
   | Spec_impact (* Specadvisor provenance: why an argument scored *)
+  | Coalescing (* PerfLint: strided/scattered global access *)
+  | Bank_conflict (* PerfLint: shared-memory bank conflict *)
+  | Occupancy (* PerfLint: register pressure limits resident waves *)
+  | Divergence (* PerfLint: costly divergent region *)
 
 let kind_to_string = function
   | Barrier_divergence -> "barrier-divergence"
@@ -28,6 +32,10 @@ let kind_to_string = function
   | Out_of_bounds -> "out-of-bounds"
   | Invalid_ir -> "invalid-ir"
   | Spec_impact -> "spec-impact"
+  | Coalescing -> "coalescing"
+  | Bank_conflict -> "bank-conflict"
+  | Occupancy -> "occupancy"
+  | Divergence -> "divergence"
 
 type t = {
   kind : kind;
@@ -64,3 +72,88 @@ let to_machine ?(file = "<source>") t =
   Printf.sprintf "%s\t%d\t%d\t%s\t%s\t%s\t%s" file line col
     (severity_to_string t.severity)
     (kind_to_string t.kind) t.func t.message
+
+(* Deterministic order for machine/SARIF output: (line, col, rule,
+   severity, kernel, block, message), identical findings collapsed.
+   Analyses may visit blocks in hash order; CI diffs must not care. *)
+let dedup_sort (ts : t list) : t list =
+  let key t =
+    let line, col = match t.loc with Some (l, c) -> (l, c) | None -> (0, 0) in
+    ( line, col,
+      kind_to_string t.kind,
+      severity_rank t.severity,
+      t.func, t.block, t.message )
+  in
+  List.sort_uniq (fun a b -> Stdlib.compare (key a) (key b)) ts
+
+(* ------------------------------------------------------------------ *)
+(* SARIF 2.1.0 export (minimal static-analysis profile: one run, one
+   driver, results with physical locations).                           *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let sarif_level = function
+  | Info -> "note"
+  | Warning -> "warning"
+  | Error -> "error"
+
+(* [files] pairs a source-file uri with its findings; each file's list
+   is dedup_sorted here, so the export is deterministic. *)
+let to_sarif ~(tool : string) (files : (string * t list) list) : string =
+  let b = Buffer.create 4096 in
+  let rules =
+    files
+    |> List.concat_map (fun (_, ts) -> List.map (fun t -> kind_to_string t.kind) ts)
+    |> List.sort_uniq Stdlib.compare
+  in
+  Buffer.add_string b
+    "{\"version\":\"2.1.0\",\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"";
+  Buffer.add_string b (json_escape tool);
+  Buffer.add_string b "\",\"rules\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "{\"id\":\"%s\"}" (json_escape r)))
+    rules;
+  Buffer.add_string b "]}},\"results\":[";
+  let first = ref true in
+  List.iter
+    (fun (file, ts) ->
+      List.iter
+        (fun t ->
+          if !first then first := false else Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "{\"ruleId\":\"%s\",\"level\":\"%s\""
+               (json_escape (kind_to_string t.kind))
+               (sarif_level t.severity));
+          Buffer.add_string b
+            (Printf.sprintf ",\"message\":{\"text\":\"%s (kernel %s)\"}"
+               (json_escape t.message) (json_escape t.func));
+          Buffer.add_string b
+            (Printf.sprintf
+               ",\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"%s\"}%s}}]}"
+               (json_escape file)
+               (match t.loc with
+               | Some (l, c) ->
+                   Printf.sprintf
+                     ",\"region\":{\"startLine\":%d,\"startColumn\":%d}"
+                     (max 1 l) (max 1 c)
+               | None -> "")))
+        (dedup_sort ts))
+    files;
+  Buffer.add_string b "]}]}";
+  Buffer.contents b

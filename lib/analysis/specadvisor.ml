@@ -66,10 +66,12 @@ type counts = {
   mutable c_loops : int; (* loops whose trip count becomes static *)
   mutable c_loop_insts : int; (* instructions inside those loops *)
   mutable c_addrs : int; (* address computations gaining a constant part *)
+  mutable c_addr_w : float; (* the same sites, weighted by coalescing class *)
 }
 
 let zero_counts () =
-  { c_folds = 0; c_uses = 0; c_branches = 0; c_loops = 0; c_loop_insts = 0; c_addrs = 0 }
+  { c_folds = 0; c_uses = 0; c_branches = 0; c_loops = 0; c_loop_insts = 0;
+    c_addrs = 0; c_addr_w = 0.0 }
 
 let add_counts a b =
   a.c_folds <- a.c_folds + b.c_folds;
@@ -77,7 +79,8 @@ let add_counts a b =
   a.c_branches <- a.c_branches + b.c_branches;
   a.c_loops <- a.c_loops + b.c_loops;
   a.c_loop_insts <- a.c_loop_insts + b.c_loop_insts;
-  a.c_addrs <- a.c_addrs + b.c_addrs
+  a.c_addrs <- a.c_addrs + b.c_addrs;
+  a.c_addr_w <- a.c_addr_w +. b.c_addr_w
 
 let diff_counts a b =
   {
@@ -87,6 +90,7 @@ let diff_counts a b =
     c_loops = a.c_loops - b.c_loops;
     c_loop_insts = a.c_loop_insts - b.c_loop_insts;
     c_addrs = a.c_addrs - b.c_addrs;
+    c_addr_w = a.c_addr_w -. b.c_addr_w;
   }
 
 type arg_impact = {
@@ -234,7 +238,8 @@ and summarize ctx (g : Ir.func) (mask : bool list) : summary =
    [on_site kind block inst_idx] fires for provenance collection;
    loops are only analyzed when [loops] carries the function's loop
    forest (skipped inside callee summaries). *)
-and count_sites ctx (f : Ir.func) ~(base : bool array) ~(full : bool array)
+and count_sites ?(addr_factor = fun (_ : Ir.reg) -> 1.0) ctx (f : Ir.func)
+    ~(base : bool array) ~(full : bool array)
     ~(loops : (Cfg.t * Loopinfo.t) option)
     ~(on_site : [ `Fold | `Use | `Branch | `Loop of int | `Addr ] -> string -> int -> unit)
     : counts =
@@ -356,10 +361,14 @@ and count_sites ctx (f : Ir.func) ~(base : bool array) ~(full : bool array)
                  constant (uniform) component folds part of the
                  addressing into an immediate offset *)
               (match i with
-              | Ir.IGep (_, _, idx) -> (
+              | Ir.IGep (d, _, idx) -> (
                   match aff_op idx with
                   | Some a when aff_has_delta a ->
                       c.c_addrs <- c.c_addrs + 1;
+                      (* coalescing-aware: a fold feeding a strided or
+                         scattered access is worth more than one the
+                         hardware coalesces anyway (PerfLint classes) *)
+                      c.c_addr_w <- c.c_addr_w +. addr_factor d;
                       on_site `Addr b.Ir.label k
                   | _ -> ())
               | _ -> ());
@@ -454,7 +463,7 @@ let score_counts ?(bonus = 0.0) (c : counts) : float =
   +. (w_branch *. float_of_int c.c_branches)
   +. (w_loop *. float_of_int c.c_loops)
   +. (w_loop_inst *. float_of_int c.c_loop_insts)
-  +. (w_addr *. float_of_int c.c_addrs)
+  +. (w_addr *. c.c_addr_w)
   +. bonus
 
 let launch_pseudo_name = "<launch-bounds>"
@@ -495,6 +504,7 @@ let advise_func ?(threshold = default_threshold) (m : Ir.modul) (f : Ir.func) :
   let li = Loopinfo.compute cfg dom in
   let u = Uniformity.compute f in
   let loc_at = loc_table f in
+  let addr_factor = Perflint.gep_factors m f in
   let base = closure ctx f ~seeds:[] ~ntid_const:false in
   let impact_of ~index ~pname ~ty ~is_ptr ~ntid_const seeds ~bonus ~bonus_note =
     let full = closure ctx f ~seeds ~ntid_const in
@@ -519,7 +529,7 @@ let advise_func ?(threshold = default_threshold) (m : Ir.modul) (f : Ir.func) :
           :: !prov
       end
     in
-    let c = count_sites ctx f ~base ~full ~loops:(Some (cfg, li)) ~on_site in
+    let c = count_sites ~addr_factor ctx f ~base ~full ~loops:(Some (cfg, li)) ~on_site in
     (match bonus_note with
     | Some msg when bonus > 0.0 ->
         prov :=

@@ -18,7 +18,12 @@
        and specializing only the advisor-recommended subset of the
        annotated arguments must still produce bit-identical outputs to
        the unspecialized path (dropping a key component may cost
-       folding, never correctness).
+       folding, never correctness);
+   (f) perf-model consistency: sites PerfLint statically classifies as
+       coalesced must never measure worse than the strided-2 line
+       bound under the executor's per-site transaction profile (checked
+       on full-mask issues only: a sparse active mask can legitimately
+       make a coalesced site look scattered).
 
    Every run builds its own memory rig with a deterministic layout
    (module globals first, then parameter buffers in order, contents
@@ -35,11 +40,11 @@ module Rng = Util.Rng
 type failure = { oracle : string; detail : string }
 
 type opts = {
-  oracles : string list; (* subset of ["a"; "b"; "c"; "d"; "e"] *)
+  oracles : string list; (* subset of ["a"; "b"; "c"; "d"; "e"; "f"] *)
   faults : Proteus_core.Fault.t; (* armed fault points for the spec path *)
 }
 
-let all_oracles = [ "a"; "b"; "c"; "d"; "e" ]
+let all_oracles = [ "a"; "b"; "c"; "d"; "e"; "f" ]
 
 let default_opts () = { oracles = all_oracles; faults = Proteus_core.Fault.of_plan [] }
 
@@ -443,6 +448,61 @@ let run_source (opts : opts) ~(src : string) (gk : Gen.kernel) (l : Gen.launch) 
           if snape <> snap0 then
             failf "e" "advise-policy vs unspecialized outputs (%d of %d args keyed): %s"
               (List.length keep) (List.length spec_values) (snap_diff snape snap0);
+          tick ());
+    (* (f): static perf model vs measured per-site transactions *)
+    if sel "f" then
+      guard "f" (fun () ->
+          let module Pl = Proteus_analysis.Perflint in
+          let m = clone_module m0 in
+          ignore (Proteus_opt.Pipeline.optimize_o3 m);
+          let sites = Pl.classify_module m in
+          let obj = Gcn.compile m in
+          let mk = Mach.find_kernel obj gk.Gen.sym in
+          let rig = make_rig gk l in
+          let dev = Device.mi250x in
+          let l2 = L2cache.create dev in
+          let tbl = Counters.create_sites () in
+          Counters.site_profile := Some tbl;
+          Fun.protect
+            ~finally:(fun () -> Counters.site_profile := None)
+            (fun () ->
+              ignore
+                (Exec.launch ~reference:true ~domains:1 ~device:dev
+                   ~mem:rig.mem ~l2 ~symbols:(global_of rig) mk
+                   ~grid:l.Gen.grid ~block:l.Gen.block ~args:rig.args));
+          let line = dev.Device.l2_line in
+          List.iter
+            (fun (ss : Pl.static_site) ->
+              match (ss.Pl.ss_class, ss.Pl.ss_space) with
+              | Pl.Coalesced, Pl.Sp_global -> (
+                  match
+                    Hashtbl.find_opt tbl
+                      { Counters.sk_sym = ss.Pl.ss_sym;
+                        sk_block = ss.Pl.ss_block; sk_ord = ss.Pl.ss_ord;
+                        sk_kind = ss.Pl.ss_kind }
+                  with
+                  | Some st when st.Counters.s_full_issues > 0 ->
+                      let fi = st.Counters.s_full_issues in
+                      let lanes = st.Counters.s_full_lanes / fi in
+                      let r =
+                        float_of_int st.Counters.s_full_lines /. float_of_int fi
+                      in
+                      (* strided-2w line count plus one line of base
+                         misalignment slack: the ceiling any truly
+                         coalesced access can reach *)
+                      let bound =
+                        Pl.ceil_div (lanes * 2 * ss.Pl.ss_width) line + 1
+                      in
+                      if r > float_of_int bound +. 1e-9 then
+                        failf "f"
+                          "static-coalesced site %s/%%%s#%d measures %.2f \
+                           lines/issue over %d full-mask issues (bound %d, \
+                           width %d)"
+                          ss.Pl.ss_sym ss.Pl.ss_block ss.Pl.ss_ord r fi bound
+                          ss.Pl.ss_width
+                  | _ -> ())
+              | _ -> ())
+            sites;
           tick ());
     Ok !checks
   with Fail f -> Error f

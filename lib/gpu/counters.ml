@@ -54,6 +54,70 @@ let add a b =
 
 let fdiv a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
 
+(* ------------------------------------------------------------------ *)
+(* Per-instruction-site memory-transaction profiling (PerfLint
+   validation). Sites are keyed structurally — kernel symbol, machine
+   block label, ordinal of the memory op within the block (counting
+   every load/store/atomic, any address space, in code order) — the
+   same key the static classifier derives from the optimized IR, since
+   codegen strips dbg.loc before any pass runs. Recording happens only
+   in the reference engine; [Exec.launch] forces it while a profile is
+   armed, which is observationally safe because all engines are
+   bit-identical. *)
+
+type access_kind = Kload | Kstore | Katomic
+
+type site_key = {
+  sk_sym : string;
+  sk_block : string;
+  sk_ord : int;
+  sk_kind : access_kind;
+}
+
+type site = {
+  mutable s_issues : int; (* warp-level executions of the site *)
+  mutable s_lanes : int; (* total active lanes over all issues *)
+  mutable s_lines : int; (* total fresh cache lines touched *)
+  mutable s_full_issues : int; (* issues with every lane active *)
+  mutable s_full_lanes : int;
+  mutable s_full_lines : int;
+  mutable s_width : int; (* access width in bytes (last seen) *)
+  mutable s_scratch : bool; (* true when any issue hit scratch space *)
+}
+
+type site_table = (site_key, site) Hashtbl.t
+
+let create_sites () : site_table = Hashtbl.create 64
+
+(* Armed profile: when [Some tbl], the reference engine accumulates
+   per-site statistics into [tbl]. Global by design — profiling is a
+   whole-process measurement mode, like Stats. *)
+let site_profile : site_table option ref = ref None
+
+let record_site (tbl : site_table) key ~lanes ~lines ~full ~width ~scratch =
+  let s =
+    match Hashtbl.find_opt tbl key with
+    | Some s -> s
+    | None ->
+        let s =
+          { s_issues = 0; s_lanes = 0; s_lines = 0; s_full_issues = 0;
+            s_full_lanes = 0; s_full_lines = 0; s_width = width;
+            s_scratch = false }
+        in
+        Hashtbl.replace tbl key s;
+        s
+  in
+  s.s_issues <- s.s_issues + 1;
+  s.s_lanes <- s.s_lanes + lanes;
+  s.s_lines <- s.s_lines + lines;
+  if full then begin
+    s.s_full_issues <- s.s_full_issues + 1;
+    s.s_full_lanes <- s.s_full_lanes + lanes;
+    s.s_full_lines <- s.s_full_lines + lines
+  end;
+  s.s_width <- width;
+  if scratch then s.s_scratch <- true
+
 (* rocprof/nvprof-style derived metrics *)
 let valu_insts_per_item t = fdiv t.valu_thread t.threads
 let salu_insts_per_wave t = fdiv t.salu t.warps

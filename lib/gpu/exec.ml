@@ -180,21 +180,43 @@ let run_warp (env : kernel_env) (f : Mach.mfunc) (prep : prep) (w : wstate)
     in
     Int64.of_int v
   in
-  (* memory access with coalescing; returns unit, updates counters *)
+  (* memory access with coalescing; returns the number of distinct
+     cache lines the access touched, and updates counters *)
   let dedup = linedup_create lanes in
   let touch_lines addrs =
     (* unique cache lines among lane addresses *)
     let line = env.device.Device.l2_line in
     linedup_reset dedup;
+    let fresh = ref 0 in
     List.iter
       (fun a ->
         let la = Int64.to_int a / line in
         if linedup_add dedup la then begin
+          incr fresh;
           c.Counters.mem_lines <- c.Counters.mem_lines + 1;
           if L2cache.access env.l2 a then c.Counters.l2_hits <- c.Counters.l2_hits + 1
           else c.Counters.l2_misses <- c.Counters.l2_misses + 1
         end)
-      addrs
+      addrs;
+    !fresh
+  in
+  (* Per-site transaction profiling (PerfLint validation): when armed,
+     every load/store/atomic issue records its active-lane and
+     fresh-line counts under a structural (sym, block, mem-op ordinal)
+     key. Ordinals count every memory op of the block in code order
+     and reset on block entry, matching the static classifier's walk
+     of the optimized IR. *)
+  let profile = !Counters.site_profile in
+  let site_lab = ref "" in
+  let site_ord = ref 0 in
+  let record_site kind ~ord ~act ~lines ~width ~scratch =
+    match profile with
+    | None -> ()
+    | Some tbl ->
+        Counters.record_site tbl
+          { Counters.sk_sym = f.Mach.sym; sk_block = !site_lab; sk_ord = ord;
+            sk_kind = kind }
+          ~lanes:act ~lines ~full:(act = lanes) ~width ~scratch
   in
   (* Spill slots are lane-interleaved within a warp's scratch region
      (hardware swizzles scratch so per-lane spill traffic coalesces). *)
@@ -354,13 +376,17 @@ let run_warp (env : kernel_env) (f : Mach.mfunc) (prep : prep) (w : wstate)
         if scalar_dst then go 0 else for_lanes go
     | Mach.Old (space, ty) ->
         c.Counters.warp_instrs <- c.Counters.warp_instrs + 1;
+        let ord = !site_ord in
+        incr site_ord;
         let d = Option.get i.Mach.dst in
         let p = List.nth i.Mach.srcs 0 in
         if scalar_dst then begin
           (* uniform scalar fetch *)
           c.Counters.smem <- c.Counters.smem + 1;
           let addr = src_i p 0 in
-          touch_lines [ addr ];
+          let fresh = touch_lines [ addr ] in
+          record_site Counters.Kload ~ord ~act ~lines:fresh
+            ~width:(Types.size_of ty) ~scratch:(space = Mach.SScratch);
           write_konst d 0 (Gmem.read env.mem ty addr)
         end
         else begin
@@ -373,13 +399,17 @@ let run_warp (env : kernel_env) (f : Mach.mfunc) (prep : prep) (w : wstate)
               let addr = src_i p l in
               addrs := addr :: !addrs;
               write_konst d l (Gmem.read env.mem ty addr));
-          touch_lines !addrs
+          let fresh = touch_lines !addrs in
+          record_site Counters.Kload ~ord ~act ~lines:fresh
+            ~width:(Types.size_of ty) ~scratch:(space = Mach.SScratch)
         end
     | Mach.Ost (space, ty) ->
         c.Counters.warp_instrs <- c.Counters.warp_instrs + 1;
         c.Counters.vmem_warp <- c.Counters.vmem_warp + 1;
         c.Counters.vmem_thread <- c.Counters.vmem_thread + act;
         if space = Mach.SScratch then c.Counters.scratch_st <- c.Counters.scratch_st + 1;
+        let ord = !site_ord in
+        incr site_ord;
         let v = List.nth i.Mach.srcs 0 and p = List.nth i.Mach.srcs 1 in
         let addrs = ref [] in
         for_lanes (fun l ->
@@ -391,7 +421,9 @@ let run_warp (env : kernel_env) (f : Mach.mfunc) (prep : prep) (w : wstate)
               else Konst.kint ~bits:(ibits_of ty) (src_i v l)
             in
             Gmem.write env.mem ty addr k);
-        touch_lines !addrs
+        let fresh = touch_lines !addrs in
+        record_site Counters.Kstore ~ord ~act ~lines:fresh
+          ~width:(Types.size_of ty) ~scratch:(space = Mach.SScratch)
     | Mach.Oquery q ->
         count_alu ();
         let d = Option.get i.Mach.dst in
@@ -420,6 +452,8 @@ let run_warp (env : kernel_env) (f : Mach.mfunc) (prep : prep) (w : wstate)
         c.Counters.warp_instrs <- c.Counters.warp_instrs + 1;
         c.Counters.atomics <- c.Counters.atomics + 1;
         c.Counters.vmem_thread <- c.Counters.vmem_thread + act;
+        let ord = !site_ord in
+        incr site_ord;
         let p = List.nth i.Mach.srcs 0 and v = List.nth i.Mach.srcs 1 in
         let addrs = ref [] in
         for_lanes (fun l ->
@@ -439,7 +473,15 @@ let run_warp (env : kernel_env) (f : Mach.mfunc) (prep : prep) (w : wstate)
                 Gmem.write_i32 env.mem addr (Int32.add old (Int64.to_int32 (src_i v l)));
                 (match i.Mach.dst with Some d -> dst_i d l (Int64.of_int32 old) | None -> ())
             | n -> raise (Trap ("atomic " ^ n)));
-        touch_lines !addrs
+        let fresh = touch_lines !addrs in
+        let width =
+          if String.length name >= 3
+             && String.sub name (String.length name - 3) 3 = "f64"
+          then 8
+          else 4
+        in
+        record_site Counters.Katomic ~ord ~act ~lines:fresh ~width
+          ~scratch:false
     | Mach.Obarrier -> c.Counters.warp_instrs <- c.Counters.warp_instrs + 1
     | Mach.Oframe ->
         count_alu ();
@@ -480,7 +522,7 @@ let run_warp (env : kernel_env) (f : Mach.mfunc) (prep : prep) (w : wstate)
                 addrs := scratch_addr l slot :: !addrs;
                 w.spi.((slot * lanes) + l) <- rd_vi rid l;
                 w.spf.((slot * lanes) + l) <- rd_vf rid l);
-            touch_lines !addrs
+            ignore (touch_lines !addrs)
         | _ -> raise (Trap "spill of non-register"))
     | Mach.Ospill_ld slot -> (
         c.Counters.warp_instrs <- c.Counters.warp_instrs + 1;
@@ -499,7 +541,7 @@ let run_warp (env : kernel_env) (f : Mach.mfunc) (prep : prep) (w : wstate)
                 addrs := scratch_addr l slot :: !addrs;
                 wr_vi d.Mach.rid l w.spi.((slot * lanes) + l);
                 wr_vf d.Mach.rid l w.spf.((slot * lanes) + l));
-            touch_lines !addrs)
+            ignore (touch_lines !addrs))
   in
   (* ---- SIMT control flow ---- *)
   let fuel = ref 1_000_000_000 in
@@ -507,6 +549,8 @@ let run_warp (env : kernel_env) (f : Mach.mfunc) (prep : prep) (w : wstate)
     if label = stop || Int64.equal mask 0L then mask
     else begin
       let b = block label in
+      site_lab := label;
+      site_ord := 0;
       List.iter
         (fun i ->
           decr fuel;
@@ -1910,8 +1954,12 @@ let launch ?(reference = false) ?domains ?tcode ~(device : Device.t) ~(mem : Gme
   let engine =
     (* the threaded engine's register banks assume little-endian Bytes
        accessors; on a big-endian host fall back to the (slow, portable)
-       reference interpreter rather than produce wrong bits *)
-    if reference || Sys.big_endian then run_reference ()
+       reference interpreter rather than produce wrong bits. Site
+       profiling (PerfLint validation) records only in the reference
+       engine; forcing it while a profile is armed changes nothing
+       observable because all engines are bit-identical. *)
+    if reference || Sys.big_endian || !Counters.site_profile <> None then
+      run_reference ()
     else begin
       let p =
         match tcode with

@@ -1,0 +1,306 @@
+(* PerfLint tests: lane-stride classification edge cases (negative
+   strides, mixed scale factors, guard-narrowed ranges crossing zero),
+   the transaction model's internal consistency (predicted counts fall
+   inside the predicted interval and round-trip through the measured
+   classifier), end-to-end classification of small source kernels, the
+   deterministic machine/SARIF output contract, and a report smoke test
+   over a bundled HeCBench app. *)
+
+open Proteus_analysis
+module Pl = Perflint
+module Aff = Affine
+
+let check = Alcotest.check
+
+(* The classifier targets the optimized module (the one codegen
+   consumes): pre-O3 frontend IR routes indices through allocas, which
+   hides the affine forms. *)
+let compile name src =
+  let m = Proteus_frontend.Compile.compile_device_only ~name ~debug:true src in
+  ignore (Proteus_opt.Pipeline.optimize_o3 m);
+  m
+
+let tid0 = Aff.of_atom (Aff.Tid 0)
+
+let class_t : Pl.mem_class Alcotest.testable =
+  Alcotest.testable
+    (fun fmt c -> Format.pp_print_string fmt (Pl.class_name c))
+    (fun a b -> a = b)
+
+(* ---- lane stride: hand-built affine forms ---- *)
+
+let test_lane_stride_edge_cases () =
+  let cls ?(width = 4) form = Pl.classify ~width (Some form) in
+  (* constants and non-x tids are warp-uniform: broadcast *)
+  check class_t "const" Pl.Broadcast (cls (Aff.const 42));
+  check class_t "tid.y only" Pl.Broadcast (cls (Aff.of_atom (Aff.Tid 1)));
+  (* zero coefficient normalizes away *)
+  check class_t "stride 0" Pl.Broadcast (cls (Aff.mul_const tid0 0));
+  (* unit and sub-width strides coalesce *)
+  check class_t "stride 4 / width 4" Pl.Coalesced (cls (Aff.mul_const tid0 4));
+  check class_t "stride 1 / width 4" Pl.Coalesced (cls (Aff.mul_const tid0 1));
+  (* negative strides: reversed traversal is still one warp-wide
+     contiguous footprint *)
+  check class_t "stride -4 / width 4" Pl.Coalesced
+    (cls (Aff.mul_const tid0 (-4)));
+  check class_t "stride -32 / width 4" (Pl.Strided (-32))
+    (cls (Aff.mul_const tid0 (-32)));
+  (* wide strides *)
+  check class_t "stride 32 / width 8" (Pl.Strided 32)
+    (cls ~width:8 (Aff.mul_const tid0 32));
+  (* mixed scale factors: tid.x times an unknown uniform makes the
+     per-lane stride data-dependent *)
+  let sym = Aff.of_atom (Aff.Sym 7) in
+  check class_t "tid*sym" Pl.Scattered (cls (Option.get (Aff.mul tid0 sym)));
+  check class_t "4*tid + tid*sym" Pl.Scattered
+    (cls (Aff.add (Aff.mul_const tid0 4) (Option.get (Aff.mul tid0 sym))));
+  (* quadratic in tid *)
+  check class_t "tid*tid" Pl.Scattered (cls (Option.get (Aff.mul tid0 tid0)));
+  (* a pure-stride term plus uniform terms keeps the stride *)
+  check class_t "4*tid + 8*sym + 3" Pl.Coalesced
+    (cls
+       (Aff.add
+          (Aff.add (Aff.mul_const tid0 4) (Aff.mul_const sym 8))
+          (Aff.const 3)));
+  (* no symbolic form at all *)
+  check class_t "unknown address" Pl.Scattered (Pl.classify ~width:4 None)
+
+(* Guard-narrowed interval that crosses zero: form = tid.x - 8 under
+   dominating guards form >= -4 and form < 4 narrows to [-4, 3]. *)
+let test_guard_narrow_crosses_zero () =
+  let env = function
+    | Aff.Tid 0 -> Aff.range (Some 0) (Some 1023)
+    | _ -> Aff.top
+  in
+  let form = Aff.add tid0 (Aff.const (-8)) in
+  let itv = Aff.eval env form in
+  check (Alcotest.option Alcotest.int) "unguarded lo" (Some (-8)) itv.Aff.lo;
+  let itv = Aff.clamp itv Proteus_ir.Ops.CGe (-4) in
+  let itv = Aff.clamp itv Proteus_ir.Ops.CLt 4 in
+  check (Alcotest.option Alcotest.int) "guarded lo" (Some (-4)) itv.Aff.lo;
+  check (Alcotest.option Alcotest.int) "guarded hi" (Some 3) itv.Aff.hi;
+  (* the narrowed range crossing zero does not change the lane stride:
+     classification stays structural *)
+  check class_t "still coalesced" Pl.Coalesced (Pl.classify ~width:4 (Some form))
+
+(* ---- transaction model consistency ---- *)
+
+let test_tx_model () =
+  let line = 128 in
+  let classes =
+    [ Pl.Broadcast; Pl.Coalesced; Pl.Strided 8; Pl.Strided 32;
+      Pl.Strided (-32); Pl.Strided 512; Pl.Scattered ]
+  in
+  List.iter
+    (fun lanes ->
+      List.iter
+        (fun width ->
+          List.iter
+            (fun cls ->
+              let p = Pl.predicted_tx cls ~lanes ~width ~line in
+              let lo, hi = Pl.tx_interval cls ~lanes ~width ~line in
+              let name =
+                Printf.sprintf "%s lanes=%d width=%d" (Pl.class_name cls)
+                  lanes width
+              in
+              if not (lo <= p && p <= hi) then
+                Alcotest.failf "%s: predicted %d outside [%d,%d]" name p lo hi;
+              if not (1 <= lo && hi <= lanes) then
+                Alcotest.failf "%s: interval [%d,%d] outside [1,lanes]" name
+                  lo hi)
+            classes)
+        [ 4; 8 ])
+    [ 32; 64 ]
+
+let test_measured_class_roundtrip () =
+  let lanes = 64 and width = 4 and line = 128 in
+  List.iter
+    (fun cls ->
+      let p = Pl.predicted_tx cls ~lanes ~width ~line in
+      let got =
+        Pl.measured_class ~r:(float_of_int p) ~lanes:(float_of_int lanes)
+          ~width ~line
+      in
+      if not (Pl.same_class cls got) then
+        Alcotest.failf "%s: predicted tx %d classified back as %s"
+          (Pl.class_name cls) p (Pl.class_name got))
+    [ Pl.Broadcast; Pl.Coalesced; Pl.Strided 32; Pl.Scattered ]
+
+(* ---- end-to-end classification of source kernels ---- *)
+
+let global_sites m =
+  Pl.classify_module m
+  |> List.filter (fun (s : Pl.static_site) -> s.Pl.ss_space = Pl.Sp_global)
+
+let classes_of name src =
+  List.map (fun (s : Pl.static_site) -> s.Pl.ss_class)
+    (global_sites (compile name src))
+
+let test_kernel_classes () =
+  let all name expect got =
+    check Alcotest.bool name true
+      (got <> [] && List.for_all (Pl.same_class expect) got)
+  in
+  all "unit stride" Pl.Coalesced
+    (classes_of "coal"
+       "__global__ void k(float *out, float *in) {\n\
+       \  int tid = threadIdx.x;\n\
+       \  out[tid] = in[tid];\n\
+        }");
+  all "reversed (negative stride)" Pl.Coalesced
+    (classes_of "rev"
+       "__global__ void k(float *out, int n) {\n\
+       \  int tid = threadIdx.x;\n\
+       \  out[n - 1 - tid] = 1.0f;\n\
+        }");
+  all "strided" (Pl.Strided 32)
+    (classes_of "strided"
+       "__global__ void k(float *out) {\n\
+       \  int tid = threadIdx.x;\n\
+       \  out[tid * 8] = 1.0f;\n\
+        }");
+  all "symbolic scale" Pl.Scattered
+    (classes_of "symscale"
+       "__global__ void k(float *out, int n) {\n\
+       \  int tid = threadIdx.x;\n\
+       \  out[tid * n] = 1.0f;\n\
+        }");
+  (* guard-narrowed index crossing zero stays coalesced; the guard
+     keeps the access in bounds but must not perturb the stride *)
+  all "guarded negative index" Pl.Coalesced
+    (classes_of "guarded"
+       "__global__ void k(float *out) {\n\
+       \  int i = threadIdx.x - 8;\n\
+       \  if (i >= -4 && i < 4) {\n\
+       \    out[i + 8] = 1.0f;\n\
+       \  }\n\
+        }")
+
+let test_broadcast_load () =
+  let sites =
+    global_sites
+      (compile "bcast"
+         "__global__ void k(float *out, float *in) {\n\
+         \  int tid = threadIdx.x;\n\
+         \  out[tid] = in[0];\n\
+          }")
+  in
+  let loads, stores =
+    List.partition (fun (s : Pl.static_site) -> s.Pl.ss_kind = Proteus_gpu.Counters.Kload) sites
+  in
+  check Alcotest.bool "load broadcast" true
+    (List.for_all (fun (s : Pl.static_site) -> s.Pl.ss_class = Pl.Broadcast) loads
+    && loads <> []);
+  check Alcotest.bool "store coalesced" true
+    (List.for_all (fun (s : Pl.static_site) -> s.Pl.ss_class = Pl.Coalesced) stores
+    && stores <> [])
+
+(* ---- deterministic machine/SARIF output ---- *)
+
+let mk_finding ?loc kind sev msg =
+  Finding.mk ?loc ~kind ~severity:sev ~func:"k" ~block:"entry" msg
+
+let test_dedup_sort_deterministic () =
+  let fs =
+    [
+      mk_finding ~loc:(3, 7) Finding.Coalescing Finding.Warning "strided";
+      mk_finding ~loc:(1, 2) Finding.Occupancy Finding.Warning "low occupancy";
+      mk_finding ~loc:(3, 7) Finding.Coalescing Finding.Warning "strided";
+      mk_finding Finding.Divergence Finding.Info "divergent";
+      mk_finding ~loc:(3, 7) Finding.Bank_conflict Finding.Warning "4-way";
+    ]
+  in
+  let a = Finding.dedup_sort fs in
+  let b = Finding.dedup_sort (List.rev fs) in
+  check Alcotest.int "duplicates collapsed" 4 (List.length a);
+  check Alcotest.bool "order independent" true (a = b);
+  let machine = List.map Finding.to_machine a in
+  check Alcotest.bool "machine rows sorted" true
+    (machine = List.sort Stdlib.compare machine)
+
+let test_sarif_deterministic () =
+  let fs =
+    [
+      mk_finding ~loc:(3, 7) Finding.Coalescing Finding.Warning "strided";
+      mk_finding ~loc:(1, 2) Finding.Occupancy Finding.Warning "low";
+      mk_finding ~loc:(3, 7) Finding.Coalescing Finding.Warning "strided";
+    ]
+  in
+  let a = Finding.to_sarif ~tool:"perflint" [ ("k.cu", fs) ] in
+  let b = Finding.to_sarif ~tool:"perflint" [ ("k.cu", List.rev fs) ] in
+  check Alcotest.string "sarif byte-identical" a b;
+  let prefix = "{\"version\":\"2.1.0\"," in
+  check Alcotest.bool "sarif version" true
+    (String.length a >= String.length prefix
+    && String.sub a 0 (String.length prefix) = prefix)
+
+(* ---- report smoke test over a bundled app ---- *)
+
+let test_report_bundled () =
+  let a = List.hd Proteus_hecbench.Suite.apps in
+  let m = compile a.Proteus_hecbench.App.name a.Proteus_hecbench.App.source in
+  let reports = Pl.report_module m in
+  check Alcotest.bool "has kernel reports" true (reports <> []);
+  List.iter
+    (fun (r : Pl.kernel_report) ->
+      check Alcotest.bool
+        (r.Pl.r_kernel ^ " occupancy in (0,1]")
+        true
+        (r.Pl.r_occupancy > 0.0 && r.Pl.r_occupancy <= 1.0);
+      check Alcotest.bool (r.Pl.r_kernel ^ " waves >= 1") true (r.Pl.r_waves >= 1);
+      check Alcotest.bool (r.Pl.r_kernel ^ " has sites") true (r.Pl.r_sites <> []);
+      List.iter
+        (fun (s : Pl.site_report) ->
+          check Alcotest.bool "tx >= 1" true (s.Pl.p_tx >= 1);
+          check Alcotest.bool "bank ways >= 1" true (s.Pl.p_bank_ways >= 1))
+        r.Pl.r_sites)
+    reports
+
+let test_gep_factors_neutral_or_penalty () =
+  let m = compile "strided" "__global__ void k(float *out) {\n  int tid = threadIdx.x;\n  out[tid * 8] = 1.0f;\n}" in
+  List.iter
+    (fun (f : Proteus_ir.Ir.func) ->
+      if f.Proteus_ir.Ir.kind = Proteus_ir.Ir.Kernel then
+        let factor = Pl.gep_factors m f in
+        (* every register maps to a factor >= 1: coalescing-aware
+           address weights can only grow SpecAdvisor scores *)
+        for r = 0 to 63 do
+          check Alcotest.bool "factor >= 1" true (factor r >= 1.0)
+        done)
+    m.Proteus_ir.Ir.funcs
+
+let () =
+  Alcotest.run "perflint"
+    [
+      ( "lane-stride",
+        [
+          Alcotest.test_case "edge cases (neg/mixed/zero)" `Quick
+            test_lane_stride_edge_cases;
+          Alcotest.test_case "guard narrowing crosses zero" `Quick
+            test_guard_narrow_crosses_zero;
+        ] );
+      ( "tx-model",
+        [
+          Alcotest.test_case "predicted within interval" `Quick test_tx_model;
+          Alcotest.test_case "measured-class roundtrip" `Quick
+            test_measured_class_roundtrip;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "source-kernel classes" `Quick test_kernel_classes;
+          Alcotest.test_case "broadcast load" `Quick test_broadcast_load;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "dedup_sort stable" `Quick
+            test_dedup_sort_deterministic;
+          Alcotest.test_case "sarif byte-identical" `Quick
+            test_sarif_deterministic;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "bundled app smoke" `Quick test_report_bundled;
+          Alcotest.test_case "gep factors >= 1" `Quick
+            test_gep_factors_neutral_or_penalty;
+        ] );
+    ]
