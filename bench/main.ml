@@ -640,6 +640,104 @@ let perf_validate () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* tier: tiered compilation (PR 8) -- cold-launch latency with and
+   without the background tier-up pipeline.  Per (app, vendor) we run
+   AOT, non-tiered Proteus (cold cache) and tiered Proteus (cold cache,
+   PROTEUS_TIER_THRESHOLD=1 so every reused key tiers up).  Outputs
+   must be bit-identical across all three, the tiered first JIT launch
+   must not be slower than the blocking one (tier 0 dispatches the AOT
+   artifact instead of waiting on O3), the steady-state launch overhead
+   must match the all-O3 path, and at least one background compile must
+   have been published.  Any violation fails the run (exit 1).        *)
+
+type tier_row = {
+  tr_app : string;
+  tr_vendor : Device.vendor;
+  tr_ok : bool;
+  tr_first_off_s : float;
+  tr_first_tier_s : float;
+  tr_steady_off_s : float;
+  tr_steady_tier_s : float;
+  tr_tierups : int;
+  tr_tier_launches : int;
+  tr_swap_p50_s : float; (* nan when no tier-up published *)
+  tr_compiles_off : int;
+  tr_compiles_tier : int;
+}
+
+let tier_rows : tier_row list ref = ref []
+
+let tier_bench () =
+  header "Tiered compilation: cold-launch latency, tier off vs on (Proteus, cold)";
+  let open Proteus_core in
+  let failures = ref 0 in
+  Printf.printf "%-9s %-7s %14s %14s %8s %7s %10s %7s\n" "" ""
+    "first off/tier" "steady off/tier" "tierups" "tier0" "swap p50" "output";
+  List.iter
+    (fun vendor ->
+      List.iter
+        (fun (a : App.t) ->
+          let m_aot = Harness.run a vendor Harness.AOT in
+          let m_off = Harness.run a vendor Harness.Proteus_cold in
+          let m_tier =
+            Harness.run
+              ~config:
+                { Config.default with Config.tier = true; tier_threshold = 1 }
+              a vendor Harness.Proteus_cold
+          in
+          let st (m : Harness.measurement) =
+            match m.Harness.stats with Some s -> s | None -> Stats.create ()
+          in
+          let s_off = st m_off and s_tier = st m_tier in
+          let swap_p50 =
+            let open Proteus_support in
+            if Hist.count s_tier.Stats.swap_hist = 0 then nan
+            else Hist.p50 s_tier.Stats.swap_hist
+          in
+          let ok =
+            m_aot.Harness.ok && m_off.Harness.ok && m_tier.Harness.ok
+            && m_tier.Harness.output = m_off.Harness.output
+            && m_tier.Harness.output = m_aot.Harness.output
+            && s_tier.Stats.first_launch_s <= s_off.Stats.first_launch_s +. 1e-9
+            && s_tier.Stats.steady_launch_s
+               <= (s_off.Stats.steady_launch_s *. 1.5) +. 1e-9
+            && s_tier.Stats.tierups >= 1
+            && s_tier.Stats.tier_launches >= 1
+          in
+          if not ok then incr failures;
+          let row =
+            {
+              tr_app = a.App.name;
+              tr_vendor = vendor;
+              tr_ok = ok;
+              tr_first_off_s = s_off.Stats.first_launch_s;
+              tr_first_tier_s = s_tier.Stats.first_launch_s;
+              tr_steady_off_s = s_off.Stats.steady_launch_s;
+              tr_steady_tier_s = s_tier.Stats.steady_launch_s;
+              tr_tierups = s_tier.Stats.tierups;
+              tr_tier_launches = s_tier.Stats.tier_launches;
+              tr_swap_p50_s = swap_p50;
+              tr_compiles_off = s_off.Stats.compiles;
+              tr_compiles_tier = s_tier.Stats.compiles;
+            }
+          in
+          tier_rows := row :: !tier_rows;
+          Printf.printf "%-9s %-7s %6.2f/%-7.2f %6.3f/%-7.3f %8d %7d %9.2fms %7s\n"
+            a.App.name (vname vendor)
+            (row.tr_first_off_s *. 1e3)
+            (row.tr_first_tier_s *. 1e3)
+            (row.tr_steady_off_s *. 1e3)
+            (row.tr_steady_tier_s *. 1e3)
+            row.tr_tierups row.tr_tier_launches (swap_p50 *. 1e3)
+            (if ok then "same" else "DIFF"))
+        Suite.apps)
+    vendors;
+  if !failures > 0 then begin
+    Printf.printf "\n%d tier cell(s) regressed\n" !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* --json: machine-readable run summary.                               *)
 
 let json_escape s =
@@ -745,6 +843,34 @@ let write_json path ~(target_times : (string * float) list) ~(total_s : float) =
       prows;
     Buffer.add_string buf "  ]"
   end;
+  (* tiered-compilation comparison, present when the tier target ran *)
+  let trows =
+    List.sort
+      (fun a b -> compare (a.tr_app, a.tr_vendor) (b.tr_app, b.tr_vendor))
+      !tier_rows
+  in
+  if trows <> [] then begin
+    Buffer.add_string buf ",\n  \"tier\": [\n";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"app\": \"%s\", \"vendor\": \"%s\", \"ok\": %b, \
+              \"first_launch_ms_off\": %s, \"first_launch_ms_tier\": %s, \
+              \"steady_launch_ms_off\": %s, \"steady_launch_ms_tier\": %s, \
+              \"tierup_count\": %d, \"tier_launches\": %d, \
+              \"swap_latency_ms\": %s, \"compiles_off\": %d, \
+              \"compiles_tier\": %d}%s\n"
+             (json_escape r.tr_app) (vname r.tr_vendor) r.tr_ok
+             (json_ms r.tr_first_off_s) (json_ms r.tr_first_tier_s)
+             (json_ms r.tr_steady_off_s) (json_ms r.tr_steady_tier_s)
+             r.tr_tierups r.tr_tier_launches
+             (json_ms r.tr_swap_p50_s)
+             r.tr_compiles_off r.tr_compiles_tier
+             (if i = List.length trows - 1 then "" else ",")))
+      trows;
+    Buffer.add_string buf "  ]"
+  end;
   Buffer.add_string buf "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -788,6 +914,7 @@ let () =
         timed "inject-faults" inject_faults
     | "--perf-validate" | "perf-validate" | "perf" ->
         timed "perf-validate" perf_validate
+    | "--tier" | "tier" -> timed "tier" tier_bench
     | "all" ->
         timed "table1" table1;
         timed "table2" table2;
@@ -802,11 +929,12 @@ let () =
         timed "fig10" fig10;
         timed "fig11" fig11;
         timed "advise" advise_bench;
+        timed "tier" tier_bench;
         timed "micro" micro
     | w ->
         Printf.eprintf
           "unknown target %s (use \
-           all|table1|table2|table3|fig3..fig11|micro|--analyze|--advise|--perf-validate|--inject-faults)\n"
+           all|table1|table2|table3|fig3..fig11|micro|--analyze|--advise|--tier|--perf-validate|--inject-faults)\n"
           w;
         exit 2
   in

@@ -196,6 +196,31 @@ let check_row row =
           p90 p99
   | None, None, None -> ()
   | _ -> bad "method %s: percentiles must be all-null or all-numeric" meth);
+  (* tiered-compilation fields: first/steady launch overhead are null on
+     rows with no JIT launches (AOT, n/a) and otherwise both numeric;
+     tierup_count is a non-negative integer (null when no JIT); a swap
+     latency may only appear alongside at least one published tier-up *)
+  (match (pct "first_launch_ms", pct "steady_launch_ms") with
+  | Some _, Some _ ->
+      if na then bad "method %s: n/a row carries launch overheads" meth
+  | None, None -> ()
+  | _ ->
+      bad "method %s: first/steady launch overhead must be both-null or both-numeric"
+        meth);
+  let tierups =
+    match field row "tierup_count" with
+    | Null -> None
+    | Num v ->
+        if (not (Float.is_integer v)) || v < 0.0 then
+          bad "method %s: tierup_count must be a non-negative integer" meth;
+        Some (int_of_float v)
+    | _ -> bad "method %s: tierup_count must be an integer or null" meth
+  in
+  if na && tierups <> None then bad "method %s: n/a row carries tierup_count" meth;
+  (match (pct "swap_latency_ms", tierups) with
+  | Some _, (None | Some 0) ->
+      bad "method %s: swap latency reported without a published tier-up" meth
+  | _ -> ());
   meth
 
 (* ---- advise report schema (proteus advise --format machine) ---- *)
@@ -308,6 +333,49 @@ let check_perf json =
   if List.length uniq <> List.length cells then bad "duplicate perf cells";
   List.length cells
 
+(* ---- tier block (bench tier --json / BENCH_PR8.json) ---- *)
+
+let check_tier_row row =
+  let app = as_str "app" (field row "app") in
+  let vendor = as_str "vendor" (field row "vendor") in
+  let ctx what = Printf.sprintf "%s/%s: %s" app vendor what in
+  if vendor <> "AMD" && vendor <> "NVIDIA" then bad "%s" (ctx "unknown vendor");
+  if not (as_bool (ctx "ok") (field row "ok")) then bad "%s" (ctx "cell not ok");
+  let num f =
+    let v = as_num (ctx f) (field row f) in
+    if Float.is_nan v || v < 0.0 then bad "%s" (ctx ("bad " ^ f));
+    v
+  in
+  (* the point of tiering: the first JIT launch must not be slower than
+     the blocking (non-tiered) first launch *)
+  let first_off = num "first_launch_ms_off" in
+  let first_tier = num "first_launch_ms_tier" in
+  if first_tier > first_off +. 1e-9 then
+    bad "%s" (ctx "tiered first launch slower than non-tiered");
+  ignore (num "steady_launch_ms_off");
+  ignore (num "steady_launch_ms_tier");
+  let tierups = as_int (ctx "tierup_count") (field row "tierup_count") in
+  if tierups < 1 then bad "%s" (ctx "no tier-ups published");
+  if as_int (ctx "tier_launches") (field row "tier_launches") < 1 then
+    bad "%s" (ctx "no tier-0 launches recorded");
+  List.iter
+    (fun f ->
+      if as_int (ctx f) (field row f) < 0 then bad "%s" (ctx (f ^ " is negative")))
+    [ "compiles_off"; "compiles_tier" ];
+  (match field row "swap_latency_ms" with
+  | Num v -> if Float.is_nan v || v < 0.0 then bad "%s" (ctx "bad swap_latency_ms")
+  | Null -> bad "%s" (ctx "tier-ups published without a swap latency")
+  | _ -> bad "%s" (ctx "swap_latency_ms must be a number"));
+  (app, vendor)
+
+let check_tier json =
+  let rows = as_arr "tier" (field json "tier") in
+  if rows = [] then bad "empty tier block";
+  let cells = List.map check_tier_row rows in
+  let uniq = List.sort_uniq compare cells in
+  if List.length uniq <> List.length cells then bad "duplicate tier cells";
+  List.length cells
+
 (* ---- SARIF 2.1.0 schema check (proteus ... --format sarif) ---- *)
 
 let check_sarif json =
@@ -358,9 +426,10 @@ let () =
     | [| _; p |] -> (`Bench, p)
     | [| _; "--advise"; p |] -> (`Advise, p)
     | [| _; "--perf"; p |] -> (`Perf, p)
+    | [| _; "--tier"; p |] -> (`Tier, p)
     | [| _; "--sarif"; p |] -> (`Sarif, p)
     | _ ->
-        prerr_endline "usage: bench_check [--advise|--perf|--sarif] FILE.json";
+        prerr_endline "usage: bench_check [--advise|--perf|--tier|--sarif] FILE.json";
         exit 2
   in
   let ic = open_in_bin path in
@@ -371,6 +440,9 @@ let () =
     | `Perf, json ->
         let cells = check_perf json in
         Printf.printf "bench_check: %s ok (%d perf cells)\n" path cells
+    | `Tier, json ->
+        let cells = check_tier json in
+        Printf.printf "bench_check: %s ok (%d tier cells)\n" path cells
     | `Sarif, json ->
         let rules, results = check_sarif json in
         Printf.printf "bench_check: %s ok (SARIF: %d rules, %d results)\n" path

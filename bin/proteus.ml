@@ -457,13 +457,33 @@ let bench_cmd =
             Printf.sprintf "%.6f" (f s.Proteus_core.Stats.launch_hist *. 1e3)
         | _ -> "null"
       in
+      (* tiered-compilation fields: null on rows with no JIT stats
+         (AOT, n/a) and on runs where tiering recorded nothing *)
+      let stat_ms (m : Harness.measurement) f =
+        match m.Harness.stats with Some s -> ms (f s) | None -> "null"
+      in
+      let tierups (m : Harness.measurement) =
+        match m.Harness.stats with
+        | Some s -> string_of_int s.Proteus_core.Stats.tierups
+        | None -> "null"
+      in
+      let swap_ms (m : Harness.measurement) =
+        match m.Harness.stats with
+        | Some s
+          when Proteus_support.Hist.count s.Proteus_core.Stats.swap_hist > 0 ->
+            Printf.sprintf "%.6f"
+              (Proteus_support.Hist.p50 s.Proteus_core.Stats.swap_hist *. 1e3)
+        | _ -> "null"
+      in
       print_string "[\n";
       List.iteri
         (fun i (meth, m) ->
           Printf.printf
             "  {\"benchmark\": %S, \"method\": %S, \"na\": %b, \"ok\": %b, \
              \"e2e_ms\": %s, \"kernel_ms\": %s, \"jit_overhead_ms\": %s, \
-             \"p50_ms\": %s, \"p90_ms\": %s, \"p99_ms\": %s}%s\n"
+             \"p50_ms\": %s, \"p90_ms\": %s, \"p99_ms\": %s, \
+             \"first_launch_ms\": %s, \"steady_launch_ms\": %s, \
+             \"tierup_count\": %s, \"swap_latency_ms\": %s}%s\n"
             name
             (Harness.method_name meth)
             m.Harness.na m.Harness.ok (ms m.Harness.e2e_s) (ms m.Harness.kernel_s)
@@ -471,6 +491,9 @@ let bench_cmd =
             (pct m Proteus_support.Hist.p50)
             (pct m Proteus_support.Hist.p90)
             (pct m Proteus_support.Hist.p99)
+            (stat_ms m (fun s -> s.Proteus_core.Stats.first_launch_s))
+            (stat_ms m (fun s -> s.Proteus_core.Stats.steady_launch_s))
+            (tierups m) (swap_ms m)
             (if i < List.length results - 1 then "," else ""))
         results;
       print_string "]\n"
@@ -506,8 +529,8 @@ let fuzz_cmd =
   in
   let oracle =
     Arg.(value & opt (some string) None & info [ "oracle" ]
-           ~doc:"Comma-separated subset of $(b,a),$(b,b),$(b,c),$(b,d),$(b,e),$(b,f) \
-                 to run (default: all six).")
+           ~doc:"Comma-separated subset of $(b,a),$(b,b),$(b,c),$(b,d),$(b,e),$(b,f),$(b,g) \
+                 to run (default: all seven).")
   in
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
@@ -534,7 +557,7 @@ let fuzz_cmd =
     List.iter
       (fun o ->
         if not (List.mem o Proteus_fuzz.Oracle.all_oracles) then begin
-          Printf.eprintf "proteus fuzz: unknown oracle %s (a|b|c|d|e|f)\n" o;
+          Printf.eprintf "proteus fuzz: unknown oracle %s (a|b|c|d|e|f|g)\n" o;
           exit 2
         end)
       oracles;

@@ -23,7 +23,12 @@
        coalesced must never measure worse than the strided-2 line
        bound under the executor's per-site transaction profile (checked
        on full-mask issues only: a sparse active mask can legitimately
-       make a coalesced site look scattered).
+       make a coalesced site look scattered);
+   (g) tier-up mid-stream is bit-identical: a launch stream that
+       starts on the unspecialized (tier-0 / AOT) artifact and hot
+       swaps to the specialized O3 artifact after k launches must
+       leave exactly the same memory as the all-tier-0 and all-O3
+       streams, for every switch point k.
 
    Every run builds its own memory rig with a deterministic layout
    (module globals first, then parameter buffers in order, contents
@@ -40,11 +45,11 @@ module Rng = Util.Rng
 type failure = { oracle : string; detail : string }
 
 type opts = {
-  oracles : string list; (* subset of ["a"; "b"; "c"; "d"; "e"; "f"] *)
+  oracles : string list; (* subset of ["a"; "b"; "c"; "d"; "e"; "f"; "g"] *)
   faults : Proteus_core.Fault.t; (* armed fault points for the spec path *)
 }
 
-let all_oracles = [ "a"; "b"; "c"; "d"; "e"; "f" ]
+let all_oracles = [ "a"; "b"; "c"; "d"; "e"; "f"; "g" ]
 
 let default_opts () = { oracles = all_oracles; faults = Proteus_core.Fault.of_plan [] }
 
@@ -504,6 +509,62 @@ let run_source (opts : opts) ~(src : string) (gk : Gen.kernel) (l : Gen.launch) 
               | _ -> ())
             sites;
           tick ());
+    (* (g): tier-up mid-stream is bit-identical. Replay the same
+       multi-launch stream on fresh (deterministically identical) rigs,
+       hot-swapping from the tier-0 artifact (O3, unspecialized - what
+       the AOT binary carries) to the specialized O3 artifact after k
+       launches; every switch point must produce the same final memory
+       as the streams that never switch. *)
+    if sel "g" then
+      guard "g" (fun () ->
+          let rounds = 3 in
+          let stream switch_at =
+            let rig = make_rig gk l in
+            (* tier-0: the unspecialized artifact *)
+            let mk0 = Mach.find_kernel (Gcn.compile (clone_module m3)) gk.Gen.sym in
+            (* tier-1: specialized on this stream's argument values,
+               exactly the object the background compile would publish *)
+            let ms =
+              clone_module (Proteus_core.Extract.extract_kernel m0 gk.Gen.sym)
+            in
+            let spec_values =
+              List.map (fun i -> (i, rig.args.(i - 1))) gk.Gen.spec_args
+            in
+            let config =
+              {
+                Proteus_core.Config.default with
+                Proteus_core.Config.enable_rcf = true;
+                enable_lb = true;
+              }
+            in
+            Proteus_core.Specialize.apply config ms ~kernel:gk.Gen.sym ~spec_values
+              ~block:l.Gen.block ~resolve_global:(global_of rig);
+            ignore (Proteus_opt.Pipeline.optimize_o3 ms);
+            let mk1 = Mach.find_kernel (Gcn.compile ms) gk.Gen.sym in
+            let dev = Device.mi250x in
+            let l2 = L2cache.create dev in
+            for r = 0 to rounds - 1 do
+              let mk = if r < switch_at then mk0 else mk1 in
+              ignore
+                (Exec.launch ~reference:false ~domains:1 ~device:dev ~mem:rig.mem
+                   ~l2 ~symbols:(global_of rig) mk ~grid:l.Gen.grid
+                   ~block:l.Gen.block ~args:rig.args)
+            done;
+            snapshot rig
+          in
+          let all_spec = stream 0 in
+          let all_aot = stream rounds in
+          if all_aot <> all_spec then
+            failf "g" "all-tier-0 vs all-specialized streams: %s"
+              (snap_diff all_aot all_spec);
+          tick ();
+          for k = 1 to rounds - 1 do
+            let mixed = stream k in
+            if mixed <> all_aot then
+              failf "g" "tier-up after launch %d of %d diverges: %s" k rounds
+                (snap_diff mixed all_aot);
+            tick ()
+          done);
     Ok !checks
   with Fail f -> Error f
 

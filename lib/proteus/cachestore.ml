@@ -44,6 +44,11 @@ type entry = {
   mutable last_used : int;
   mutable tcodes : (string * Proteus_gpu.Tcode.program) list;
   generation : int;
+  tier : int;
+      (* which compilation tier produced the object: 0 = cheap /
+         unspecialized placeholder, 1 = specialized O3. The tiered JIT
+         uses it to tell a placeholder artifact from the real thing
+         when deciding whether a hit still needs a background tier-up. *)
 }
 
 type t = {
@@ -199,21 +204,23 @@ let path_for t (key : Speckey.t) =
   Option.map (fun d -> Filename.concat d (Speckey.cache_filename key)) t.persistent_dir
 
 (* ---- persistent entry format ----
-   magic "PJTC" | u32 format version | u32 generation |
+   magic "PJTC" | u32 format version | u32 generation | u32 tier |
    u64 payload length | u32 CRC32(payload) | payload
-   (Mach.encode_obj bytes). Version 2 added the generation word; v1
+   (Mach.encode_obj bytes). Version 2 added the generation word;
+   version 3 added the tier word (tiered compilation). Older-version
    files fail validation and are healed by recompilation. *)
 
 let magic = "PJTC"
-let format_version = 2l
-let header_bytes = 4 + 4 + 4 + 8 + 4
+let format_version = 3l
+let header_bytes = 4 + 4 + 4 + 4 + 8 + 4
 
-let encode_entry ~(generation : int) (payload : string) : string =
+let encode_entry ~(generation : int) ~(tier : int) (payload : string) : string =
   let b = Buffer.create (header_bytes + String.length payload) in
   Buffer.add_string b magic;
   let w = Util.Bytesio.W.create () in
   Util.Bytesio.W.u32 w format_version;
   Util.Bytesio.W.u32 w (Int32.of_int generation);
+  Util.Bytesio.W.u32 w (Int32.of_int tier);
   Util.Bytesio.W.u64 w (Int64.of_int (String.length payload));
   Util.Bytesio.W.u32 w (Util.Crc32.string payload);
   Buffer.add_string b (Util.Bytesio.W.contents w);
@@ -221,8 +228,9 @@ let encode_entry ~(generation : int) (payload : string) : string =
   Buffer.contents b
 
 (* Validate header + checksum; any violation raises (the caller maps
-   it to a counted corruption + Miss). Returns payload + generation. *)
-let decode_entry (data : string) : string * int =
+   it to a counted corruption + Miss). Returns payload + generation +
+   tier. *)
+let decode_entry (data : string) : string * int * int =
   if String.length data < header_bytes then Util.failf "cache entry truncated header";
   if String.sub data 0 4 <> magic then Util.failf "cache entry bad magic";
   let r = Util.Bytesio.R.create (String.sub data 4 (header_bytes - 4)) in
@@ -230,13 +238,14 @@ let decode_entry (data : string) : string * int =
   if version <> format_version then
     Util.failf "cache entry format version %ld (want %ld)" version format_version;
   let generation = Int32.to_int (Util.Bytesio.R.u32 r) in
+  let tier = Int32.to_int (Util.Bytesio.R.u32 r) in
   let len = Int64.to_int (Util.Bytesio.R.u64 r) in
   let crc = Util.Bytesio.R.u32 r in
   if len < 0 || String.length data - header_bytes <> len then
     Util.failf "cache entry truncated payload";
   let payload = String.sub data header_bytes len in
   if Util.Crc32.string payload <> crc then Util.failf "cache entry checksum mismatch";
-  (payload, generation)
+  (payload, generation, tier)
 
 let read_whole_file path : string =
   let ic = open_in_bin path in
@@ -396,9 +405,9 @@ type outcome = Mem_hit of entry | Disk_hit of entry | Miss
 (* Read + decode one persistent entry; channel closed on every path.
    The reported size is the payload's (the in-memory object), not the
    file's: integrity framing doesn't count against cache limits. *)
-let load_persistent path : Mach.obj * int * int =
-  let payload, generation = decode_entry (read_whole_file path) in
-  (Mach.decode_obj payload, String.length payload, generation)
+let load_persistent path : Mach.obj * int * int * int =
+  let payload, generation, tier = decode_entry (read_whole_file path) in
+  (Mach.decode_obj payload, String.length payload, generation, tier)
 
 let lookup t (key : Speckey.t) : outcome =
   locked_op t @@ fun () ->
@@ -412,8 +421,10 @@ let lookup t (key : Speckey.t) : outcome =
       match path_for t key with
       | Some path when Sys.file_exists path -> (
           match load_persistent path with
-          | obj, len, generation ->
-              let e = { obj; bytes = len; last_used = 0; tcodes = []; generation } in
+          | obj, len, generation, tier ->
+              let e =
+                { obj; bytes = len; last_used = 0; tcodes = []; generation; tier }
+              in
               touch t e;
               mem_put t k e;
               enforce_mem_limit t;
@@ -566,7 +577,7 @@ let write_persistent t path (data : string) : unit =
         raise e
   end
 
-let insert t (key : Speckey.t) (obj : Mach.obj) : entry =
+let insert ?(tier = 1) t (key : Speckey.t) (obj : Mach.obj) : entry =
   locked_op t @@ fun () ->
   let k = Speckey.to_string key in
   (* versioned hot-swap: replacing an entry bumps its generation and
@@ -578,8 +589,10 @@ let insert t (key : Speckey.t) (obj : Mach.obj) : entry =
     | None -> 1
   in
   let payload = Mach.encode_obj obj in
-  let data = encode_entry ~generation payload in
-  let e = { obj; bytes = String.length payload; last_used = 0; tcodes = []; generation } in
+  let data = encode_entry ~generation ~tier payload in
+  let e =
+    { obj; bytes = String.length payload; last_used = 0; tcodes = []; generation; tier }
+  in
   touch t e;
   mem_put t k e;
   enforce_mem_limit t;
@@ -588,9 +601,10 @@ let insert t (key : Speckey.t) (obj : Mach.obj) : entry =
   | _ -> ());
   e
 
-(* The hot-swap entry point ROADMAP #2's tier-up needs, by name:
-   [insert] already has the required semantics (generation bump, tcode
-   drop, atomic rename over the old file). *)
+(* The hot-swap entry point of ROADMAP #2's tier-up, by name: [insert]
+   already has the required semantics (generation bump, tcode drop,
+   atomic rename over the old file); [swap ~tier:1] publishes a
+   background O3 artifact over whatever tier served the key before. *)
 let swap = insert
 
 (* ---- degradation-ladder hooks (driven by Jit) -------------------- *)

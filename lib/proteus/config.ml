@@ -63,6 +63,16 @@ type t = {
       (* PROTEUS_LOCK_TIMEOUT_MS: bound on waiting for a cross-process
          cache entry lock; a timeout is a transient failure. 0 waits
          forever *)
+  tier : bool;
+      (* PROTEUS_TIER=on: tiered compilation. A cold launch dispatches
+         the AOT artifact immediately and the specialized O3 compile
+         runs in the background, hot-swapped in via the versioned
+         cache before a later launch. Off (the default) keeps the
+         paper's block-on-first-launch behaviour *)
+  tier_threshold : int;
+      (* PROTEUS_TIER_THRESHOLD: launches a specialization key must
+         accumulate before it is hot enough to spend a background O3
+         compile on (profile-guided gate; minimum 1) *)
 }
 
 let env_int name default =
@@ -110,6 +120,8 @@ let default =
     retry_max = env_int "PROTEUS_RETRY_MAX" 2;
     retry_backoff_ms = env_float "PROTEUS_RETRY_BACKOFF_MS" 1.0;
     lock_timeout_ms = env_float "PROTEUS_LOCK_TIMEOUT_MS" 1000.0;
+    tier = env_bool "PROTEUS_TIER" false;
+    tier_threshold = max 1 (env_int "PROTEUS_TIER_THRESHOLD" 2);
   }
 
 (* Paper mode names *)

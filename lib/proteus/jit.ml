@@ -31,6 +31,24 @@ type qstate = {
   mutable cur_backoff : int; (* backoff applied on the next quarantine *)
 }
 
+(* One enqueued background (tier-up) compile. The job is created on
+   the launching domain when a specialization key crosses the
+   PROTEUS_TIER_THRESHOLD gate, submitted to the domain pool's async
+   queue, and runs at the next launch boundary's drain. Its result
+   travels back through [tj_ticket]; everything that mutates shared
+   state (cache swap, tcode invalidation, stats, quarantine) happens
+   at publication on the launching domain, never inside the job. *)
+type tier_job = {
+  tj_key : Speckey.t;
+  tj_mid : string;
+  tj_sym : string;
+  tj_spec_values : (int * Konst.t) list;
+  tj_block : int;
+  tj_enqueued_s : float; (* simulated clock at enqueue, for swap latency *)
+  tj_sim : float ref; (* simulated seconds the background compile charged *)
+  tj_ticket : (Mach.obj, exn) result option Atomic.t;
+}
+
 type t = {
   rt : Gpurt.ctx;
   vendor : Device.vendor;
@@ -47,9 +65,20 @@ type t = {
          1 no decoded-code tier, 2 shrunk memory cache, 3 AOT-only *)
   quarantine : (string, qstate) Hashtbl.t;
   registered_vars : (string, unit) Hashtbl.t;
-  advice : (string, int list) Hashtbl.t;
-      (* (mid/sym) -> SpecAdvisor-recommended argument indices; filled
-         lazily on the first launch under the advise policy *)
+  advice : (string, Proteus_analysis.Specadvisor.kernel_impact option) Hashtbl.t;
+      (* (mid/sym) -> memoized SpecAdvisor impact report; filled lazily
+         on the first launch under the advise policy. The full report
+         (not just the statically recommended indices) is kept so the
+         adaptive tier policy can re-filter it against measured reuse *)
+  pool : Pool.t; (* domain pool carrying the async tier-up queue *)
+  pending_tier : (string, tier_job) Hashtbl.t;
+      (* spec key -> in-flight background compile; doubles as the
+         dedupe set so a hot key is enqueued at most once at a time *)
+  mutable charge_sink : (float -> unit) option;
+      (* when set, [charge] redirects simulated cost here instead of
+         advancing the shared clock: a background compile occupies a
+         spare core, so its simulated time must not delay the client's
+         launch stream. Only ever set around a drained tier job. *)
 }
 
 let create ?(config = Config.default) (rt : Gpurt.ctx) (vendor : Device.vendor) : t =
@@ -70,9 +99,15 @@ let create ?(config = Config.default) (rt : Gpurt.ctx) (vendor : Device.vendor) 
     quarantine = Hashtbl.create 8;
     registered_vars = Hashtbl.create 8;
     advice = Hashtbl.create 8;
+    pool = Pool.get ();
+    pending_tier = Hashtbl.create 8;
+    charge_sink = None;
   }
 
-let charge t s = Clock.advance t.rt.Gpurt.clock s
+let charge t s =
+  match t.charge_sink with
+  | Some sink -> sink s
+  | None -> Clock.advance t.rt.Gpurt.clock s
 
 (* ---- containment boundary ---------------------------------------- *)
 
@@ -324,12 +359,13 @@ let note_success t ~mid ~sym = Hashtbl.remove t.quarantine (qkey ~mid ~sym)
 
 (* ---- specialization policy (SpecAdvisor) ------------------------- *)
 
-(* Recommended specialization arguments for (mid, sym), computed once
-   per kernel from its extracted bitcode and memoized for the life of
-   the JIT. Runs inside the same Fetch_bitcode/Decode containment
-   stages as compilation, so advisor failures are contained, counted
-   and quarantined exactly like compile failures. *)
-let advised_args (t : t) ~(mid : string) ~(sym : string) : int list =
+(* SpecAdvisor impact report for (mid, sym), computed once per kernel
+   from its extracted bitcode and memoized for the life of the JIT.
+   Runs inside the same Fetch_bitcode/Decode containment stages as
+   compilation, so advisor failures are contained, counted and
+   quarantined exactly like compile failures. *)
+let advised_impact (t : t) ~(mid : string) ~(sym : string) :
+    Proteus_analysis.Specadvisor.kernel_impact option =
   let k = qkey ~mid ~sym in
   match Hashtbl.find_opt t.advice k with
   | Some r -> r
@@ -337,13 +373,9 @@ let advised_args (t : t) ~(mid : string) ~(sym : string) : int list =
       let t0 = Unix.gettimeofday () in
       let bitcode = fetch_bitcode t sym in
       let m = in_stage t Fault.Decode (fun () -> Bitcode.decode_module bitcode) in
-      let recommended =
-        match
-          Proteus_analysis.Specadvisor.advise_kernel
-            ~threshold:t.config.Config.spec_threshold m sym
-        with
-        | Some ki -> Proteus_analysis.Specadvisor.recommended_args ki
-        | None -> []
+      let impact =
+        Proteus_analysis.Specadvisor.advise_kernel
+          ~threshold:t.config.Config.spec_threshold m sym
       in
       t.stats.Stats.advise_time_s <-
         t.stats.Stats.advise_time_s +. (Unix.gettimeofday () -. t0);
@@ -352,8 +384,42 @@ let advised_args (t : t) ~(mid : string) ~(sym : string) : int list =
       charge t
         (float_of_int (String.length bitcode)
         *. t.rt.Gpurt.cost.Costmodel.bitcode_parse_per_byte_s);
-      Hashtbl.replace t.advice k recommended;
-      recommended
+      Hashtbl.replace t.advice k impact;
+      impact
+
+(* The advisor's static score threshold assumes a nominal reuse of
+   [nominal_reuse] launches when it amortizes compile cost. With
+   tiering on, the per-kernel launch profile replaces that guess: a
+   kernel measured at L launches gets an effective threshold of
+   base * nominal / max L nominal, so arguments the static model
+   declined become worth specializing once reuse demonstrably exceeds
+   break-even. Without tiering (no profile), the static model stands. *)
+let nominal_reuse = 10
+
+let effective_spec_threshold (t : t) ~(mid : string) ~(sym : string) : float =
+  let base = t.config.Config.spec_threshold in
+  if not t.config.Config.tier then base
+  else
+    let launches = Stats.kernel_launch_count t.stats (qkey ~mid ~sym) in
+    if launches <= nominal_reuse then base
+    else base *. float_of_int nominal_reuse /. float_of_int launches
+
+let advised_args (t : t) ~(mid : string) ~(sym : string) : int list =
+  match advised_impact t ~mid ~sym with
+  | None -> []
+  | Some ki ->
+      let eff = effective_spec_threshold t ~mid ~sym in
+      List.filter_map
+        (fun (a : Proteus_analysis.Specadvisor.arg_impact) ->
+          if
+            a.Proteus_analysis.Specadvisor.index > 0
+            && (a.Proteus_analysis.Specadvisor.recommended
+               || ((not a.Proteus_analysis.Specadvisor.is_ptr)
+                  && a.Proteus_analysis.Specadvisor.score >= eff))
+          then Some a.Proteus_analysis.Specadvisor.index
+          else None)
+        ki.Proteus_analysis.Specadvisor.ranked
+      |> List.sort compare
 
 (* Apply the configured specialization policy to the annotated values.
    The filtered list feeds BOTH the cache key and the specializer, so
@@ -375,11 +441,59 @@ let policy_spec_values (t : t) ~(mid : string) ~(sym : string)
 
 (* ---- launch ------------------------------------------------------ *)
 
-(* The JIT path proper: raises Stage_failure on any contained error. *)
+(* Enqueue a background O3 compile for a hot specialization key, if it
+   crossed the PROTEUS_TIER_THRESHOLD launch-count gate and is not
+   already pending. The job itself runs at a later launch boundary's
+   drain (see [drain_tier]); here we only capture its inputs. *)
+let maybe_enqueue_tier (t : t) ~(mid : string) ~(sym : string) ~(key : Speckey.t)
+    ~(spec_values : (int * Konst.t) list) ~(block : int) : unit =
+  let ks = Speckey.to_string key in
+  if
+    (not (Hashtbl.mem t.pending_tier ks))
+    && Stats.key_launches t.stats ks >= t.config.Config.tier_threshold
+  then begin
+    let job =
+      {
+        tj_key = key;
+        tj_mid = mid;
+        tj_sym = sym;
+        tj_spec_values = spec_values;
+        tj_block = block;
+        tj_enqueued_s = Clock.read t.rt.Gpurt.clock;
+        tj_sim = ref 0.0;
+        tj_ticket = Atomic.make None;
+      }
+    in
+    Hashtbl.replace t.pending_tier ks job;
+    Pool.submit t.pool (fun () ->
+        (* Runs on the domain that drains the async queue. Simulated
+           cost is redirected into the job's private accumulator: the
+           compile occupies a spare core, not the client's timeline.
+           Real wall time, work counters and fault points behave
+           exactly as in a synchronous compile. *)
+        let saved = t.charge_sink in
+        t.charge_sink <- Some (fun s -> job.tj_sim := !(job.tj_sim) +. s);
+        let res =
+          try
+            let bitcode = fetch_bitcode t job.tj_sym in
+            Ok
+              (compile_specialization t ~bitcode ~sym:job.tj_sym
+                 ~spec_values:job.tj_spec_values ~block:job.tj_block)
+          with e -> Error e
+        in
+        t.charge_sink <- saved;
+        Atomic.set job.tj_ticket (Some res))
+  end
+
+(* The JIT path proper: raises Stage_failure on any contained error.
+   Returns the tier that served the launch: 1 for a specialized cached
+   object, 0 for the AOT artifact a cold tiered launch dispatches while
+   its O3 compile waits in the background queue. *)
 let jit_launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : int)
-    ~(args : Konst.t array) ~(spec_mask : int64) : unit =
+    ~(args : Konst.t array) ~(spec_mask : int64) : int =
   let cost = t.rt.Gpurt.cost in
   let clock_before = Clock.read t.rt.Gpurt.clock in
+  ignore (Stats.record_kernel_launch t.stats (qkey ~mid ~sym));
   let spec_values =
     if t.config.Config.enable_rcf || t.config.Config.enable_lb then
       List.filter_map
@@ -400,7 +514,9 @@ let jit_launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : i
       ~launch_bounds:(if t.config.Config.enable_lb then Some block else None)
   in
   charge t cost.Costmodel.cache_hash_s;
-  let entry =
+  let key_str = Speckey.to_string key in
+  ignore (Stats.record_key_launch t.stats key_str);
+  let served =
     match
       in_stage t Fault.Cache_read (fun () ->
           let outcome =
@@ -412,7 +528,7 @@ let jit_launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : i
     with
     | Cachestore.Mem_hit e ->
         t.stats.Stats.mem_hits <- t.stats.Stats.mem_hits + 1;
-        e
+        `Entry e
     | Cachestore.Disk_hit e ->
         t.stats.Stats.disk_hits <- t.stats.Stats.disk_hits + 1;
         charge t
@@ -420,15 +536,25 @@ let jit_launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : i
           +. (float_of_int e.Cachestore.bytes *. cost.Costmodel.cache_disk_per_byte_s));
         charge t
           (float_of_int e.Cachestore.bytes *. cost.Costmodel.module_load_per_byte_s);
-        e
+        `Entry e
+    | Cachestore.Miss when t.config.Config.tier ->
+        (* Tiered cold launch: never block on O3. Serve the AOT
+           artifact now; once the key is hot enough, queue the
+           specialized compile for a later boundary's drain. The
+           launch pays only hash + lookup + enqueue bookkeeping. *)
+        maybe_enqueue_tier t ~mid ~sym ~key ~spec_values ~block;
+        t.stats.Stats.tier_launches <- t.stats.Stats.tier_launches + 1;
+        `Tier0
     | Cachestore.Miss ->
         (* Single-flight: concurrent identical launches coalesce onto
            one compile. The winner re-checks the memory tier inside its
            flight (double-checked locking: another flight may have
            finished between our lookup and here), so at most one
-           compile runs per key no matter how the misses interleave. *)
+           compile runs per key no matter how the misses interleave.
+           Flights are keyed on (key, tier): this synchronous O3 path
+           must never coalesce onto a tier-0 leader's cheaper artifact. *)
         let outcome =
-          Flight.run t.flight ~key:(Speckey.to_string key) (fun () ->
+          Flight.run t.flight ~key:key_str ~tier:1 (fun () ->
               match Cachestore.peek_mem t.cache key with
               | Some e -> e
               | None ->
@@ -459,34 +585,50 @@ let jit_launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : i
               e
         in
         charge t (float_of_int e.Cachestore.bytes *. cost.Costmodel.module_load_per_byte_s);
-        e
+        `Entry e
   in
   let overhead = Clock.read t.rt.Gpurt.clock -. clock_before in
   t.stats.Stats.jit_overhead_s <- t.stats.Stats.jit_overhead_s +. overhead;
   Hist.record t.stats.Stats.launch_hist overhead;
-  let k = Mach.find_kernel entry.Cachestore.obj sym in
-  (* decoded-code tier: reuse the threaded program attached to this
-     cache entry, or decode once and attach it. Undecodable kernels
-     leave nothing attached; the executor runs them on the reference
-     interpreter. Ladder step 1 (and below) disables the tier: the
-     interpreter path trades speed for decoded-code memory. *)
-  let tcode =
-    if t.degrade_level >= 1 then None
-    else
-      match List.assoc_opt sym entry.Cachestore.tcodes with
-      | Some p when p.Tcode.tf == k ->
-          t.stats.Stats.tcode_hits <- t.stats.Stats.tcode_hits + 1;
-          Some p
-      | _ -> (
-          match Tcode.decode k with
-          | p ->
-              t.stats.Stats.tcode_decodes <- t.stats.Stats.tcode_decodes + 1;
-              entry.Cachestore.tcodes <-
-                (sym, p) :: List.remove_assoc sym entry.Cachestore.tcodes;
-              Some p
-          | exception Tcode.Decode_error _ -> None)
+  Stats.record_launch_overhead t.stats overhead;
+  let kernel_t0 = Clock.read t.rt.Gpurt.clock in
+  let tier =
+    match served with
+    | `Tier0 ->
+        (* the AOT kernel is always resident (the plugin never strips
+           it); dispatch it exactly like the containment fallback *)
+        Gpurt.launch_kernel t.rt ~sym ~grid ~block ~args;
+        0
+    | `Entry entry ->
+        let k = Mach.find_kernel entry.Cachestore.obj sym in
+        (* decoded-code tier: reuse the threaded program attached to this
+           cache entry, or decode once and attach it. Undecodable kernels
+           leave nothing attached; the executor runs them on the reference
+           interpreter. Ladder step 1 (and below) disables the tier: the
+           interpreter path trades speed for decoded-code memory. *)
+        let tcode =
+          if t.degrade_level >= 1 then None
+          else
+            match List.assoc_opt sym entry.Cachestore.tcodes with
+            | Some p when p.Tcode.tf == k ->
+                t.stats.Stats.tcode_hits <- t.stats.Stats.tcode_hits + 1;
+                Some p
+            | _ -> (
+                match Tcode.decode k with
+                | p ->
+                    t.stats.Stats.tcode_decodes <- t.stats.Stats.tcode_decodes + 1;
+                    entry.Cachestore.tcodes <-
+                      (sym, p) :: List.remove_assoc sym entry.Cachestore.tcodes;
+                    Some p
+                | exception Tcode.Decode_error _ -> None)
+        in
+        Gpurt.launch_mfunc t.rt ?tcode k ~grid ~block ~args;
+        entry.Cachestore.tier
   in
-  Gpurt.launch_mfunc t.rt ?tcode k ~grid ~block ~args
+  (* per-key kernel-time profile: simulated seconds this key spent
+     executing, the observed side of the tier-up payoff model *)
+  Stats.record_kernel_time t.stats key_str (Clock.read t.rt.Gpurt.clock -. kernel_t0);
+  tier
 
 (* Launch the AOT-compiled kernel embedded in the fatbinary: the
    containment escape hatch. The plugin never removes kernels from the
@@ -522,6 +664,72 @@ let step_down t ~(reason : string) : unit =
       (degrade_level_name t.degrade_level) t.degrade_level
   end
 
+(* ---- tier-up drain / publication --------------------------------- *)
+
+(* Drain the async queue at a launch boundary and publish every
+   completed background compile: swap the specialized object into the
+   versioned cache (generation bump), drop the symbol's decoded tcode
+   so the next launch decodes the swapped-in code, and account the
+   job's privately-accumulated simulated compile time. A failed
+   background compile is contained with exact parity to a synchronous
+   one — recorded per stage, counted toward quarantine — except that
+   no fallback is counted: the launches it would have served already
+   ran correctly on the AOT artifact. Nothing raised here may reach
+   the client. *)
+let drain_tier (t : t) : unit =
+  if Hashtbl.length t.pending_tier > 0 then begin
+    Pool.drain_async t.pool;
+    let completed =
+      Hashtbl.fold
+        (fun ks job acc ->
+          match Atomic.get job.tj_ticket with
+          | Some res -> (ks, job, res) :: acc
+          | None -> acc)
+        t.pending_tier []
+      (* deterministic publication order regardless of hash layout *)
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+    in
+    List.iter
+      (fun (ks, job, res) ->
+        Hashtbl.remove t.pending_tier ks;
+        t.stats.Stats.tier_compile_s <-
+          t.stats.Stats.tier_compile_s +. !(job.tj_sim);
+        match
+          match res with
+          | Error e -> raise e
+          | Ok obj ->
+              let e =
+                in_stage t Fault.Cache_write (fun () ->
+                    Cachestore.swap ~tier:1 t.cache job.tj_key obj)
+              in
+              Stats.record_cache_entry t.stats
+                (Config.policy_name t.config.Config.spec_policy);
+              t.stats.Stats.object_bytes <-
+                t.stats.Stats.object_bytes + e.Cachestore.bytes
+        with
+        | () ->
+            Gpurt.invalidate_tcode t.rt job.tj_sym;
+            t.stats.Stats.tierups <- t.stats.Stats.tierups + 1;
+            Hist.record t.stats.Stats.swap_hist
+              (Clock.read t.rt.Gpurt.clock -. job.tj_enqueued_s);
+            note_success t ~mid:job.tj_mid ~sym:job.tj_sym
+        | exception e ->
+            let stage_name =
+              match e with
+              | Stage_failure (p, _) -> Fault.point_name p
+              | _ -> "tierup"
+            in
+            (match e with
+            | Stage_failure (Fault.Verify, _) ->
+                t.stats.Stats.verify_rejections <-
+                  t.stats.Stats.verify_rejections + 1
+            | _ -> ());
+            t.stats.Stats.tierup_failures <- t.stats.Stats.tierup_failures + 1;
+            Stats.record_failure t.stats stage_name;
+            note_failure t (qstate t ~mid:job.tj_mid ~sym:job.tj_sym))
+      completed
+  end
+
 (* Counters the cache store maintains under its own mutex, mirrored
    into the printable Stats ledger after every launch. *)
 let sync_cache_counters t =
@@ -540,6 +748,9 @@ let sync_cache_counters t =
 let launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : int)
     ~(args : Konst.t array) ~(spec_mask : int64) : unit =
   t.stats.Stats.jit_launches <- t.stats.Stats.jit_launches + 1;
+  (* launch boundary: publish any background compiles that completed,
+     so this launch's cache lookup can already see the swapped tier *)
+  drain_tier t;
   (* pressure poll: at most one ladder step per launch *)
   if Fault.fires t.faults Fault.Mem_pressure then
     step_down t ~reason:"memory pressure";
@@ -561,10 +772,13 @@ let launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : int)
      else
        let rec attempt (n : int) : unit =
          match jit_launch t ~mid ~sym ~grid ~block ~args ~spec_mask with
-         | () ->
+         | tier ->
              if n > 0 then
                t.stats.Stats.retry_successes <- t.stats.Stats.retry_successes + 1;
-             note_success t ~mid ~sym
+             (* a tier-0 serve says nothing about JIT pipeline health:
+                it must not clear the consecutive-failure streak a
+                failed background compile is building toward quarantine *)
+             if tier > 0 then note_success t ~mid ~sym
          | exception e ->
              let transient =
                match e with

@@ -55,6 +55,26 @@ type t = {
   lock_wait_hist : Hist.t; (* seconds acquiring entry locks *)
   launch_hist : Hist.t; (* per-launch simulated JIT overhead (deterministic) *)
   stage_hist : (string, Hist.t) Hashtbl.t; (* stage name -> real wall-clock latency *)
+  (* tiered compilation: profile-guided background O3 *)
+  mutable tier_launches : int; (* launches served from the tier-0 artifact *)
+  mutable tierups : int; (* background O3 compiles published (hot swaps) *)
+  mutable tierup_failures : int; (* contained background-compile failures *)
+  mutable tier_compile_s : float;
+      (* simulated seconds of background compilation - spent off the
+         launch critical path, never charged to the shared clock *)
+  mutable first_launch_s : float; (* overhead of the first JIT launch; nan until set *)
+  mutable steady_launch_s : float; (* overhead of the most recent JIT launch *)
+  swap_hist : Hist.t; (* simulated enqueue -> publish latency per tier-up *)
+  profiles : (string, key_profile) Hashtbl.t;
+      (* per-specialization-key profile: launch counts and cumulative
+         simulated kernel seconds; feeds the PROTEUS_TIER_THRESHOLD
+         hot-key gate and the adaptive SpecAdvisor threshold *)
+  kernel_launches : (string, int) Hashtbl.t; (* (mid/sym) -> launches *)
+}
+
+and key_profile = {
+  mutable kp_launches : int;
+  mutable kp_kernel_s : float; (* cumulative simulated seconds in the kernel *)
 }
 
 let create () =
@@ -73,7 +93,53 @@ let create () =
     lock_waits = 0; lock_contended = 0;
     lock_wait_hist = Hist.create (); launch_hist = Hist.create ();
     stage_hist = Hashtbl.create 8;
+    tier_launches = 0; tierups = 0; tierup_failures = 0; tier_compile_s = 0.0;
+    first_launch_s = nan; steady_launch_s = nan;
+    swap_hist = Hist.create ();
+    profiles = Hashtbl.create 16;
+    kernel_launches = Hashtbl.create 8;
   }
+
+(* ---- per-spec-key launch profile (tier-up gate) ---- *)
+
+let profile t key : key_profile =
+  match Hashtbl.find_opt t.profiles key with
+  | Some p -> p
+  | None ->
+      let p = { kp_launches = 0; kp_kernel_s = 0.0 } in
+      Hashtbl.add t.profiles key p;
+      p
+
+(* Record one launch of [key]: bump its count (returning the new one)
+   and remember the most recent per-launch overhead for the
+   first/steady latency ledger. *)
+let record_key_launch t key : int =
+  let p = profile t key in
+  p.kp_launches <- p.kp_launches + 1;
+  p.kp_launches
+
+let record_kernel_time t key (seconds : float) =
+  let p = profile t key in
+  p.kp_kernel_s <- p.kp_kernel_s +. seconds
+
+let key_launches t key =
+  match Hashtbl.find_opt t.profiles key with Some p -> p.kp_launches | None -> 0
+
+let profiled_keys t = Hashtbl.length t.profiles
+
+let record_launch_overhead t (seconds : float) =
+  if Float.is_nan t.first_launch_s then t.first_launch_s <- seconds;
+  t.steady_launch_s <- seconds
+
+(* Per-kernel (mid/sym) launch counts, for the adaptive advise
+   threshold: returns the count after the bump. *)
+let record_kernel_launch t k : int =
+  let n = 1 + Option.value (Hashtbl.find_opt t.kernel_launches k) ~default:0 in
+  Hashtbl.replace t.kernel_launches k n;
+  n
+
+let kernel_launch_count t k =
+  Option.value (Hashtbl.find_opt t.kernel_launches k) ~default:0
 
 (* Record one stage's real wall-clock latency into its histogram. *)
 let record_stage_latency t stage (seconds : float) =
@@ -190,6 +256,23 @@ let to_pairs s =
         ("lock-contended", string_of_int s.lock_contended);
       ]
   in
+  let tier =
+    if s.tier_launches = 0 && s.tierups = 0 && s.tierup_failures = 0 then []
+    else
+      [
+        ("tier-launches", string_of_int s.tier_launches);
+        ("tierups", string_of_int s.tierups);
+        ("tierup-failures", string_of_int s.tierup_failures);
+        ("tier-compile", ms s.tier_compile_s);
+        ( "swap-latency-p50",
+          if Hist.count s.swap_hist = 0 then "n/a" else ms (Hist.p50 s.swap_hist) );
+        ( "first-launch",
+          if Float.is_nan s.first_launch_s then "n/a" else ms s.first_launch_s );
+        ( "steady-launch",
+          if Float.is_nan s.steady_launch_s then "n/a" else ms s.steady_launch_s );
+        ("profiled-keys", string_of_int (profiled_keys s));
+      ]
+  in
   let latency =
     if Hist.count s.launch_hist = 0 then []
     else
@@ -199,7 +282,7 @@ let to_pairs s =
         ("overhead-p99", ms (Hist.p99 s.launch_hist));
       ]
   in
-  base @ faults @ policy @ resilience @ latency
+  base @ faults @ policy @ resilience @ tier @ latency
 
 let to_string s =
   "jit " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) (to_pairs s))

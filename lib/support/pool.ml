@@ -34,6 +34,12 @@ type t = {
   mutable workers : unit Domain.t list; (* size - 1 spawned lazily *)
   mutable spawned : bool;
   mutable shutdown : bool;
+  (* async one-shot submissions (tier-up compiles): a FIFO of deferred
+     thunks, drained at explicit boundaries rather than raced by the
+     batch workers *)
+  aqueue : (unit -> unit) Queue.t;
+  mutable apending : int; (* submitted, not yet finished *)
+  async_done : Condition.t;
 }
 
 let env_size () =
@@ -60,6 +66,9 @@ let create ?size () =
     workers = [];
     spawned = false;
     shutdown = false;
+    aqueue = Queue.create ();
+    apending = 0;
+    async_done = Condition.create ();
   }
 
 let size t = t.size
@@ -143,6 +152,56 @@ let run t (fn : int -> unit) (n : int) : unit =
     Mutex.unlock t.mutex;
     match List.sort compare j.exns with (_, e) :: _ -> raise e | [] -> ()
   end
+
+(* ---- async one-shot submissions (tier-up compiles) ----------------
+
+   [submit] enqueues a thunk; [drain_async] runs every enqueued thunk
+   to completion and returns only when none remain in flight. Thunks
+   execute on whichever domain drains - deferral takes the work off
+   the submitting launch's critical path, and running it at an
+   explicit boundary keeps execution deterministic (the batch workers
+   never steal from this queue, so a thunk observes exactly the state
+   present at its drain point). The queue is mutex-protected end to
+   end: any number of domains may submit and drain concurrently (the
+   resilience torture does), and a thunk started by one drainer is
+   awaited by every other drainer before it returns.
+
+   Thunks must contain their own failures (catch and record); an
+   escaping exception is swallowed here so one bad submission can
+   never poison the queue or the draining launch. *)
+
+let submit t (fn : unit -> unit) : unit =
+  Mutex.lock t.mutex;
+  Queue.push fn t.aqueue;
+  t.apending <- t.apending + 1;
+  Mutex.unlock t.mutex
+
+let async_pending t : int =
+  Mutex.lock t.mutex;
+  let n = t.apending in
+  Mutex.unlock t.mutex;
+  n
+
+let drain_async t : unit =
+  Mutex.lock t.mutex;
+  let rec go () =
+    if not (Queue.is_empty t.aqueue) then begin
+      let fn = Queue.pop t.aqueue in
+      Mutex.unlock t.mutex;
+      (try fn () with _ -> ());
+      Mutex.lock t.mutex;
+      t.apending <- t.apending - 1;
+      if t.apending = 0 then Condition.broadcast t.async_done;
+      go ()
+    end
+    else if t.apending > 0 then begin
+      (* another domain is mid-thunk: wait for it to finish *)
+      Condition.wait t.async_done t.mutex;
+      go ()
+    end
+  in
+  go ();
+  Mutex.unlock t.mutex
 
 (* Process-wide pools, memoized by size: the GPU executor asks for one
    per configured domain count, and tests force small explicit sizes
