@@ -738,6 +738,166 @@ let tier_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* serve: multi-tenant JIT service under a seeded Zipf workload.
+   Default is a million launches over 4 tenants sharded across 4
+   domains (PROTEUS_SERVE_LAUNCHES shrinks it for CI); the ok gate
+   additionally replays every tenant's stream serially in a fresh
+   single-tenant runtime (outputs must be bit-identical) and runs a
+   smaller fault-isolation pass (corrupting tenant T0's specializer
+   must leave T1..'s outputs untouched). *)
+
+type serve_row = {
+  sr_tenant : string;
+  sr_launches : int;
+  sr_hits : int;
+  sr_compiles : int;
+  sr_hit_rate : float;
+  sr_p50_ms : float;
+  sr_p99_ms : float;
+  sr_fallbacks : int;
+  sr_quarantined : int;
+  sr_resident_bytes : int;
+}
+
+type serve_summary = {
+  ss_tenants : int;
+  ss_kernels : int;
+  ss_launches : int;
+  ss_seed : int;
+  ss_skew : float;
+  ss_domains : int;
+  ss_replay_identical : bool;
+  ss_isolation_ok : bool;
+  ss_ok : bool;
+  ss_rows : serve_row list;
+  ss_total : serve_row;
+  ss_wall_s : float;
+}
+
+let serve_summary : serve_summary option ref = ref None
+
+let serve_bench () =
+  header "Multi-tenant serve: shared store, seeded Zipf workload";
+  let open Proteus_core in
+  let module Workload = Proteus_fuzz.Workload in
+  let launches =
+    match Sys.getenv_opt "PROTEUS_SERVE_LAUNCHES" with
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n when n > 0 -> n
+        | _ -> 1_000_000)
+    | None -> 1_000_000
+  in
+  let tenants = 4 and kernels = 16 and seed = 42 and skew = 1.1 and domains = 4 in
+  let w = Workload.generate ~seed ~tenants ~kernels ~launches ~skew in
+  let t0 = Unix.gettimeofday () in
+  let sv = Serve.create ~tenants ~kernels () in
+  Serve.run_sharded sv ~domains w.Workload.schedule;
+  Serve.finish sv;
+  let wall = Unix.gettimeofday () -. t0 in
+  let row_of (r : Serve.tenant_report) =
+    {
+      sr_tenant = r.Serve.tr_tenant;
+      sr_launches = r.tr_launches;
+      sr_hits = r.tr_hits;
+      sr_compiles = r.tr_compiles;
+      sr_hit_rate = r.tr_hit_rate;
+      sr_p50_ms = r.tr_p50_ms;
+      sr_p99_ms = r.tr_p99_ms;
+      sr_fallbacks = r.tr_fallbacks;
+      sr_quarantined = r.tr_quarantined;
+      sr_resident_bytes = r.tr_resident_bytes;
+    }
+  in
+  let rows = List.map row_of (Serve.report sv) in
+  let total = row_of (Serve.total sv) in
+  Printf.printf "%-8s %9s %9s %9s %9s %9s %6s %10s\n" "tenant" "launches"
+    "hit-rate" "compiles" "p50-ms" "p99-ms" "fback" "resident";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %9d %9.4f %9d %9.4f %9.4f %6d %10d\n" r.sr_tenant
+        r.sr_launches r.sr_hit_rate r.sr_compiles r.sr_p50_ms r.sr_p99_ms
+        r.sr_fallbacks r.sr_resident_bytes)
+    (rows @ [ total ]);
+  (* gate 1: concurrent outputs bit-identical to serial replay *)
+  let replay_identical =
+    let ok = ref true in
+    for tn = 0 to tenants - 1 do
+      if Serve.output sv ~tenant:tn
+         <> Serve.replay_output sv ~tenant:tn w.Workload.schedule
+      then begin
+        ok := false;
+        Printf.printf "serve: tenant %s diverged from serial replay\n"
+          (Serve.tenant_name sv ~tenant:tn)
+      end
+    done;
+    !ok
+  in
+  (* gate 2: fault isolation — corrupt T0's specializer under the
+     verify gate; the other tenants' outputs must equal a clean run's *)
+  let isolation_ok =
+    let iso_launches = min launches 20_000 in
+    let wi =
+      Workload.generate ~seed:(seed + 1) ~tenants ~kernels ~launches:iso_launches
+        ~skew
+    in
+    let config = { Config.default with Config.verify_jit = true } in
+    let faulty =
+      Serve.create ~config ~tenants ~kernels
+        ~tenant_faults:[ ("T0", [ (Fault.Specialize_corrupt, Fault.Always) ]) ]
+        ()
+    in
+    Serve.run faulty wi.Workload.schedule;
+    Serve.finish faulty;
+    let clean = Serve.create ~config ~tenants ~kernels () in
+    Serve.run clean wi.Workload.schedule;
+    Serve.finish clean;
+    let ok = ref true in
+    for tn = 0 to tenants - 1 do
+      if Serve.output faulty ~tenant:tn <> Serve.output clean ~tenant:tn
+      then begin
+        ok := false;
+        Printf.printf "serve: fault in T0 leaked into tenant %s\n"
+          (Serve.tenant_name faulty ~tenant:tn)
+      end
+    done;
+    !ok
+  in
+  let sane r = r.sr_p50_ms <= r.sr_p99_ms && r.sr_hit_rate >= 0.0 && r.sr_hit_rate <= 1.0 in
+  let ok =
+    replay_identical && isolation_ok
+    && List.for_all sane (total :: rows)
+    && total.sr_launches = launches
+  in
+  Printf.printf
+    "serve: %d launches, %d domains in %.1fs (%.0f launches/s); replay %s, \
+     isolation %s\n"
+    launches domains wall
+    (float_of_int launches /. wall)
+    (if replay_identical then "identical" else "DIVERGED")
+    (if isolation_ok then "held" else "LEAKED");
+  serve_summary :=
+    Some
+      {
+        ss_tenants = tenants;
+        ss_kernels = kernels;
+        ss_launches = launches;
+        ss_seed = seed;
+        ss_skew = skew;
+        ss_domains = domains;
+        ss_replay_identical = replay_identical;
+        ss_isolation_ok = isolation_ok;
+        ss_ok = ok;
+        ss_rows = rows;
+        ss_total = total;
+        ss_wall_s = wall;
+      };
+  if not ok then begin
+    Printf.printf "\nserve gate failed\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* --json: machine-readable run summary.                               *)
 
 let json_escape s =
@@ -871,6 +1031,40 @@ let write_json path ~(target_times : (string * float) list) ~(total_s : float) =
       trows;
     Buffer.add_string buf "  ]"
   end;
+  (* multi-tenant serve summary, present when the serve target ran *)
+  (match !serve_summary with
+  | None -> ()
+  | Some s ->
+      let row_json (r : serve_row) =
+        Printf.sprintf
+          "{\"tenant\": \"%s\", \"launches\": %d, \"hits\": %d, \
+           \"compiles\": %d, \"hit_rate\": %.6f, \"p50_ms\": %.6f, \
+           \"p99_ms\": %.6f, \"fallbacks\": %d, \"quarantined\": %d, \
+           \"resident_bytes\": %d}"
+          (json_escape r.sr_tenant) r.sr_launches r.sr_hits r.sr_compiles
+          r.sr_hit_rate r.sr_p50_ms r.sr_p99_ms r.sr_fallbacks r.sr_quarantined
+          r.sr_resident_bytes
+      in
+      Buffer.add_string buf ",\n  \"serve\": {\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    \"tenants\": %d, \"kernels\": %d, \"launches\": %d, \
+            \"seed\": %d, \"skew\": %.3f, \"domains\": %d,\n\
+            \    \"ok\": %b, \"replay_identical\": %b, \"isolation_ok\": %b, \
+            \"wall_s\": %.3f,\n"
+           s.ss_tenants s.ss_kernels s.ss_launches s.ss_seed s.ss_skew
+           s.ss_domains s.ss_ok s.ss_replay_identical s.ss_isolation_ok
+           s.ss_wall_s);
+      Buffer.add_string buf
+        (Printf.sprintf "    \"total\": %s,\n" (row_json s.ss_total));
+      Buffer.add_string buf "    \"per_tenant\": [\n";
+      List.iteri
+        (fun i r ->
+          Buffer.add_string buf
+            (Printf.sprintf "      %s%s\n" (row_json r)
+               (if i = List.length s.ss_rows - 1 then "" else ",")))
+        s.ss_rows;
+      Buffer.add_string buf "    ]\n  }");
   Buffer.add_string buf "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -915,6 +1109,7 @@ let () =
     | "--perf-validate" | "perf-validate" | "perf" ->
         timed "perf-validate" perf_validate
     | "--tier" | "tier" -> timed "tier" tier_bench
+    | "--serve" | "serve" -> timed "serve" serve_bench
     | "all" ->
         timed "table1" table1;
         timed "table2" table2;
@@ -934,7 +1129,7 @@ let () =
     | w ->
         Printf.eprintf
           "unknown target %s (use \
-           all|table1|table2|table3|fig3..fig11|micro|--analyze|--advise|--tier|--perf-validate|--inject-faults)\n"
+           all|table1|table2|table3|fig3..fig11|micro|--analyze|--advise|--tier|--serve|--perf-validate|--inject-faults)\n"
           w;
         exit 2
   in

@@ -376,6 +376,79 @@ let check_tier json =
   if List.length uniq <> List.length cells then bad "duplicate tier cells";
   List.length cells
 
+(* ---- serve block (bench serve --json / BENCH_PR9.json) ---- *)
+
+let check_serve_row ~(what : string) row =
+  let tenant = as_str (what ^ " tenant") (field row "tenant") in
+  let ctx msg = Printf.sprintf "%s %s: %s" what tenant msg in
+  let count f =
+    let v = as_int (ctx f) (field row f) in
+    if v < 0 then bad "%s" (ctx (f ^ " is negative"));
+    v
+  in
+  let launches = count "launches" in
+  let hits = count "hits" in
+  let compiles = count "compiles" in
+  let fallbacks = count "fallbacks" in
+  let quarantined = count "quarantined" in
+  let resident = count "resident_bytes" in
+  if hits > launches then bad "%s" (ctx "hits exceed launches");
+  let rate = as_num (ctx "hit_rate") (field row "hit_rate") in
+  if Float.is_nan rate || rate < 0.0 || rate > 1.0 then
+    bad "%s" (ctx "hit_rate outside [0,1]");
+  let expected =
+    if launches = 0 then 0.0 else float_of_int hits /. float_of_int launches
+  in
+  if Float.abs (rate -. expected) > 1e-4 then
+    bad "%s" (ctx "hit_rate inconsistent with hits/launches");
+  let p50 = as_num (ctx "p50_ms") (field row "p50_ms") in
+  let p99 = as_num (ctx "p99_ms") (field row "p99_ms") in
+  if Float.is_nan p50 || p50 < 0.0 then bad "%s" (ctx "bad p50_ms");
+  if Float.is_nan p99 || p99 < 0.0 then bad "%s" (ctx "bad p99_ms");
+  if p50 > p99 +. 1e-9 then bad "%s" (ctx "p50 exceeds p99");
+  (tenant, launches, hits, compiles, fallbacks, quarantined, resident)
+
+let check_serve json =
+  let s = field json "serve" in
+  let tenants = as_int "tenants" (field s "tenants") in
+  if tenants < 1 then bad "serve: no tenants";
+  if as_int "kernels" (field s "kernels") < 1 then bad "serve: no kernels";
+  let launches = as_int "launches" (field s "launches") in
+  if launches < 1 then bad "serve: no launches";
+  if not (as_bool "ok" (field s "ok")) then bad "serve: run not ok";
+  if not (as_bool "replay_identical" (field s "replay_identical")) then
+    bad "serve: concurrent run diverged from serial replay";
+  if not (as_bool "isolation_ok" (field s "isolation_ok")) then
+    bad "serve: tenant fault isolation violated";
+  let total = check_serve_row ~what:"total" (field s "total") in
+  let rows =
+    List.map (check_serve_row ~what:"tenant") (as_arr "per_tenant" (field s "per_tenant"))
+  in
+  if List.length rows <> tenants then
+    bad "serve: %d per-tenant rows for %d tenants" (List.length rows) tenants;
+  let names = List.map (fun (n, _, _, _, _, _, _) -> n) rows in
+  if List.sort_uniq compare names <> List.sort compare names then
+    bad "serve: duplicate tenant rows";
+  (* per-tenant rows must sum back to the totals (resident bytes may
+     differ: shared entries whose owner launched nothing are charged to
+     nobody, so the per-tenant ledger is a lower bound on mem_size) *)
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let (_, t_l, t_h, t_c, t_f, t_q, t_r) = total in
+  if sum (fun (_, l, _, _, _, _, _) -> l) <> t_l then
+    bad "serve: per-tenant launches do not sum to total";
+  if t_l <> launches then bad "serve: total launches disagree with header";
+  if sum (fun (_, _, h, _, _, _, _) -> h) <> t_h then
+    bad "serve: per-tenant hits do not sum to total";
+  if sum (fun (_, _, _, c, _, _, _) -> c) <> t_c then
+    bad "serve: per-tenant compiles do not sum to total";
+  if sum (fun (_, _, _, _, f, _, _) -> f) <> t_f then
+    bad "serve: per-tenant fallbacks do not sum to total";
+  if sum (fun (_, _, _, _, _, q, _) -> q) <> t_q then
+    bad "serve: per-tenant quarantined counts do not sum to total";
+  if sum (fun (_, _, _, _, _, _, r) -> r) > t_r then
+    bad "serve: per-tenant resident bytes exceed the store's mem size";
+  (tenants, launches)
+
 (* ---- SARIF 2.1.0 schema check (proteus ... --format sarif) ---- *)
 
 let check_sarif json =
@@ -427,9 +500,10 @@ let () =
     | [| _; "--advise"; p |] -> (`Advise, p)
     | [| _; "--perf"; p |] -> (`Perf, p)
     | [| _; "--tier"; p |] -> (`Tier, p)
+    | [| _; "--serve"; p |] -> (`Serve, p)
     | [| _; "--sarif"; p |] -> (`Sarif, p)
     | _ ->
-        prerr_endline "usage: bench_check [--advise|--perf|--tier|--sarif] FILE.json";
+        prerr_endline "usage: bench_check [--advise|--perf|--tier|--serve|--sarif] FILE.json";
         exit 2
   in
   let ic = open_in_bin path in
@@ -443,6 +517,10 @@ let () =
     | `Tier, json ->
         let cells = check_tier json in
         Printf.printf "bench_check: %s ok (%d tier cells)\n" path cells
+    | `Serve, json ->
+        let tenants, launches = check_serve json in
+        Printf.printf "bench_check: %s ok (serve: %d tenants, %d launches)\n"
+          path tenants launches
     | `Sarif, json ->
         let rules, results = check_sarif json in
         Printf.printf "bench_check: %s ok (SARIF: %d rules, %d results)\n" path

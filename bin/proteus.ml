@@ -757,6 +757,152 @@ let crashtest_cmd =
              a clean, CRC-valid cache")
     Term.(const go $ iters $ seed $ keys $ dir_opt $ quiet)
 
+(* ---- serve ---- *)
+
+(* Multi-tenant JIT service: N simulated client sessions submit a
+   seeded Zipf launch schedule to one shared runtime (one
+   content-addressed artifact store, one single-flight table,
+   per-tenant stats/faults/quarantine). See lib/proteus/serve.ml. *)
+
+let serve_cmd =
+  let tenants =
+    Arg.(value & opt int 4 & info [ "tenants" ] ~doc:"Number of simulated client sessions.")
+  in
+  let kernels =
+    Arg.(value & opt int 8 & info [ "kernels" ] ~doc:"Size of the kernel family tenants launch from.")
+  in
+  let launches =
+    Arg.(value & opt int 10_000 & info [ "launches" ] ~doc:"Total launches across all tenants.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let skew =
+    Arg.(value & opt float 1.1 & info [ "skew" ]
+           ~doc:"Zipf exponent for kernel popularity (0 = uniform).")
+  in
+  let quota =
+    Arg.(value & opt int 0 & info [ "tenant-quota" ]
+           ~doc:"Per-tenant memory-tier byte quota (0 = unlimited; \
+                 $(b,PROTEUS_TENANT_QUOTA) sets the default).")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ]
+           ~doc:"Serving domains; tenants are sharded round-robin across them.")
+  in
+  let inject =
+    Arg.(value & opt (some string) None & info [ "inject-faults" ]
+           ~doc:"Arm fault points, optionally tenant-scoped: \
+                 $(b,T0:specialize-corrupt=always,decode=nth:3). An unscoped \
+                 point arms in every tenant; faults never fire inside the \
+                 shared store.")
+  in
+  let dump =
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE"
+           ~doc:"Write the generated workload schedule to $(docv) as JSON.")
+  in
+  let replay =
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Replay a schedule dumped with $(b,--dump) instead of generating \
+                 one ($(b,--tenants)/$(b,--kernels)/$(b,--launches)/$(b,--seed)/\
+                 $(b,--skew) are taken from the file).")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"After serving, replay each tenant's launch stream serially in a \
+                 fresh single-tenant runtime and fail unless the outputs are \
+                 bit-identical.")
+  in
+  let go tenants kernels launches seed skew quota domains inject dump replay verify =
+    let open Proteus_core in
+    let module Workload = Proteus_fuzz.Workload in
+    if tenants <= 0 || kernels <= 0 || launches < 0 || skew < 0.0 then begin
+      prerr_endline "proteus serve: --tenants/--kernels must be positive, --launches/--skew non-negative";
+      exit 2
+    end;
+    let w =
+      match replay with
+      | None -> Workload.generate ~seed ~tenants ~kernels ~launches ~skew
+      | Some file -> (
+          let ic = open_in_bin file in
+          let len = in_channel_length ic in
+          let s = really_input_string ic len in
+          close_in ic;
+          match Workload.of_json s with
+          | Ok w -> w
+          | Error e ->
+              Printf.eprintf "proteus serve: bad replay file %s: %s\n" file e;
+              exit 2)
+    in
+    (match dump with
+    | None -> ()
+    | Some file ->
+        let oc = open_out_bin file in
+        output_string oc (Workload.to_json w);
+        output_char oc '\n';
+        close_out oc);
+    let names = Serve.default_names w.Workload.tenants in
+    let tenant_faults =
+      match inject with
+      | None -> []
+      | Some s -> (
+          match Fault.scoped_plan_of_string s with
+          | Error e ->
+              Printf.eprintf "proteus serve: %s\n" e;
+              exit 2
+          | Ok specs ->
+              List.filter_map
+                (fun n ->
+                  match Fault.tenant_plan n specs with
+                  | [] -> None
+                  | plan -> Some (n, plan))
+                names)
+    in
+    let config =
+      if quota > 0 then { Config.default with Config.tenant_quota = quota }
+      else Config.default
+    in
+    let sv =
+      Serve.create ~config ~tenants:w.Workload.tenants ~kernels:w.Workload.kernels
+        ~tenant_faults ()
+    in
+    if domains > 1 then Serve.run_sharded sv ~domains w.Workload.schedule
+    else Serve.run sv w.Workload.schedule;
+    Serve.finish sv;
+    Printf.printf "%-8s %9s %9s %9s %9s %9s %9s %6s %6s %10s\n" "tenant"
+      "launches" "hits" "hit-rate" "compiles" "p50-ms" "p99-ms" "fback" "quar"
+      "resident";
+    let row (r : Serve.tenant_report) =
+      Printf.printf "%-8s %9d %9d %9.3f %9d %9.4f %9.4f %6d %6d %10d\n"
+        r.Serve.tr_tenant r.tr_launches r.tr_hits r.tr_hit_rate r.tr_compiles
+        r.tr_p50_ms r.tr_p99_ms r.tr_fallbacks r.tr_quarantined
+        r.tr_resident_bytes
+    in
+    List.iter row (Serve.report sv);
+    row (Serve.total sv);
+    if verify then begin
+      let bad = ref 0 in
+      for tn = 0 to w.Workload.tenants - 1 do
+        let live = Serve.output sv ~tenant:tn in
+        let replayed = Serve.replay_output ~config sv ~tenant:tn w.Workload.schedule in
+        if live <> replayed then begin
+          incr bad;
+          Printf.printf "verify: tenant %s DIVERGED from serial replay\n"
+            (Serve.tenant_name sv ~tenant:tn)
+        end
+      done;
+      if !bad = 0 then
+        Printf.printf "verify: %d tenants bit-identical to serial replay\n"
+          w.Workload.tenants
+      else exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the multi-tenant JIT service: N client sessions submit a seeded \
+             Zipf workload to one shared compiler and content-addressed artifact \
+             store, with per-tenant quotas, stats and fault isolation")
+    Term.(const go $ tenants $ kernels $ launches $ seed $ skew $ quota $ domains
+          $ inject $ dump $ replay $ verify)
+
 let devices_cmd =
   let go () =
     List.iter
@@ -776,5 +922,5 @@ let () =
        (Cmd.group info
           [
             compile_cmd; analyze_cmd; advise_cmd; perflint_cmd; run_cmd; bench_cmd;
-            fuzz_cmd; crashtest_cmd; devices_cmd;
+            fuzz_cmd; crashtest_cmd; serve_cmd; devices_cmd;
           ]))

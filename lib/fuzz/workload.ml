@@ -1,0 +1,252 @@
+(* Seeded Zipf workload generator for the multi-tenant JIT service
+   (ROADMAP #1): a deterministic launch schedule over
+   kernels x tenants x launch counts. Kernel popularity follows a
+   Zipf distribution with exponent [skew] — kernel k is drawn with
+   probability proportional to 1/(k+1)^skew, so a handful of hot
+   kernels dominates, exactly the reuse profile a shared code cache
+   exists for — while tenants are drawn uniformly. Everything derives
+   from one Util.Rng seed: the same (seed, tenants, kernels, launches,
+   skew) tuple produces the same schedule on every run and machine,
+   which is what lets the serve torture compare a concurrent
+   multi-tenant run against a serial single-tenant replay
+   bit for bit.
+
+   A schedule round-trips through a compact JSON dump ([to_json] /
+   [of_json]) so a recorded workload can be replayed from a file
+   (`proteus serve --dump/--replay`). *)
+
+open Proteus_support
+
+type t = {
+  seed : int;
+  tenants : int;
+  kernels : int;
+  launches : int;
+  skew : float;
+  schedule : (int * int) array; (* (tenant index, kernel index), in order *)
+}
+
+(* Cumulative Zipf(k) distribution over [kernels] ranks. The last
+   entry is 1.0 up to rounding; [pick] treats it as a catch-all so a
+   draw of 0.999... can never fall off the end. *)
+let zipf_cdf ~(kernels : int) ~(skew : float) : float array =
+  let w = Array.init kernels (fun k -> 1.0 /. (float_of_int (k + 1) ** skew)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+(* Smallest rank whose cumulative mass exceeds the draw. *)
+let pick (cdf : float array) (r : float) : int =
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) > r then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let generate ~(seed : int) ~(tenants : int) ~(kernels : int) ~(launches : int)
+    ~(skew : float) : t =
+  if tenants <= 0 then invalid_arg "Workload.generate: tenants must be positive";
+  if kernels <= 0 then invalid_arg "Workload.generate: kernels must be positive";
+  if launches < 0 then invalid_arg "Workload.generate: negative launch count";
+  if skew < 0.0 then invalid_arg "Workload.generate: negative skew";
+  let rng = Util.Rng.create seed in
+  let cdf = zipf_cdf ~kernels ~skew in
+  let schedule = Array.make launches (0, 0) in
+  (* explicit loop: the rng draw order (tenant then kernel, per launch)
+     is part of the schedule's definition *)
+  for i = 0 to launches - 1 do
+    let tn = Util.Rng.int rng tenants in
+    let r = Util.Rng.float rng in
+    schedule.(i) <- (tn, pick cdf r)
+  done;
+  { seed; tenants; kernels; launches; skew; schedule }
+
+(* Fraction of all launches that land on the [top] hottest kernels
+   (ranks 0 .. top-1). For a fixed seed this is monotonically
+   non-decreasing in [skew]: the rng draws are identical, only the
+   cumulative mass boundary moves. *)
+let hot_mass (t : t) ~(top : int) : float =
+  if t.launches = 0 then 0.0
+  else
+    let n =
+      Array.fold_left
+        (fun acc (_, k) -> if k < top then acc + 1 else acc)
+        0 t.schedule
+    in
+    float_of_int n /. float_of_int t.launches
+
+(* Launches of one tenant, in schedule order: the serial replay a
+   concurrent run is checked against serves exactly this stream. *)
+let tenant_schedule (t : t) ~(tenant : int) : (int * int) array =
+  Array.of_list
+    (List.filter (fun (tn, _) -> tn = tenant) (Array.to_list t.schedule))
+
+(* ---- JSON dump / replay ------------------------------------------ *)
+
+let to_json (t : t) : string =
+  let b = Buffer.create (64 + (t.launches * 8)) in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"seed\": %d, \"tenants\": %d, \"kernels\": %d, \"launches\": %d, \
+        \"skew\": %.6f, \"schedule\": ["
+       t.seed t.tenants t.kernels t.launches t.skew);
+  Array.iteri
+    (fun i (tn, k) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "[%d, %d]" tn k))
+    t.schedule;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* Strict parser for [to_json]'s own output shape: an object with the
+   five scalar fields (any order) and a "schedule" array of [t, k]
+   pairs. Anything else is a loud error — a replay file that parses
+   loosely and runs the wrong workload is worse than one that fails. *)
+exception Parse of string
+
+let of_json (s : string) : (t, string) result =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some x when x = c -> incr pos
+    | Some x -> fail "expected %c at byte %d, found %c" c !pos x
+    | None -> fail "expected %c at byte %d, found end of input" c !pos
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < len
+      && match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected a number at byte %d" start;
+    let tok = String.sub s start (!pos - start) in
+    match float_of_string_opt tok with
+    | Some f -> f
+    | None -> fail "malformed number %S" tok
+  in
+  let parse_int () =
+    let f = parse_number () in
+    let i = int_of_float f in
+    if float_of_int i <> f then fail "expected an integer, found %g" f;
+    i
+  in
+  let parse_pair () =
+    expect '[';
+    let a = parse_int () in
+    expect ',';
+    let b = parse_int () in
+    expect ']';
+    (a, b)
+  in
+  let parse_schedule () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      incr pos;
+      [||]
+    end
+    else begin
+      let items = ref [] in
+      let rec go () =
+        items := parse_pair () :: !items;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            go ()
+        | Some ']' -> incr pos
+        | _ -> fail "expected , or ] in schedule at byte %d" !pos
+      in
+      go ();
+      Array.of_list (List.rev !items)
+    end
+  in
+  match
+    let seed = ref None
+    and tenants = ref None
+    and kernels = ref None
+    and launches = ref None
+    and skew = ref None
+    and schedule = ref None in
+    expect '{';
+    let rec fields () =
+      skip_ws ();
+      let key = parse_string () in
+      expect ':';
+      (match key with
+      | "seed" -> seed := Some (parse_int ())
+      | "tenants" -> tenants := Some (parse_int ())
+      | "kernels" -> kernels := Some (parse_int ())
+      | "launches" -> launches := Some (parse_int ())
+      | "skew" -> skew := Some (parse_number ())
+      | "schedule" -> schedule := Some (parse_schedule ())
+      | k -> fail "unknown field %S" k);
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+          incr pos;
+          fields ()
+      | Some '}' -> incr pos
+      | _ -> fail "expected , or } at byte %d" !pos
+    in
+    fields ();
+    skip_ws ();
+    if !pos <> len then fail "trailing bytes after object";
+    let req name = function Some v -> v | None -> fail "missing field %S" name in
+    let w =
+      {
+        seed = req "seed" !seed;
+        tenants = req "tenants" !tenants;
+        kernels = req "kernels" !kernels;
+        launches = req "launches" !launches;
+        skew = req "skew" !skew;
+        schedule = req "schedule" !schedule;
+      }
+    in
+    if Array.length w.schedule <> w.launches then
+      fail "schedule length %d does not match launches %d"
+        (Array.length w.schedule) w.launches;
+    Array.iter
+      (fun (tn, k) ->
+        if tn < 0 || tn >= w.tenants then fail "tenant index %d out of range" tn;
+        if k < 0 || k >= w.kernels then fail "kernel index %d out of range" k)
+      w.schedule;
+    w
+  with
+  | w -> Ok w
+  | exception Parse m -> Error m

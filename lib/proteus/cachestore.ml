@@ -8,6 +8,18 @@
    PROTEUS_MEM_CACHE_LIMIT / PROTEUS_DISK_CACHE_LIMIT environment
    variables (bytes; 0 or unset = unlimited).
 
+   Multi-tenancy (DESIGN.md "Multi-tenant service"): every memory-tier
+   entry carries an optional [owner] — the tenant whose launch paid
+   for the artifact. A per-tenant byte quota (PROTEUS_TENANT_QUOTA or
+   the [tenant_quota] constructor argument) bounds how much of the
+   shared memory tier any one owner can pin: when an insert pushes an
+   owner over quota, that owner's own least-recently-used entries are
+   evicted first, so a tenant with a pathological key stream evicts
+   itself, never its neighbours. Global and per-tenant byte totals are
+   running counters maintained by the single put/remove pair every
+   mutation path (insert, swap, LRU evict, quota evict, shrink) goes
+   through, under the store mutex.
+
    Persistent entries are integrity-protected: each file carries a
    versioned header (magic, format version, generation, payload
    length, CRC32) and is written atomically (.tmp + rename). A
@@ -49,6 +61,9 @@ type entry = {
          unspecialized placeholder, 1 = specialized O3. The tiered JIT
          uses it to tell a placeholder artifact from the real thing
          when deciding whether a hit still needs a background tier-up. *)
+  owner : string option;
+      (* tenant that paid for this artifact; the unit per-tenant
+         quotas are charged against. None for single-tenant use. *)
 }
 
 type t = {
@@ -56,6 +71,10 @@ type t = {
   persistent_dir : string option;
   mutable mem_limit : int; (* bytes; 0 = unlimited; shrunk by the degradation ladder *)
   disk_limit : int;
+  tenant_quota : int; (* bytes one owner may pin in memory; 0 = unlimited *)
+  tenant_bytes : (string, int) Hashtbl.t;
+      (* running per-owner byte totals, maintained by mem_put/mem_remove
+         in lockstep with [mem_bytes] *)
   mutable tick : int; (* LRU clock *)
   mutable mem_bytes : int; (* running total of in-memory entry bytes *)
   mutable mem_hits : int;
@@ -63,6 +82,7 @@ type t = {
   mutable misses : int;
   mutable evictions_mem : int;
   mutable evictions_disk : int;
+  mutable evictions_quota : int; (* memory evictions forced by a tenant quota *)
   mutable stored_bytes : int; (* bytes written to the persistent cache this run *)
   mutable corruptions : int; (* corrupt/truncated/unreadable entries discarded *)
   (* concurrency & recovery *)
@@ -134,21 +154,37 @@ let touch t e =
   e.last_used <- t.tick
 
 (* All in-memory insertions and removals go through these two helpers
-   so [mem_bytes] stays a running total: the previous implementation
+   so [mem_bytes] and the per-owner totals stay running counters that
+   an eviction, swap or overwrite can never leave stale: a removed or
+   replaced entry decrements both ledgers in the same critical section
+   that takes it out of the table (the previous implementation
    re-folded the whole table on every insert to learn its size, which
-   is O(entries) per store. *)
+   is O(entries) per store, and kept no per-owner ledger at all). *)
+let charge_owner t owner delta =
+  match owner with
+  | None -> ()
+  | Some o ->
+      let cur = Option.value (Hashtbl.find_opt t.tenant_bytes o) ~default:0 in
+      let nxt = cur + delta in
+      if nxt <= 0 then Hashtbl.remove t.tenant_bytes o
+      else Hashtbl.replace t.tenant_bytes o nxt
+
 let mem_put t k e =
   (match Hashtbl.find_opt t.mem k with
-  | Some old -> t.mem_bytes <- t.mem_bytes - old.bytes
+  | Some old ->
+      t.mem_bytes <- t.mem_bytes - old.bytes;
+      charge_owner t old.owner (-old.bytes)
   | None -> ());
   Hashtbl.replace t.mem k e;
-  t.mem_bytes <- t.mem_bytes + e.bytes
+  t.mem_bytes <- t.mem_bytes + e.bytes;
+  charge_owner t e.owner e.bytes
 
 let mem_remove t k =
   match Hashtbl.find_opt t.mem k with
   | Some e ->
       Hashtbl.remove t.mem k;
-      t.mem_bytes <- t.mem_bytes - e.bytes
+      t.mem_bytes <- t.mem_bytes - e.bytes;
+      charge_owner t e.owner (-e.bytes)
   | None -> ()
 
 (* Evict least-recently-used in-memory entries until under the limit. *)
@@ -169,6 +205,43 @@ let enforce_mem_limit t =
           t.evictions_mem <- t.evictions_mem + 1
       | None -> (* unreachable: the table has > 1 entries *) assert false
     done
+
+(* Per-tenant quota: when [owner]'s resident bytes exceed the quota,
+   evict that owner's own least-recently-used entries (and only that
+   owner's) until back under — a tenant under memory pressure pays
+   with its own working set, never a neighbour's. Like the global
+   limit, an owner's single newest entry is never evicted: a quota
+   smaller than one artifact degrades to "one entry resident". *)
+let enforce_tenant_quota t (owner : string option) =
+  match owner with
+  | None -> ()
+  | Some o when t.tenant_quota > 0 ->
+      let resident () =
+        Option.value (Hashtbl.find_opt t.tenant_bytes o) ~default:0
+      in
+      let owned () =
+        Hashtbl.fold
+          (fun _ e acc -> if e.owner = Some o then acc + 1 else acc)
+          t.mem 0
+      in
+      while resident () > t.tenant_quota && owned () > 1 do
+        let victim =
+          Hashtbl.fold
+            (fun k e acc ->
+              if e.owner <> Some o then acc
+              else
+                match acc with
+                | Some (_, e') when e'.last_used <= e.last_used -> acc
+                | _ -> Some (k, e))
+            t.mem None
+        in
+        match victim with
+        | Some (k, _) ->
+            mem_remove t k;
+            t.evictions_quota <- t.evictions_quota + 1
+        | None -> (* unreachable: the owner holds > 1 entries *) assert false
+      done
+  | Some _ -> ()
 
 (* Lock files and in-flight .tmp litter are bookkeeping, not cache
    contents: they are excluded from size accounting and eviction. *)
@@ -343,8 +416,8 @@ let recover t =
               end)
           (Sys.readdir d)
 
-let create ?(persistent_dir : string option) ?mem_limit ?disk_limit ?faults
-    ?lock_timeout_ms () =
+let create ?(persistent_dir : string option) ?mem_limit ?disk_limit ?tenant_quota
+    ?faults ?lock_timeout_ms () =
   (* Recursive, race-tolerant creation: a missing parent or a
      concurrent creator must not kill the host program. *)
   Option.iter Util.mkdir_p persistent_dir;
@@ -358,12 +431,19 @@ let create ?(persistent_dir : string option) ?mem_limit ?disk_limit ?faults
     | Some l -> (l, false)
     | None -> env_limit "PROTEUS_DISK_CACHE_LIMIT"
   in
+  let tenant_quota, quota_rej =
+    match tenant_quota with
+    | Some l -> (l, false)
+    | None -> env_limit "PROTEUS_TENANT_QUOTA"
+  in
   let t =
     {
       mem = Hashtbl.create 32;
       persistent_dir;
       mem_limit;
       disk_limit;
+      tenant_quota;
+      tenant_bytes = Hashtbl.create 8;
       tick = 0;
       mem_bytes = 0;
       mem_hits = 0;
@@ -371,6 +451,7 @@ let create ?(persistent_dir : string option) ?mem_limit ?disk_limit ?faults
       misses = 0;
       evictions_mem = 0;
       evictions_disk = 0;
+      evictions_quota = 0;
       stored_bytes = 0;
       corruptions = 0;
       mu = Mutex.create ();
@@ -385,7 +466,9 @@ let create ?(persistent_dir : string option) ?mem_limit ?disk_limit ?faults
       reaped_tmp = 0;
       reaped_locks = 0;
       limit_rejections =
-        (if mem_rej then 1 else 0) + (if disk_rej then 1 else 0);
+        (if mem_rej then 1 else 0)
+        + (if disk_rej then 1 else 0)
+        + (if quota_rej then 1 else 0);
       disk_degrades = 0;
       disk_disabled = false;
       tick_hook = ignore;
@@ -409,7 +492,7 @@ let load_persistent path : Mach.obj * int * int * int =
   let payload, generation, tier = decode_entry (read_whole_file path) in
   (Mach.decode_obj payload, String.length payload, generation, tier)
 
-let lookup t (key : Speckey.t) : outcome =
+let lookup ?owner t (key : Speckey.t) : outcome =
   locked_op t @@ fun () ->
   let k = Speckey.to_string key in
   match Hashtbl.find_opt t.mem k with
@@ -422,11 +505,15 @@ let lookup t (key : Speckey.t) : outcome =
       | Some path when Sys.file_exists path -> (
           match load_persistent path with
           | obj, len, generation, tier ->
+              (* promotion from disk charges the promoting tenant: it is
+                 the one re-pinning the artifact in the shared tier *)
               let e =
-                { obj; bytes = len; last_used = 0; tcodes = []; generation; tier }
+                { obj; bytes = len; last_used = 0; tcodes = []; generation; tier;
+                  owner }
               in
               touch t e;
               mem_put t k e;
+              enforce_tenant_quota t owner;
               enforce_mem_limit t;
               t.disk_hits <- t.disk_hits + 1;
               Disk_hit e
@@ -577,7 +664,7 @@ let write_persistent t path (data : string) : unit =
         raise e
   end
 
-let insert ?(tier = 1) t (key : Speckey.t) (obj : Mach.obj) : entry =
+let insert ?(tier = 1) ?owner t (key : Speckey.t) (obj : Mach.obj) : entry =
   locked_op t @@ fun () ->
   let k = Speckey.to_string key in
   (* versioned hot-swap: replacing an entry bumps its generation and
@@ -591,10 +678,12 @@ let insert ?(tier = 1) t (key : Speckey.t) (obj : Mach.obj) : entry =
   let payload = Mach.encode_obj obj in
   let data = encode_entry ~generation ~tier payload in
   let e =
-    { obj; bytes = String.length payload; last_used = 0; tcodes = []; generation; tier }
+    { obj; bytes = String.length payload; last_used = 0; tcodes = []; generation;
+      tier; owner }
   in
   touch t e;
   mem_put t k e;
+  enforce_tenant_quota t owner;
   enforce_mem_limit t;
   (match path_for t key with
   | Some path when not t.disk_disabled -> write_persistent t path data
@@ -640,6 +729,19 @@ let persistent_size t : int =
       else 0
 
 let mem_size t = t.mem_bytes
+
+(* Resident memory-tier bytes attributed to one owner, and the full
+   owner ledger (sorted for deterministic reporting). *)
+let tenant_size t (owner : string) : int =
+  locked t @@ fun () ->
+  Option.value (Hashtbl.find_opt t.tenant_bytes owner) ~default:0
+
+let tenant_sizes t : (string * int) list =
+  locked t @@ fun () ->
+  Hashtbl.fold (fun o b acc -> (o, b) :: acc) t.tenant_bytes []
+  |> List.sort compare
+
+let tenant_quota t = t.tenant_quota
 
 (* Clearing removes everything, locks and litter included: the caller
    is invalidating the directory wholesale. *)

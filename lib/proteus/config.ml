@@ -73,6 +73,11 @@ type t = {
       (* PROTEUS_TIER_THRESHOLD: launches a specialization key must
          accumulate before it is hot enough to spend a background O3
          compile on (profile-guided gate; minimum 1) *)
+  tenant_quota : int;
+      (* PROTEUS_TENANT_QUOTA: bytes one tenant may pin in the shared
+         memory cache tier before its own LRU entries are evicted;
+         0 = unlimited. Only meaningful when a Cachestore is shared
+         across tenants (the serve loop) *)
 }
 
 let env_int name default =
@@ -122,6 +127,7 @@ let default =
     lock_timeout_ms = env_float "PROTEUS_LOCK_TIMEOUT_MS" 1000.0;
     tier = env_bool "PROTEUS_TIER" false;
     tier_threshold = max 1 (env_int "PROTEUS_TIER_THRESHOLD" 2);
+    tenant_quota = env_int "PROTEUS_TENANT_QUOTA" 0;
   }
 
 (* Paper mode names *)

@@ -197,6 +197,51 @@ let plan_of_string (s : string) : (plan, string) result =
   in
   go [] specs
 
+(* Tenant-scoped schedules for the multi-tenant serve loop:
+   "A:specialize-corrupt=always,decode=nth:3" arms specialize-corrupt
+   only for tenant A while decode=nth:3 (no tenant prefix) arms for
+   every tenant. [tenant_plan name specs] projects the entries one
+   named tenant should see; the serve loop feeds the projection to
+   that tenant's [Jit.create], so an injected fault is physically
+   incapable of firing in any other tenant's pipeline. A tenant name
+   must not itself contain '=' or ','. *)
+let scoped_plan_of_string (s : string) :
+    ((string option * point * trigger) list, string) result =
+  let specs =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | spec :: rest -> (
+        let scope, body =
+          match String.index_opt spec ':' with
+          | Some i
+            when (match String.index_opt spec '=' with
+                 | Some j -> i < j
+                 | None -> false)
+                 (* a ':' after '=' belongs to a trigger like nth:2 *) ->
+              ( Some (String.sub spec 0 i),
+                String.sub spec (i + 1) (String.length spec - i - 1) )
+          | _ -> (None, spec)
+        in
+        match plan_of_string body with
+        | Ok [ (p, trig) ] -> go ((scope, p, trig) :: acc) rest
+        | Ok _ -> Error (Printf.sprintf "fault spec %S is not point=trigger" spec)
+        | Error e -> Error e)
+  in
+  go [] specs
+
+let tenant_plan (tenant : string)
+    (specs : (string option * point * trigger) list) : plan =
+  List.filter_map
+    (fun (scope, p, trig) ->
+      match scope with
+      | None -> Some (p, trig)
+      | Some tn when tn = tenant -> Some (p, trig)
+      | Some _ -> None)
+    specs
+
 let eval_trigger (s : slot) =
   s.calls <- s.calls + 1;
   let fire =

@@ -82,3 +82,12 @@ let run (t : 'a t) ~(key : string) ?(tier = 0) (f : unit -> 'a) : 'a outcome =
 
 let leads t = t.leads
 let suppressed t = t.suppressed
+
+(* Flights currently open (leader still compiling). The serve loop
+   polls this for its load report; it is advisory — the value can be
+   stale by the time the caller reads it. *)
+let inflight t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.inflight in
+  Mutex.unlock t.mu;
+  n

@@ -53,6 +53,11 @@ type t = {
   rt : Gpurt.ctx;
   vendor : Device.vendor;
   config : Config.t;
+  tenant : string option;
+      (* multi-tenant service: the client session this JIT serves.
+         Scopes quarantine keys and cache-entry ownership so one
+         tenant's poisoned kernel or quota pressure can never spill
+         into another's service level. None = single-tenant process. *)
   cache : Cachestore.t;
   stats : Stats.t;
   faults : Fault.t;
@@ -81,19 +86,31 @@ type t = {
          launch stream. Only ever set around a drained tier job. *)
 }
 
-let create ?(config = Config.default) (rt : Gpurt.ctx) (vendor : Device.vendor) : t =
+(* [cache] and [flight] default to private instances (the paper's
+   single-process behaviour); the multi-tenant serve loop passes one
+   shared store and one shared flight table so N tenants dedup
+   compiles against each other. A shared cache keeps its own fault set
+   (from its creator) — per-tenant injected faults fire only in this
+   JIT's pipeline stages, never inside the shared store. *)
+let create ?(config = Config.default) ?cache ?flight ?tenant (rt : Gpurt.ctx)
+    (vendor : Device.vendor) : t =
   rt.Gpurt.exec_domains <- config.Config.exec_domains;
   let faults = Fault.of_env ~base:config.Config.fault_plan () in
   {
     rt;
     vendor;
     config;
+    tenant;
     cache =
-      Cachestore.create ?persistent_dir:config.Config.persistent_dir ~faults
-        ~lock_timeout_ms:config.Config.lock_timeout_ms ();
+      (match cache with
+      | Some c -> c
+      | None ->
+          Cachestore.create ?persistent_dir:config.Config.persistent_dir ~faults
+            ~tenant_quota:config.Config.tenant_quota
+            ~lock_timeout_ms:config.Config.lock_timeout_ms ());
     stats = Stats.create ();
     faults;
-    flight = Flight.create ();
+    flight = (match flight with Some f -> f | None -> Flight.create ());
     rng = Util.Rng.create 0x5EED;
     degrade_level = 0;
     quarantine = Hashtbl.create 8;
@@ -315,10 +332,16 @@ let compile_specialization (t : t) ~(bitcode : string) ~(sym : string)
 
 (* ---- quarantine policy ------------------------------------------- *)
 
-let qkey ~mid ~sym = mid ^ "/" ^ sym
+(* Quarantine (and advice/profile) keys are tenant-scoped: with a
+   shared content-addressed store two tenants can hit the same
+   (mid, sym), but quarantine is a judgement about a *client's* launch
+   stream, not about the artifact — tenant A poisoning its copy of a
+   kernel must not put tenant B's identical kernel on the AOT path. *)
+let qkey t ~mid ~sym =
+  (match t.tenant with Some tn -> tn ^ ":" | None -> "") ^ mid ^ "/" ^ sym
 
 let qstate t ~mid ~sym : qstate =
-  let k = qkey ~mid ~sym in
+  let k = qkey t ~mid ~sym in
   match Hashtbl.find_opt t.quarantine k with
   | Some q -> q
   | None ->
@@ -355,7 +378,7 @@ let note_failure t (q : qstate) =
     end
   end
 
-let note_success t ~mid ~sym = Hashtbl.remove t.quarantine (qkey ~mid ~sym)
+let note_success t ~mid ~sym = Hashtbl.remove t.quarantine (qkey t ~mid ~sym)
 
 (* ---- specialization policy (SpecAdvisor) ------------------------- *)
 
@@ -366,7 +389,7 @@ let note_success t ~mid ~sym = Hashtbl.remove t.quarantine (qkey ~mid ~sym)
    quarantined exactly like compile failures. *)
 let advised_impact (t : t) ~(mid : string) ~(sym : string) :
     Proteus_analysis.Specadvisor.kernel_impact option =
-  let k = qkey ~mid ~sym in
+  let k = qkey t ~mid ~sym in
   match Hashtbl.find_opt t.advice k with
   | Some r -> r
   | None ->
@@ -400,7 +423,7 @@ let effective_spec_threshold (t : t) ~(mid : string) ~(sym : string) : float =
   let base = t.config.Config.spec_threshold in
   if not t.config.Config.tier then base
   else
-    let launches = Stats.kernel_launch_count t.stats (qkey ~mid ~sym) in
+    let launches = Stats.kernel_launch_count t.stats (qkey t ~mid ~sym) in
     if launches <= nominal_reuse then base
     else base *. float_of_int nominal_reuse /. float_of_int launches
 
@@ -493,7 +516,7 @@ let jit_launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : i
     ~(args : Konst.t array) ~(spec_mask : int64) : int =
   let cost = t.rt.Gpurt.cost in
   let clock_before = Clock.read t.rt.Gpurt.clock in
-  ignore (Stats.record_kernel_launch t.stats (qkey ~mid ~sym));
+  ignore (Stats.record_kernel_launch t.stats (qkey t ~mid ~sym));
   let spec_values =
     if t.config.Config.enable_rcf || t.config.Config.enable_lb then
       List.filter_map
@@ -520,7 +543,7 @@ let jit_launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : i
     match
       in_stage t Fault.Cache_read (fun () ->
           let outcome =
-            if t.config.Config.use_mem_cache then Cachestore.lookup t.cache key
+            if t.config.Config.use_mem_cache then Cachestore.lookup ?owner:t.tenant t.cache key
             else Cachestore.Miss
           in
           t.stats.Stats.cache_corruptions <- t.cache.Cachestore.corruptions;
@@ -564,7 +587,7 @@ let jit_launch (t : t) ~(mid : string) ~(sym : string) ~(grid : int) ~(block : i
                   in
                   let e =
                     in_stage t Fault.Cache_write (fun () ->
-                        Cachestore.insert t.cache key obj)
+                        Cachestore.insert ?owner:t.tenant t.cache key obj)
                   in
                   Stats.record_cache_entry t.stats
                     (Config.policy_name t.config.Config.spec_policy);
@@ -700,7 +723,7 @@ let drain_tier (t : t) : unit =
           | Ok obj ->
               let e =
                 in_stage t Fault.Cache_write (fun () ->
-                    Cachestore.swap ~tier:1 t.cache job.tj_key obj)
+                    Cachestore.swap ~tier:1 ?owner:t.tenant t.cache job.tj_key obj)
               in
               Stats.record_cache_entry t.stats
                 (Config.policy_name t.config.Config.spec_policy);

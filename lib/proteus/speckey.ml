@@ -36,6 +36,21 @@ let compute ~(mid : string) ~(sym : string) ~(spec_values : (int * Konst.t) list
 let to_string t = t.hash
 let cache_filename t = Printf.sprintf "cache-jit-%s.o" t.hash
 
+(* Content addressing for the multi-tenant service: a module id
+   derived from the kernel's device IR bytes and the backend, not from
+   the client's module name. Two tenants submitting byte-identical
+   device IR to the same backend produce the same [content_mid], so
+   their speckeys (and cache entries) collide on purpose — the shared
+   store deduplicates the compile. Composed with [compute] (which
+   folds in the spec values and launch bounds) and the store's tier
+   frame word, the full artifact identity is
+   hash(device IR, spec key, backend, tier). *)
+let content_mid ~(device_ir : string) ~(backend : string) : string =
+  let h = Util.Fnv.offset_basis in
+  let h = Util.Fnv.add_string h device_ir in
+  let h = Util.Fnv.add_string h backend in
+  "ca-" ^ Util.Fnv.to_hex h
+
 (* Filter the specialization values a policy admits into the key.
    Returns the surviving (index, value) pairs plus how many were
    dropped. [recommended] is the SpecAdvisor ranking for the kernel

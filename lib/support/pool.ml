@@ -203,6 +203,23 @@ let drain_async t : unit =
   go ();
   Mutex.unlock t.mutex
 
+(* [run_collect pool f n] is [run] for tasks with results: executes
+   f 0 .. f (n-1) across the pool and returns the results indexed by
+   task. Each slot is written exactly once by whichever domain claimed
+   the index, and [run]'s barrier orders those writes before the
+   caller reads the array back. The multi-tenant serve loop uses this
+   to fan tenant sessions out across domains and gather their
+   per-session reports. *)
+let run_collect (t : t) (fn : int -> 'a) (n : int) : 'a array =
+  if n <= 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run t (fun i -> out.(i) <- Some (fn i)) n;
+    Array.map
+      (function Some v -> v | None -> Util.failf "Pool.run_collect: task dropped")
+      out
+  end
+
 (* Process-wide pools, memoized by size: the GPU executor asks for one
    per configured domain count, and tests force small explicit sizes
    without disturbing the default pool. *)

@@ -430,7 +430,47 @@ let test_mem_cache_running_byte_total () =
   (* overwriting a resident key must not double-count its bytes *)
   let _ = Cachestore.insert c (key 10) (dummy_obj ()) in
   check Alcotest.int "overwrite keeps total exact" (folded ())
-    (Cachestore.mem_size c)
+    (Cachestore.mem_size c);
+  (* the eviction loop above drained entries through the same helper:
+     the running total still matches a fresh fold after mass eviction *)
+  check Alcotest.int "total exact after evictions" (folded ())
+    (Cachestore.mem_size c);
+  (* swap path (tier-up publication over a resident key) goes through
+     the identical put helper: no double count, tier recorded *)
+  let _ = Cachestore.swap ~tier:1 c (key 10) (dummy_obj ()) in
+  check Alcotest.int "swap keeps total exact" (folded ()) (Cachestore.mem_size c);
+  (* per-owner ledger: owned inserts, quota-free store — the ledger
+     must track a by-owner fold across insert, overwrite, swap and
+     LRU eviction *)
+  let c2 = Cachestore.create ~mem_limit:(probe * 3) () in
+  let folded2 owner =
+    Hashtbl.fold
+      (fun _ (e : Cachestore.entry) acc ->
+        if e.Cachestore.owner = Some owner then acc + e.Cachestore.bytes else acc)
+      c2.Cachestore.mem 0
+  in
+  for i = 1 to 10 do
+    let owner = if i mod 2 = 0 then "A" else "B" in
+    let _ = Cachestore.insert ~owner c2 (key i) (dummy_obj ()) in
+    check Alcotest.int "owner A ledger matches fold" (folded2 "A")
+      (Cachestore.tenant_size c2 "A");
+    check Alcotest.int "owner B ledger matches fold" (folded2 "B")
+      (Cachestore.tenant_size c2 "B")
+  done;
+  Alcotest.(check bool) "owned inserts evicted too" true
+    (c2.Cachestore.evictions_mem > 0);
+  (* swap that moves a key to a different owner must transfer the bytes
+     between the two ledgers, not leak them into both *)
+  let _ = Cachestore.swap ~tier:1 ~owner:"B" c2 (key 10) (dummy_obj ()) in
+  check Alcotest.int "A ledger exact after cross-owner swap" (folded2 "A")
+    (Cachestore.tenant_size c2 "A");
+  check Alcotest.int "B ledger exact after cross-owner swap" (folded2 "B")
+    (Cachestore.tenant_size c2 "B");
+  check Alcotest.int "global total exact after cross-owner swap"
+    (Hashtbl.fold
+       (fun _ (e : Cachestore.entry) acc -> acc + e.Cachestore.bytes)
+       c2.Cachestore.mem 0)
+    (Cachestore.mem_size c2)
 
 let test_disk_cache_limit () =
   let dir = tmpdir () in

@@ -436,6 +436,75 @@ let test_tiered_torture () =
   done;
   rm_rf dir
 
+(* Multi-tenant serve torture: 4 domains serve 4 tenants over ONE
+   shared content-addressed store and single-flight table, driven by a
+   seeded Zipf workload. Oracles: exactly one compile per content hash
+   across every tenant (the shared flight dedupes cross-tenant misses);
+   every tenant's output bit-identical to a serial single-tenant replay
+   of its launch stream in a fresh private universe; and the persistent
+   tier survives the concurrent run with zero corruption — a second
+   service over the same directory recompiles nothing. *)
+let test_serve_torture () =
+  let module Workload = Proteus_fuzz.Workload in
+  let dir = tmpdir () in
+  let config = { Config.default with Config.persistent_dir = Some dir } in
+  let tenants = 4 and kernels = 10 in
+  let w =
+    Workload.generate ~seed:77 ~tenants ~kernels ~launches:4_000 ~skew:1.1
+  in
+  let sum_compiles sv =
+    let acc = ref 0 in
+    for tn = 0 to tenants - 1 do
+      acc := !acc + (Serve.stats sv ~tenant:tn).Stats.compiles
+    done;
+    !acc
+  in
+  let sv = Serve.create ~config ~tenants ~kernels () in
+  Serve.run_sharded sv ~domains:4 w.Workload.schedule;
+  Serve.finish sv;
+  (* exactly one compile per (content hash, tier), all tenants combined *)
+  let distinct =
+    List.length
+      (List.sort_uniq compare (List.map snd (Array.to_list w.Workload.schedule)))
+  in
+  check Alcotest.int "one compile per content hash across 4 tenants" distinct
+    (sum_compiles sv);
+  check Alcotest.int "every launch served" w.Workload.launches
+    (let acc = ref 0 in
+     for tn = 0 to tenants - 1 do
+       acc := !acc + (Serve.stats sv ~tenant:tn).Stats.jit_launches
+     done;
+     !acc);
+  (* bit-identical to a serial single-tenant replay in a fresh private
+     universe (memory-only: nothing shared with the concurrent run) *)
+  let replay_config = { config with Config.persistent_dir = None } in
+  for tn = 0 to tenants - 1 do
+    check Alcotest.string
+      (Printf.sprintf "tenant %d output = serial replay" tn)
+      (Serve.replay_output ~config:replay_config sv ~tenant:tn
+         w.Workload.schedule)
+      (Serve.output sv ~tenant:tn)
+  done;
+  (* recovery sweep over the shared directory finds a clean cache... *)
+  let store2 = Cachestore.create ~persistent_dir:dir () in
+  check Alcotest.int "no corruption after concurrent run" 0
+    store2.Cachestore.corruptions;
+  check Alcotest.int "no tmp litter" 0 store2.Cachestore.reaped_tmp;
+  (* ...and a second service over it compiles nothing at all *)
+  let sv2 = Serve.create ~config ~tenants ~kernels ~store:store2 () in
+  Serve.run sv2 w.Workload.schedule;
+  Serve.finish sv2;
+  check Alcotest.int "warm persistent tier: zero recompiles" 0 (sum_compiles sv2);
+  check Alcotest.int "zero corruptions reading every artifact back" 0
+    store2.Cachestore.corruptions;
+  for tn = 0 to tenants - 1 do
+    check Alcotest.string
+      (Printf.sprintf "tenant %d output reproduced from disk" tn)
+      (Serve.output sv ~tenant:tn)
+      (Serve.output sv2 ~tenant:tn)
+  done;
+  rm_rf dir
+
 let () =
   Alcotest.run "resilience"
     [
@@ -479,5 +548,9 @@ let () =
             `Quick test_torture;
           Alcotest.test_case "tiered: one async O3 per hot key, no corruption"
             `Quick test_tiered_torture;
+          Alcotest.test_case
+            "serve: 4 domains x 4 tenants, one compile per content hash, \
+             replay-identical, no corruption"
+            `Quick test_serve_torture;
         ] );
     ]
