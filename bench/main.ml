@@ -640,6 +640,87 @@ let perf_validate () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* transval: translation validation of the O3 pipeline (PR 10).  For
+   every bundled program (six HeCBench apps + four examples) x vendor,
+   each kernel's O3 form must be proven semantically equivalent to its
+   unoptimized IR by the symbolic validator.  Any refuted kernel fails
+   the run (exit 1); an unproven kernel is reported but tolerated -
+   the validator is deliberately incomplete.                          *)
+
+type tv_row = {
+  tv_app : string;
+  tv_vendor : Device.vendor;
+  tv_kernels : int;
+  tv_proven : int;
+  tv_unproven : int;
+  tv_refuted : int;
+  tv_s : float; (* validation wall time for the whole program *)
+}
+
+let tv_rows : tv_row list ref = ref []
+
+let transval_bench () =
+  header "TransVal: O0 vs O3 translation validation (all bundled programs)";
+  let module Tv = Proteus_analysis.Transval in
+  let progs =
+    List.map (fun (a : App.t) -> (a.App.name, a.App.source)) Suite.apps
+    @ List.map
+        (fun (e : Proteus_examples.Sources.t) ->
+          (e.Proteus_examples.Sources.name, e.Proteus_examples.Sources.source))
+        Proteus_examples.Sources.all
+  in
+  let refuted_total = ref 0 in
+  Printf.printf "%-14s %-7s %7s %7s %9s %8s %9s\n" "" "" "kernels" "proven"
+    "unproven" "refuted" "time";
+  List.iter
+    (fun vendor ->
+      List.iter
+        (fun (name, source) ->
+          let u =
+            Proteus_frontend.Compile.compile ~name ~debug:true
+              ~vendor:(Proteus_driver.Driver.frontend_vendor vendor) source
+          in
+          let reference = u.Proteus_frontend.Compile.device in
+          let candidate = Proteus_ir.Ir.clone_module reference in
+          ignore (Proteus_opt.Pipeline.optimize_o3 candidate);
+          let t0 = Unix.gettimeofday () in
+          let verdicts = Tv.check_module_pair ~reference ~candidate () in
+          let dt = Unix.gettimeofday () -. t0 in
+          let n p = List.length (List.filter (fun (_, v) -> p v) verdicts) in
+          let proven = n (function Tv.Proven -> true | _ -> false) in
+          let unproven = n (function Tv.Unproven _ -> true | _ -> false) in
+          let refuted = n (function Tv.Refuted _ -> true | _ -> false) in
+          refuted_total := !refuted_total + refuted;
+          tv_rows :=
+            {
+              tv_app = name;
+              tv_vendor = vendor;
+              tv_kernels = List.length verdicts;
+              tv_proven = proven;
+              tv_unproven = unproven;
+              tv_refuted = refuted;
+              tv_s = dt;
+            }
+            :: !tv_rows;
+          Printf.printf "%-14s %-7s %7d %7d %9d %8d %7.1fms%s\n" name
+            (vname vendor) (List.length verdicts) proven unproven refuted
+            (dt *. 1e3)
+            (if refuted > 0 then "  GATE FAILED" else "");
+          List.iter
+            (fun (sym, v) ->
+              match v with
+              | Tv.Proven -> ()
+              | v -> Printf.printf "    %s: %s\n" sym (Tv.verdict_to_string v))
+            verdicts)
+        progs)
+    vendors;
+  if !refuted_total > 0 then begin
+    Printf.printf "\n%d kernel(s) refuted - optimization pipeline is unsound\n"
+      !refuted_total;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* tier: tiered compilation (PR 8) -- cold-launch latency with and
    without the background tier-up pipeline.  Per (app, vendor) we run
    AOT, non-tiered Proteus (cold cache) and tiered Proteus (cold cache,
@@ -1003,6 +1084,27 @@ let write_json path ~(target_times : (string * float) list) ~(total_s : float) =
       prows;
     Buffer.add_string buf "  ]"
   end;
+  (* translation-validation table, present when the transval target ran *)
+  let tvrows =
+    List.sort
+      (fun a b -> compare (a.tv_app, a.tv_vendor) (b.tv_app, b.tv_vendor))
+      !tv_rows
+  in
+  if tvrows <> [] then begin
+    Buffer.add_string buf ",\n  \"transval\": [\n";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"app\": \"%s\", \"vendor\": \"%s\", \"kernels\": %d, \
+              \"proven\": %d, \"unproven\": %d, \"refuted\": %d, \
+              \"validate_ms\": %s}%s\n"
+             (json_escape r.tv_app) (vname r.tv_vendor) r.tv_kernels
+             r.tv_proven r.tv_unproven r.tv_refuted (json_ms r.tv_s)
+             (if i = List.length tvrows - 1 then "" else ",")))
+      tvrows;
+    Buffer.add_string buf "  ]"
+  end;
   (* tiered-compilation comparison, present when the tier target ran *)
   let trows =
     List.sort
@@ -1108,6 +1210,7 @@ let () =
         timed "inject-faults" inject_faults
     | "--perf-validate" | "perf-validate" | "perf" ->
         timed "perf-validate" perf_validate
+    | "--transval" | "transval" -> timed "transval" transval_bench
     | "--tier" | "tier" -> timed "tier" tier_bench
     | "--serve" | "serve" -> timed "serve" serve_bench
     | "all" ->
@@ -1129,7 +1232,7 @@ let () =
     | w ->
         Printf.eprintf
           "unknown target %s (use \
-           all|table1|table2|table3|fig3..fig11|micro|--analyze|--advise|--tier|--serve|--perf-validate|--inject-faults)\n"
+           all|table1|table2|table3|fig3..fig11|micro|--analyze|--advise|--tier|--serve|--perf-validate|--transval|--inject-faults)\n"
           w;
         exit 2
   in

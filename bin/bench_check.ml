@@ -376,6 +376,45 @@ let check_tier json =
   if List.length uniq <> List.length cells then bad "duplicate tier cells";
   List.length cells
 
+(* ---- transval block (bench transval --json / BENCH_PR10.json) ---- *)
+
+let check_transval_row row =
+  let app = as_str "app" (field row "app") in
+  let vendor = as_str "vendor" (field row "vendor") in
+  let ctx what = Printf.sprintf "%s/%s: %s" app vendor what in
+  if vendor <> "AMD" && vendor <> "NVIDIA" then bad "%s" (ctx "unknown vendor");
+  let kernels = as_int (ctx "kernels") (field row "kernels") in
+  let proven = as_int (ctx "proven") (field row "proven") in
+  let unproven = as_int (ctx "unproven") (field row "unproven") in
+  let refuted = as_int (ctx "refuted") (field row "refuted") in
+  if kernels < 1 then bad "%s" (ctx "no kernels validated");
+  if proven < 0 || unproven < 0 || refuted < 0 then bad "%s" (ctx "negative count");
+  if proven + unproven + refuted <> kernels then
+    bad "%s" (ctx "verdict counts do not sum to kernels");
+  (* the soundness gate: a refuted kernel means the O3 pipeline broke
+     semantics, and the coverage gate: every kernel must actually prove *)
+  if refuted > 0 then bad "%s" (ctx "refuted kernel(s)");
+  if proven <> kernels then bad "%s" (ctx "not all kernels proven");
+  let ms = as_num (ctx "validate_ms") (field row "validate_ms") in
+  if Float.is_nan ms || ms < 0.0 then bad "%s" (ctx "bad validate_ms");
+  (app, vendor, kernels)
+
+let check_transval json =
+  let rows = as_arr "transval" (field json "transval") in
+  if rows = [] then bad "empty transval block";
+  let cells = List.map check_transval_row rows in
+  let keys = List.map (fun (a, v, _) -> (a, v)) cells in
+  let uniq = List.sort_uniq compare keys in
+  if List.length uniq <> List.length keys then bad "duplicate transval cells";
+  (* both vendors must be present for every app *)
+  List.iter
+    (fun (a, v) ->
+      let other = if v = "AMD" then "NVIDIA" else "AMD" in
+      if not (List.mem (a, other) keys) then
+        bad "transval: %s validated for %s but not %s" a v other)
+    keys;
+  (List.length cells, List.fold_left (fun acc (_, _, k) -> acc + k) 0 cells)
+
 (* ---- serve block (bench serve --json / BENCH_PR9.json) ---- *)
 
 let check_serve_row ~(what : string) row =
@@ -501,9 +540,11 @@ let () =
     | [| _; "--perf"; p |] -> (`Perf, p)
     | [| _; "--tier"; p |] -> (`Tier, p)
     | [| _; "--serve"; p |] -> (`Serve, p)
+    | [| _; "--transval"; p |] -> (`Transval, p)
     | [| _; "--sarif"; p |] -> (`Sarif, p)
     | _ ->
-        prerr_endline "usage: bench_check [--advise|--perf|--tier|--serve|--sarif] FILE.json";
+        prerr_endline
+          "usage: bench_check [--advise|--perf|--tier|--serve|--transval|--sarif] FILE.json";
         exit 2
   in
   let ic = open_in_bin path in
@@ -521,6 +562,11 @@ let () =
         let tenants, launches = check_serve json in
         Printf.printf "bench_check: %s ok (serve: %d tenants, %d launches)\n"
           path tenants launches
+    | `Transval, json ->
+        let cells, kernels = check_transval json in
+        Printf.printf
+          "bench_check: %s ok (transval: %d cells, %d kernels all proven)\n"
+          path cells kernels
     | `Sarif, json ->
         let rules, results = check_sarif json in
         Printf.printf "bench_check: %s ok (SARIF: %d rules, %d results)\n" path

@@ -368,6 +368,121 @@ let perflint_cmd =
              divergence cost per kernel")
     Term.(const go $ files $ bundled $ vendor_arg $ format)
 
+(* ---- transval ---- *)
+
+let transval_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"Kernel-C source files to validate.")
+  in
+  let bundled =
+    Arg.(value & flag & info [ "bundled" ]
+           ~doc:"Also validate the bundled HeCBench mini-apps and examples.")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ]
+           ~doc:"Report proven kernels (text) and info-level unproven \
+                 findings (machine/sarif) too, not just refutations.")
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("machine", `Machine); ("sarif", `Sarif) ]) `Text
+         & info [ "format" ]
+             ~doc:"Output format: $(b,text) (per-kernel verdicts), $(b,machine) \
+                   (tab-separated findings, deterministic order) or $(b,sarif) \
+                   (SARIF 2.1.0 JSON).")
+  in
+  let go files bundled all format =
+    let open Proteus_analysis in
+    let targets =
+      List.map (fun f -> (f, read_file f)) files
+      @
+      if bundled then
+        List.map
+          (fun (a : Proteus_hecbench.App.t) ->
+            (a.Proteus_hecbench.App.name, a.Proteus_hecbench.App.source))
+          Proteus_hecbench.Suite.apps
+        @ List.map
+            (fun (e : Proteus_examples.Sources.t) ->
+              (e.Proteus_examples.Sources.name, e.Proteus_examples.Sources.source))
+            Proteus_examples.Sources.all
+      else []
+    in
+    if targets = [] then begin
+      prerr_endline "proteus transval: no input (pass FILE arguments or --bundled)";
+      exit 2
+    end;
+    (* Validate the O3 pipeline against the unoptimized IR of every
+       kernel: the reference keeps its dbg.loc markers so refutations
+       carry source provenance. *)
+    let results =
+      List.map
+        (fun (name, source) ->
+          let reference =
+            Proteus_frontend.Compile.compile_device_only ~name ~debug:true source
+          in
+          let candidate = Proteus_ir.Ir.clone_module reference in
+          ignore (Proteus_opt.Pipeline.optimize_o3 candidate);
+          (name, Transval.check_module_pair ~reference ~candidate ()))
+        targets
+    in
+    let count p =
+      List.fold_left
+        (fun acc (_, vs) ->
+          acc + List.length (List.filter (fun (_, v) -> p v) vs))
+        0 results
+    in
+    let proven = count (function Transval.Proven -> true | _ -> false) in
+    let unproven = count (function Transval.Unproven _ -> true | _ -> false) in
+    let refuted = count (function Transval.Refuted _ -> true | _ -> false) in
+    let findings_of vs =
+      List.filter_map
+        (fun (sym, v) ->
+          match v with
+          | Transval.Proven -> None
+          | Transval.Unproven _ when not all -> None
+          | v -> Transval.finding_of_verdict ~sym v)
+        vs
+    in
+    (match format with
+    | `Text ->
+        List.iter
+          (fun (name, vs) ->
+            List.iter
+              (fun (sym, v) ->
+                match v with
+                | Transval.Proven when not all -> ()
+                | v ->
+                    Printf.printf "%s/%s: %s\n" name sym
+                      (Transval.verdict_to_string v))
+              vs)
+          results;
+        Printf.printf
+          "transval: %d program(s), %d kernel(s): %d proven, %d unproven, %d refuted\n"
+          (List.length results)
+          (proven + unproven + refuted)
+          proven unproven refuted
+    | `Machine ->
+        List.iter
+          (fun (name, vs) ->
+            List.iter
+              (fun fd -> print_endline (Finding.to_machine ~file:name fd))
+              (Finding.dedup_sort (findings_of vs)))
+          results
+    | `Sarif ->
+        print_endline
+          (Finding.to_sarif ~tool:"transval"
+             (List.map (fun (name, vs) -> (name, findings_of vs)) results)));
+    if refuted > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "transval"
+       ~doc:"Symbolic translation validation: prove the O3 optimization \
+             pipeline preserved every kernel's semantics (per-lane value and \
+             memory-effect equivalence with loop cutpoints), reporting \
+             proven/unproven/refuted per kernel")
+    Term.(const go $ files $ bundled $ all $ format)
+
 (* ---- run ---- *)
 
 let run_cmd =
@@ -529,8 +644,8 @@ let fuzz_cmd =
   in
   let oracle =
     Arg.(value & opt (some string) None & info [ "oracle" ]
-           ~doc:"Comma-separated subset of $(b,a),$(b,b),$(b,c),$(b,d),$(b,e),$(b,f),$(b,g) \
-                 to run (default: all seven).")
+           ~doc:"Comma-separated subset of $(b,a),$(b,b),$(b,c),$(b,d),$(b,e),$(b,f),$(b,g),$(b,h) \
+                 to run (default: all eight).")
   in
   let out =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
@@ -557,7 +672,7 @@ let fuzz_cmd =
     List.iter
       (fun o ->
         if not (List.mem o Proteus_fuzz.Oracle.all_oracles) then begin
-          Printf.eprintf "proteus fuzz: unknown oracle %s (a|b|c|d|e|f|g)\n" o;
+          Printf.eprintf "proteus fuzz: unknown oracle %s (a|b|c|d|e|f|g|h)\n" o;
           exit 2
         end)
       oracles;
@@ -921,6 +1036,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            compile_cmd; analyze_cmd; advise_cmd; perflint_cmd; run_cmd; bench_cmd;
-            fuzz_cmd; crashtest_cmd; serve_cmd; devices_cmd;
+            compile_cmd; analyze_cmd; advise_cmd; perflint_cmd; transval_cmd;
+            run_cmd; bench_cmd; fuzz_cmd; crashtest_cmd; serve_cmd; devices_cmd;
           ]))

@@ -25,6 +25,8 @@ type kind =
   | Bank_conflict (* PerfLint: shared-memory bank conflict *)
   | Occupancy (* PerfLint: register pressure limits resident waves *)
   | Divergence (* PerfLint: costly divergent region *)
+  | Transval_refuted (* TransVal: transformed kernel provably differs *)
+  | Transval_unproven (* TransVal: equivalence not established *)
 
 let kind_to_string = function
   | Barrier_divergence -> "barrier-divergence"
@@ -36,6 +38,8 @@ let kind_to_string = function
   | Bank_conflict -> "bank-conflict"
   | Occupancy -> "occupancy"
   | Divergence -> "divergence"
+  | Transval_refuted -> "transval-refuted"
+  | Transval_unproven -> "transval-unproven"
 
 type t = {
   kind : kind;
@@ -111,13 +115,43 @@ let sarif_level = function
   | Warning -> "warning"
   | Error -> "error"
 
+(* Central rule-metadata table: one row per kind, shared by every SARIF
+   producer (analyze, perflint, transval) so rule descriptions and
+   default severities cannot drift between tools. The default severity
+   is the level a finding of that kind carries when the analysis has no
+   site-specific reason to promote or demote it. *)
+let rule_metadata : (kind * string * severity) list =
+  [
+    (Barrier_divergence, "Barrier reached under divergent control flow", Error);
+    (Shared_race, "Unsynchronized shared-memory access pair", Warning);
+    (Out_of_bounds, "Memory access may fall outside its allocation", Warning);
+    (Invalid_ir, "Module failed structural IR verification", Error);
+    (Spec_impact, "Argument specialization impact provenance", Info);
+    (Coalescing, "Strided or scattered global-memory access", Warning);
+    (Bank_conflict, "Shared-memory bank conflict", Warning);
+    (Occupancy, "Register pressure limits resident waves", Warning);
+    (Divergence, "Costly divergent region", Info);
+    (Transval_refuted, "Transformed kernel provably differs from reference", Error);
+    (Transval_unproven, "Kernel equivalence not established", Info);
+  ]
+
+let rule_description k =
+  match List.find_opt (fun (k', _, _) -> k' = k) rule_metadata with
+  | Some (_, d, _) -> d
+  | None -> kind_to_string k
+
+let rule_default_severity k =
+  match List.find_opt (fun (k', _, _) -> k' = k) rule_metadata with
+  | Some (_, _, s) -> s
+  | None -> Warning
+
 (* [files] pairs a source-file uri with its findings; each file's list
    is dedup_sorted here, so the export is deterministic. *)
 let to_sarif ~(tool : string) (files : (string * t list) list) : string =
   let b = Buffer.create 4096 in
   let rules =
     files
-    |> List.concat_map (fun (_, ts) -> List.map (fun t -> kind_to_string t.kind) ts)
+    |> List.concat_map (fun (_, ts) -> List.map (fun t -> t.kind) ts)
     |> List.sort_uniq Stdlib.compare
   in
   Buffer.add_string b
@@ -125,9 +159,14 @@ let to_sarif ~(tool : string) (files : (string * t list) list) : string =
   Buffer.add_string b (json_escape tool);
   Buffer.add_string b "\",\"rules\":[";
   List.iteri
-    (fun i r ->
+    (fun i k ->
       if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b (Printf.sprintf "{\"id\":\"%s\"}" (json_escape r)))
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"},\"defaultConfiguration\":{\"level\":\"%s\"}}"
+           (json_escape (kind_to_string k))
+           (json_escape (rule_description k))
+           (sarif_level (rule_default_severity k))))
     rules;
   Buffer.add_string b "]}},\"results\":[";
   let first = ref true in

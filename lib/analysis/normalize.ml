@@ -1,8 +1,8 @@
 (* Shared analysis normalization: every IR-level analysis (Kernelsan,
-   Specadvisor) wants the same view of a module — a clone simplified
-   with simplifycfg + mem2reg so scalar locals become registers the
-   dataflow and affine machinery can see through, with dbg.loc markers
-   preserved for finding provenance.
+   Specadvisor, Perflint) wants the same view of a module — a clone
+   simplified with simplifycfg + mem2reg so scalar locals become
+   registers the dataflow and affine machinery can see through, with
+   dbg.loc markers preserved for finding provenance.
 
    Factoring the clone here fixes a subtle disagreement: when two
    analyses each normalized privately, simplifycfg could merge blocks
@@ -12,14 +12,52 @@
    *same* normalized module to each `*_normalized` entry point, so
    block ids (and register numbering) agree across reports — and the
    simplifycfg+mem2reg work is paid once per kernel instead of once
-   per analysis. *)
+   per analysis.
+
+   [clone] is additionally memoized on the *identity* of the source
+   module: a driver that runs analyze + perflint + transval over one
+   compiled module pays for one normalization, and the later analyses
+   read the very same clone (they treat it as read-only). The cache is
+   keyed by physical equality, so a recompiled module never aliases a
+   stale clone; it is capped so long-running processes do not pin dead
+   modules. Callers that mutate a module in place after normalizing it
+   (the JIT never does — it clones first) must not rely on the memo. *)
 
 open Proteus_ir
 
-let clone (m : Ir.modul) : Ir.modul =
+let cache_cap = 8
+let cache : (Ir.modul * Ir.modul) list ref = ref []
+let hits = ref 0
+let misses = ref 0
+
+let cache_hits () = !hits
+let cache_misses () = !misses
+
+let reset_cache () =
+  cache := [];
+  hits := 0;
+  misses := 0
+
+let normalize_fresh (m : Ir.modul) : Ir.modul =
   let m = Ir.clone_module m in
   let stats = Proteus_opt.Pass.mk_stats () in
   Proteus_opt.Pass.run_pipeline stats
     [ Proteus_opt.Simplifycfg.pass; Proteus_opt.Mem2reg.pass ]
     m;
   m
+
+let clone (m : Ir.modul) : Ir.modul =
+  match List.find_opt (fun (k, _) -> k == m) !cache with
+  | Some (_, c) ->
+      incr hits;
+      c
+  | None ->
+      incr misses;
+      let c = normalize_fresh m in
+      let keep =
+        if List.length !cache >= cache_cap then
+          List.filteri (fun i _ -> i < cache_cap - 1) !cache
+        else !cache
+      in
+      cache := (m, c) :: keep;
+      c

@@ -45,11 +45,11 @@ module Rng = Util.Rng
 type failure = { oracle : string; detail : string }
 
 type opts = {
-  oracles : string list; (* subset of ["a"; "b"; "c"; "d"; "e"; "f"; "g"] *)
+  oracles : string list; (* subset of [all_oracles] *)
   faults : Proteus_core.Fault.t; (* armed fault points for the spec path *)
 }
 
-let all_oracles = [ "a"; "b"; "c"; "d"; "e"; "f"; "g" ]
+let all_oracles = [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" ]
 
 let default_opts () = { oracles = all_oracles; faults = Proteus_core.Fault.of_plan [] }
 
@@ -565,6 +565,95 @@ let run_source (opts : opts) ~(src : string) (gk : Gen.kernel) (l : Gen.launch) 
                 (snap_diff mixed all_aot);
             tick ()
           done);
+    (* (h): translation-validation soundness. TransVal must never
+       refute the trusted O3 pipeline; a pair it *proves* equivalent
+       must be bit-identical under the differential executors; and an
+       armed specialize-corrupt fault must be statically refuted with
+       source provenance - before any execution - unless the damage
+       happens to be semantics-preserving, in which case a proof is
+       only accepted if execution confirms it. *)
+    if sel "h" then
+      guard "h" (fun () ->
+          let module Tv = Proteus_analysis.Transval in
+          (match Tv.check_kernel ~reference:m0 ~candidate:m3 gk.Gen.sym with
+          | Tv.Refuted fd ->
+              failf "h" "TransVal refuted the trusted O3 pipeline: %s"
+                (Proteus_analysis.Finding.to_string fd)
+          | Tv.Proven ->
+              let s0 = interp_run m0 gk l and s3 = interp_run m3 gk l in
+              if s0 <> s3 then
+                failf "h" "proven O0/O3 pair executes differently: %s"
+                  (snap_diff s0 s3)
+          | Tv.Unproven _ -> ());
+          tick ();
+          if
+            Proteus_core.Fault.fires opts.faults
+              Proteus_core.Fault.Specialize_corrupt
+          then begin
+            (* mirror the JIT's verify-level-2 gate: reference compiled
+               with debug markers so a refutation carries file:line:col
+               provenance, candidate specialized then corrupted *)
+            let mdbg =
+              Compile.compile_device_only ~name:"fuzz" ~debug:true src
+            in
+            let mref = Proteus_core.Extract.extract_kernel mdbg gk.Gen.sym in
+            let rig = make_rig gk l in
+            let ms = clone_module mref in
+            let spec_values =
+              List.map (fun i -> (i, rig.args.(i - 1))) gk.Gen.spec_args
+            in
+            let config =
+              {
+                Proteus_core.Config.default with
+                Proteus_core.Config.enable_rcf = true;
+                enable_lb = true;
+              }
+            in
+            Proteus_core.Specialize.apply config ms ~kernel:gk.Gen.sym
+              ~spec_values ~block:l.Gen.block ~resolve_global:(global_of rig);
+            Proteus_core.Jit.corrupt_ir ms ~sym:gk.Gen.sym;
+            let subst =
+              {
+                Tv.sub_params = List.map (fun (i, k) -> (i - 1, k)) spec_values;
+                sub_globals =
+                  List.filter_map
+                    (fun (g : Ir.gvar) ->
+                      if g.Ir.gextern then
+                        Some (g.Ir.gname, global_of rig g.Ir.gname)
+                      else None)
+                    mref.Ir.globals;
+              }
+            in
+            (match Tv.check_kernel ~subst ~reference:mref ~candidate:ms gk.Gen.sym with
+            | Tv.Refuted fd ->
+                if fd.Proteus_analysis.Finding.loc = None then
+                  failf "h" "corruption refuted without source provenance: %s"
+                    fd.Proteus_analysis.Finding.message
+            | Tv.Proven ->
+                (* semantics-preserving damage (a dropped duplicate phi
+                   edge) may legitimately prove; execution must agree *)
+                ignore (Proteus_opt.Pipeline.optimize_o3 ms);
+                let obj = Gcn.compile ms in
+                let mk = Mach.find_kernel obj gk.Gen.sym in
+                let dev = Device.mi250x in
+                let l2 = L2cache.create dev in
+                ignore
+                  (Exec.launch ~reference:false ~domains:1 ~device:dev
+                     ~mem:rig.mem ~l2 ~symbols:(global_of rig) mk
+                     ~grid:l.Gen.grid ~block:l.Gen.block ~args:rig.args);
+                let snapc = snapshot rig in
+                let s0 = interp_run m0 gk l in
+                if snapc <> s0 then
+                  failf "h"
+                    "TransVal proved a corrupted kernel that executes \
+                     differently: %s"
+                    (snap_diff snapc s0)
+            | Tv.Unproven _ ->
+                (* incompleteness, not unsoundness: the strict gate
+                   rejects unproven compiles, so nothing corrupt ships *)
+                ());
+            tick ()
+          end);
     Ok !checks
   with Fail f -> Error f
 

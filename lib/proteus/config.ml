@@ -40,6 +40,17 @@ type t = {
       (* PROTEUS_VERIFY: re-run the IR verifier + KernelSan on
          post-specialize and post-O3 IR; a violation becomes a counted
          AOT fallback instead of reaching codegen *)
+  verify_level : int;
+      (* PROTEUS_VERIFY=2 additionally runs TransVal translation
+         validation: post-specialize IR is proven equivalent to the
+         decoded IR (spec args substituted) and post-O3 IR to
+         post-specialize. A refuted verdict is contained exactly like a
+         verifier rejection (counted AOT fallback + quarantine
+         pressure); unproven is counted but non-fatal unless
+         [verify_strict]. 0 = off, 1 = verifier + KernelSan only *)
+  verify_strict : bool;
+      (* PROTEUS_VERIFY_STRICT: treat an unproven TransVal verdict at
+         verify level 2 as a rejection instead of a counted warning *)
   exec_domains : int;
       (* PROTEUS_EXEC_DOMAINS: domains the executor schedules
          thread-blocks across; 0 = automatic (the executor picks the
@@ -98,6 +109,18 @@ let env_policy name default =
   | Some s -> Option.value (policy_of_string s) ~default
   | None -> default
 
+(* PROTEUS_VERIFY is a level: booleans keep their historical meaning
+   (on = 1) and "2" opts into translation validation. *)
+let env_verify_level name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "0" | "false" | "no" | "off" | "" -> 0
+      | "1" | "true" | "yes" | "on" -> 1
+      | "2" -> 2
+      | _ -> default)
+  | None -> default
+
 let env_bool name default =
   match Sys.getenv_opt name with
   | Some s -> (
@@ -116,7 +139,9 @@ let default =
     fault_plan = [];
     quarantine_threshold = env_int "PROTEUS_QUARANTINE_THRESHOLD" 3;
     quarantine_backoff = env_int "PROTEUS_QUARANTINE_BACKOFF" 16;
-    verify_jit = env_bool "PROTEUS_VERIFY" false;
+    verify_jit = env_verify_level "PROTEUS_VERIFY" 0 >= 1;
+    verify_level = env_verify_level "PROTEUS_VERIFY" 0;
+    verify_strict = env_bool "PROTEUS_VERIFY_STRICT" false;
     exec_domains = env_int "PROTEUS_EXEC_DOMAINS" 0;
     spec_policy = env_policy "PROTEUS_SPEC_POLICY" Spec_all;
     spec_threshold =
@@ -135,6 +160,12 @@ let mode_none = { default with enable_rcf = false; enable_lb = false }
 let mode_lb = { default with enable_rcf = false; enable_lb = true }
 let mode_rcf = { default with enable_rcf = true; enable_lb = false }
 let mode_lb_rcf = default
+
+(* The verification level actually in force: tests and embedders that
+   set [verify_jit] directly (without touching [verify_level]) keep
+   level-1 behaviour. *)
+let effective_verify_level c =
+  if c.verify_level >= 1 then c.verify_level else if c.verify_jit then 1 else 0
 
 let mode_name c =
   match (c.enable_rcf, c.enable_lb) with

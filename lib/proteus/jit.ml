@@ -276,6 +276,32 @@ let verify_ir (t : t) (m : Ir.modul) ~(sym : string) : unit =
     m.Ir.funcs;
   charge t (float_of_int !n *. t.rt.Gpurt.cost.Costmodel.opt_per_work_s)
 
+(* The PROTEUS_VERIFY=2 gate: TransVal translation validation of one
+   transformation step. Runs inside the contained [Fault.Verify] stage,
+   so a refuted verdict degrades to a counted AOT fallback (and feeds
+   quarantine pressure) exactly like a structural-verifier rejection.
+   Unproven is counted but only fatal under PROTEUS_VERIFY_STRICT. *)
+let transval_gate (t : t) ~(phase : string)
+    ?(subst = Proteus_analysis.Transval.no_subst) ~(reference : Ir.modul)
+    ~(candidate : Ir.modul) ~(sym : string) () : unit =
+  in_stage t Fault.Verify @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let verdict =
+    Proteus_analysis.Transval.check_kernel ~subst ~reference ~candidate sym
+  in
+  Proteus_support.Hist.record t.stats.Stats.tv_hist (Unix.gettimeofday () -. t0);
+  match verdict with
+  | Proteus_analysis.Transval.Proven ->
+      t.stats.Stats.tv_proven <- t.stats.Stats.tv_proven + 1
+  | Proteus_analysis.Transval.Unproven why ->
+      t.stats.Stats.tv_unproven <- t.stats.Stats.tv_unproven + 1;
+      if t.config.Config.verify_strict then
+        Util.failf "Proteus: TransVal could not prove %s %s: %s" sym phase why
+  | Proteus_analysis.Transval.Refuted fd ->
+      t.stats.Stats.tv_refuted <- t.stats.Stats.tv_refuted + 1;
+      Util.failf "Proteus: TransVal refuted %s %s: %s" sym phase
+        (Proteus_analysis.Finding.to_string fd)
+
 (* Compile one kernel specialization to a loadable object. *)
 let compile_specialization (t : t) ~(bitcode : string) ~(sym : string)
     ~(spec_values : (int * Konst.t) list) ~(block : int) : Mach.obj =
@@ -288,6 +314,10 @@ let compile_specialization (t : t) ~(bitcode : string) ~(sym : string)
     t.stats.Stats.bitcode_bytes <- t.stats.Stats.bitcode_bytes + String.length bitcode;
     Bitcode.decode_module bitcode
   in
+  let vlevel = Config.effective_verify_level t.config in
+  (* translation validation needs the decoded module as it was before
+     specialization mutates it in place *)
+  let m_decoded = if vlevel >= 2 then Some (Ir.clone_module m) else None in
   (* link + specialize *)
   in_stage t Fault.Specialize (fun () ->
       Specialize.apply t.config m ~kernel:sym ~spec_values ~block
@@ -295,12 +325,43 @@ let compile_specialization (t : t) ~(bitcode : string) ~(sym : string)
   (* silent-corruption fault: damages the IR without raising, so only
      the verify gate stands between it and codegen *)
   if Fault.fires t.faults Fault.Specialize_corrupt then corrupt_ir m ~sym;
+  (* translation validation runs before the structural verifier: a
+     refutation then carries source provenance (the decoded reference
+     still has its dbg.loc markers) instead of a bare verifier error *)
+  (match m_decoded with
+  | Some reference ->
+      (* the decoded reference sees the same substitution the
+         specializer performed: folded argument values (1-based in
+         [spec_values], 0-based in the symbolic summary) and resolved
+         device-global addresses *)
+      let subst =
+        {
+          Proteus_analysis.Transval.sub_params =
+            (if t.config.Config.enable_rcf then
+               List.map (fun (i, k) -> (i - 1, k)) spec_values
+             else []);
+          sub_globals =
+            List.filter_map
+              (fun (g : Ir.gvar) ->
+                if g.Ir.gextern then Some (g.Ir.gname, resolve_global t g.Ir.gname)
+                else None)
+              reference.Ir.globals;
+        }
+      in
+      transval_gate t ~phase:"after specialize" ~subst ~reference ~candidate:m
+        ~sym ()
+  | None -> ());
   if t.config.Config.verify_jit then verify_ir t m ~sym;
+  let m_spec = if vlevel >= 2 then Some (Ir.clone_module m) else None in
   (* O3 pipeline *)
   in_stage t Fault.Optimize (fun () ->
       let pstats = Proteus_opt.Pipeline.optimize_o3 m in
       t.stats.Stats.compile_work <- t.stats.Stats.compile_work + pstats.Proteus_opt.Pass.work;
       charge t (float_of_int pstats.Proteus_opt.Pass.work *. cost.Costmodel.opt_per_work_s));
+  (match m_spec with
+  | Some reference ->
+      transval_gate t ~phase:"after O3" ~reference ~candidate:m ~sym ()
+  | None -> ());
   if t.config.Config.verify_jit then verify_ir t m ~sym;
   (* backend code generation *)
   let obj =

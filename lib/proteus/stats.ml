@@ -32,6 +32,12 @@ type t = {
   mutable verify_rejections : int;
       (* launches the PROTEUS_VERIFY gate sent to the AOT kernel because
          post-specialize/post-O3 IR failed verification or KernelSan *)
+  (* translation validation (PROTEUS_VERIFY=2): per kernel-pair verdicts
+     and wall-clock validation latency *)
+  mutable tv_proven : int;
+  mutable tv_unproven : int;
+  mutable tv_refuted : int;
+  tv_hist : Hist.t; (* seconds per validated pair *)
   (* specialization policy (SpecAdvisor) *)
   mutable spec_skipped_args : int;
       (* annotated argument values dropped from specialization keys by
@@ -85,6 +91,7 @@ let create () =
     fallbacks = 0; failures_by_stage = Hashtbl.create 8; quarantine_events = 0;
     quarantined_launches = 0; quarantine_retries = 0; cache_corruptions = 0;
     host_hook_errors = 0; verify_rejections = 0;
+    tv_proven = 0; tv_unproven = 0; tv_refuted = 0; tv_hist = Hist.create ();
     spec_skipped_args = 0; advise_time_s = 0.0;
     cache_entries_by_policy = Hashtbl.create 4;
     flight_leads = 0; flight_suppressed = 0; retries = 0; retry_successes = 0;
@@ -273,6 +280,29 @@ let to_pairs s =
         ("profiled-keys", string_of_int (profiled_keys s));
       ]
   in
+  let transval =
+    if s.tv_proven = 0 && s.tv_unproven = 0 && s.tv_refuted = 0 then []
+    else
+      [
+        ("tv-proven", string_of_int s.tv_proven);
+        ("tv-unproven", string_of_int s.tv_unproven);
+        ("tv-refuted", string_of_int s.tv_refuted);
+        ( "tv-p50",
+          if Hist.count s.tv_hist = 0 then "n/a" else ms (Hist.p50 s.tv_hist) );
+        ( "tv-p99",
+          if Hist.count s.tv_hist = 0 then "n/a" else ms (Hist.p99 s.tv_hist) );
+      ]
+  in
+  let analysis =
+    let nh = Proteus_analysis.Normalize.cache_hits ()
+    and nm = Proteus_analysis.Normalize.cache_misses () in
+    if nh = 0 && nm = 0 then []
+    else
+      [
+        ("normalize-hits", string_of_int nh);
+        ("normalize-misses", string_of_int nm);
+      ]
+  in
   let latency =
     if Hist.count s.launch_hist = 0 then []
     else
@@ -282,7 +312,7 @@ let to_pairs s =
         ("overhead-p99", ms (Hist.p99 s.launch_hist));
       ]
   in
-  base @ faults @ policy @ resilience @ tier @ latency
+  base @ faults @ transval @ analysis @ policy @ resilience @ tier @ latency
 
 let to_string s =
   "jit " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) (to_pairs s))
