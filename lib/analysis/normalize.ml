@@ -15,25 +15,31 @@
    per analysis.
 
    [clone] is additionally memoized on the *identity* of the source
-   module: a driver that runs analyze + perflint + transval over one
-   compiled module pays for one normalization, and the later analyses
-   read the very same clone (they treat it as read-only). The cache is
-   keyed by physical equality, so a recompiled module never aliases a
-   stale clone; it is capped so long-running processes do not pin dead
-   modules. Callers that mutate a module in place after normalizing it
-   (the JIT never does — it clones first) must not rely on the memo. *)
+   module paired with its mutation generation ([Ir.modul.mgen]): a
+   driver that runs analyze + perflint + transval over one compiled
+   module pays for one normalization, and the later analyses read the
+   very same clone (they treat it as read-only). A recompiled module
+   never aliases a stale clone (distinct physical identity), and a
+   module mutated in place — the JIT specializes and runs O3 on the
+   same physical module between verify gates — invalidates its entry
+   because every in-place mutator bumps the generation. The cache is
+   capped so long-running processes do not pin dead modules, and
+   guarded by a mutex: background tier compiles and the multi-tenant
+   serve loop normalize concurrently from several domains. *)
 
 open Proteus_ir
 
 let cache_cap = 8
-let cache : (Ir.modul * Ir.modul) list ref = ref []
+let lock = Mutex.create ()
+let cache : ((Ir.modul * int) * Ir.modul) list ref = ref []
 let hits = ref 0
 let misses = ref 0
 
-let cache_hits () = !hits
-let cache_misses () = !misses
+let cache_hits () = Mutex.protect lock (fun () -> !hits)
+let cache_misses () = Mutex.protect lock (fun () -> !misses)
 
 let reset_cache () =
+  Mutex.protect lock @@ fun () ->
   cache := [];
   hits := 0;
   misses := 0
@@ -47,17 +53,32 @@ let normalize_fresh (m : Ir.modul) : Ir.modul =
   m
 
 let clone (m : Ir.modul) : Ir.modul =
-  match List.find_opt (fun (k, _) -> k == m) !cache with
-  | Some (_, c) ->
-      incr hits;
-      c
+  let gen = m.Ir.mgen in
+  let cached =
+    Mutex.protect lock @@ fun () ->
+    match List.find_opt (fun ((k, g), _) -> k == m && g = gen) !cache with
+    | Some (_, c) ->
+        incr hits;
+        Some c
+    | None -> None
+  in
+  match cached with
+  | Some c -> c
   | None ->
-      incr misses;
+      (* normalize outside the lock: it runs whole opt passes, and a
+         racing double-normalization is only wasted work, never wrong *)
       let c = normalize_fresh m in
-      let keep =
-        if List.length !cache >= cache_cap then
-          List.filteri (fun i _ -> i < cache_cap - 1) !cache
-        else !cache
-      in
-      cache := (m, c) :: keep;
-      c
+      Mutex.protect lock (fun () ->
+          match List.find_opt (fun ((k, g), _) -> k == m && g = gen) !cache with
+          | Some (_, c') ->
+              incr hits;
+              c'
+          | None ->
+              incr misses;
+              let keep =
+                if List.length !cache >= cache_cap then
+                  List.filteri (fun i _ -> i < cache_cap - 1) !cache
+                else !cache
+              in
+              cache := ((m, gen), c) :: keep;
+              c)

@@ -24,7 +24,12 @@
    structural impossibility — use of an undefined register, a phi
    missing a live incoming edge — or a concrete counterexample found by
    sampling a pure mismatch), [Unproven] (anything the engine cannot
-   decide; never treated as failure unless the caller is strict). *)
+   decide; never treated as failure unless the caller is strict).
+   Comparison identities that are invalid on NaN inputs (operator
+   flips, reflexive folds) are restricted to operands not known to be
+   floats, so Proven is NaN-faithful wherever operand types are known.
+   The engine is single-flight: a global lock serializes check_kernel
+   and each validation evaluates in a fresh term universe. *)
 
 open Proteus_support
 open Proteus_ir
@@ -143,8 +148,11 @@ let note_provenance t ~(loc : (int * int) option) ~(block : string) =
 
 let const k = intern (Const k)
 let cbool b = const (Konst.kbool b)
-let tt = lazy (cbool true)
-let ff = lazy (cbool false)
+(* Functions, not memoized lazies: [check_kernel] resets the term
+   universe per validation, and a term cached across a reset would no
+   longer be the interned representative of its node. *)
+let tt () = cbool true
+let ff () = cbool false
 let is_const_bool b t = match t.node with Const (Konst.KBool x) -> x = b | _ -> false
 let is_true t = is_const_bool true t
 let is_false t = is_const_bool false t
@@ -163,6 +171,32 @@ let disjuncts g =
 
 let sort_terms ts = List.sort_uniq (fun a b -> compare a.id b.id) ts
 
+(* Partial term typing: enough to drive cast folding, zero-filling and
+   the float guards below. *)
+let rec ty_of_term t =
+  match t.node with
+  | Const k -> Some (Konst.ty_of k)
+  | Param (_, ty) -> Some ty
+  | Query _ -> Some (Types.TInt 32)
+  | Bin (_, ty, _) -> Some ty
+  | Cmp _ | Not _ -> Some Types.TBool
+  | Cast (_, ty, _) -> Some ty
+  | Gep (p, _, _) -> ty_of_term p
+  | Load (_, _, _, ty) -> Some ty
+  | AllocaBase (_, ty) -> Some (Types.TPtr (ty, Types.AS_scratch))
+  | Merge ((_, v) :: _) -> ty_of_term v
+  | _ -> None
+
+(* NaN discipline: IEEE comparisons on NaN inputs falsify both a
+   predicate and its operator-flipped negation, and x==x is false, so
+   the operator-flip and reflexive-compare identities below are
+   restricted to operands not known to be floats. (Operands of unknown
+   type — loop state, loads — are treated as orderable; kernels whose
+   behavior hinges on NaN propagation through those are a documented
+   unproven corner, see DESIGN.md.) *)
+let is_float_term t =
+  match ty_of_term t with Some (Types.TFloat _) -> true | _ -> false
+
 (* Negation-normal form: Not is pushed through compound booleans (De
    Morgan) and comparisons (operator flip), so negations only ever wrap
    opaque atoms. Without this, an O0-side ¬(a∨b) (from a short-circuit
@@ -172,7 +206,8 @@ let rec mk_not g =
   match g.node with
   | Const (Konst.KBool b) -> cbool (not b)
   | Not x -> x
-  | Cmp (op, a, b) ->
+  | Cmp (op, a, b) when not (is_float_term a || is_float_term b) ->
+      (* ¬(a<b) = a≥b is false for NaN operands: only flip int/bool *)
       let open Ops in
       let op' =
         match op with
@@ -185,11 +220,11 @@ let rec mk_not g =
 
 and mk_and gs =
   let parts = List.concat_map conjuncts gs in
-  if List.exists is_false parts then Lazy.force ff
+  if List.exists is_false parts then ff ()
   else
     let parts = sort_terms (List.filter (fun t -> not (is_true t)) parts) in
     if List.exists (fun t -> List.exists (fun u -> (mk_not t).id = u.id) parts) parts
-    then Lazy.force ff
+    then ff ()
     else
       (* Unit propagation: inside an or-conjunct, a disjunct contradicted
          by a sibling conjunct vanishes, and an or-conjunct containing a
@@ -279,7 +314,7 @@ and mk_and gs =
               :: List.filter (fun p -> p.id <> p1.id && p.id <> p2.id) parts)
         | None -> (
             match parts with
-            | [] -> Lazy.force tt
+            | [] -> tt ()
             | [ g ] -> g
             | l -> intern (Bin (Ops.And, Types.TBool, l)))
 
@@ -289,7 +324,7 @@ and mk_and gs =
    guard, keeping guards CFG-shape-insensitive. *)
 and mk_or gs =
   let parts = List.concat_map disjuncts gs in
-  if List.exists is_true parts then Lazy.force tt
+  if List.exists is_true parts then tt ()
   else
     let parts = ref (sort_terms (List.filter (fun t -> not (is_false t)) parts)) in
     let changed = ref true in
@@ -391,11 +426,11 @@ and mk_or gs =
       end
     done;
     match !parts with
-    | [] -> Lazy.force ff
+    | [] -> ff ()
     | [ g ] -> g
     | l ->
         if List.exists (fun t -> List.exists (fun u -> (mk_not t).id = u.id) l) l
-        then Lazy.force tt
+        then tt ()
         else
           (* common-conjunct factoring: (A∧B) ∨ (A∧C) = A ∧ (B∨C), so a
              guard pooled from several same-context CFG edges interns the
@@ -579,26 +614,13 @@ and mk_cmp op a b =
   match (a.node, b.node) with
   | Const ka, Const kb -> (
       match Konst.cmpop op ka kb with k -> const k | exception _ -> intern (Cmp (op, a, b)))
-  | _ when a.id = b.id -> (
+  (* x==x is false (and x<x vacuous) when x is NaN: reflexive folds
+     only apply to operands not known to be floats *)
+  | _ when a.id = b.id && not (is_float_term a) -> (
       match op with
       | Ops.CEq | Ops.CLe | Ops.CGe -> cbool true
       | Ops.CNe | Ops.CLt | Ops.CGt -> cbool false)
   | _ -> intern (Cmp (op, a, b))
-
-(* Partial term typing: enough to drive cast folding and zero-filling. *)
-let rec ty_of_term t =
-  match t.node with
-  | Const k -> Some (Konst.ty_of k)
-  | Param (_, ty) -> Some ty
-  | Query _ -> Some (Types.TInt 32)
-  | Bin (_, ty, _) -> Some ty
-  | Cmp _ | Not _ -> Some Types.TBool
-  | Cast (_, ty, _) -> Some ty
-  | Gep (p, _, _) -> ty_of_term p
-  | Load (_, _, _, ty) -> Some ty
-  | AllocaBase (_, ty) -> Some (Types.TPtr (ty, Types.AS_scratch))
-  | Merge ((_, v) :: _) -> ty_of_term v
-  | _ -> None
 
 let mk_cast op ty a =
   match a.node with
@@ -730,7 +752,7 @@ and given s h =
   let refuted t = known (mk_not t) in
   let simp c =
     if known c then None
-    else if refuted c then Some (Lazy.force ff)
+    else if refuted c then Some (ff ())
     else
       match c.node with
       | Bin (Ops.Or, Types.TBool, ds) ->
@@ -1503,7 +1525,7 @@ let rec eval_func ctx ~depth (f : Ir.func) ~(args : term list) ~guard0 ~mem0 :
     let overlay =
       List.fold_left
         (fun acc (i, (_, ty, addr)) ->
-          intern (ChainStore (acc, Lazy.force tt, addr, fvs.(nphis + i), ty)))
+          intern (ChainStore (acc, tt (), addr, fvs.(nphis + i), ty)))
         entry_mem.mp
         (List.mapi (fun i s -> (i, s)) slots)
     in
@@ -1732,7 +1754,7 @@ let summarize ~opts ~sub m sym : summary =
       mp = intern (Nil Types.AS_scratch);
     }
   in
-  let ret, mem = eval_func ctx ~depth:0 f ~args ~guard0:(Lazy.force tt) ~mem0 in
+  let ret, mem = eval_func ctx ~depth:0 f ~args ~guard0:(tt ()) ~mem0 in
   { sum_ret = ret; sum_g = mem.mg; sum_s = mem.ms }
 
 (* ------------------------------------------------------------------ *)
@@ -1959,16 +1981,19 @@ let refuted ~sym ~ids msg =
        ~func:sym ~block:blk msg)
 
 (* Memory-modeled counterexample for impure values.  When every load
-   in both terms reads global memory through the *same* symbolic chain
+   in both terms reads global memory through the *initial* [Nil] chain
    state, that memory is a universally-quantified input: model it as a
    sampled address -> value function (consistent within one sample, so
    equal addresses always read equal values) and evaluate both sides
    under it.  A disagreement is then a genuine counterexample - there
    exists an input memory and environment separating the two kernels.
-   Loads from distinct chain states (or non-global spaces, which have
-   known store histories) disable the refinement: sampling them
-   independently could manufacture inconsistent memories and unsound
-   refutations. *)
+   Loads through any non-Nil chain disable the refinement: downstream
+   of a ChainStore prefix the sampled function could contradict the
+   recorded store history (a forwarded load versus the very value a
+   common store wrote), and loads from distinct chain states or
+   non-global spaces could sample mutually inconsistent memories -
+   either way manufacturing an infeasible "counterexample" and an
+   unsound refutation. *)
 let counterexample_mem ~samples tref tcand =
   let cid = ref None in
   let seen = Hashtbl.create 64 in
@@ -1984,7 +2009,7 @@ let counterexample_mem ~samples tref tcand =
           | Not a | Cast (_, _, a) -> mod_loads a
           | Gep (p, i, _) -> mod_loads p && mod_loads i
           | Merge es -> List.for_all (fun (g, v) -> mod_loads g && mod_loads v) es
-          | Load (Types.AS_global, c, a, _) -> (
+          | Load (Types.AS_global, ({ node = Nil _; _ } as c), a, _) -> (
               match !cid with
               | None ->
                   cid := Some c.id;
@@ -2110,6 +2135,27 @@ let compare_summaries ~opts ~sym sref scand =
 
 exception Ref_failed of string
 
+(* The term universe (intern/provenance/assume tables, free-variable
+   counter) is process-global mutable state, so validations are
+   single-flight: one lock serializes every [check_kernel] against the
+   concurrent callers a JIT service has (background tier compiles on
+   pool domains, the multi-tenant serve loop fanning sessions across
+   domains). Each validation starts from a fresh universe — the tables
+   would otherwise retain every validated kernel's terms for the life
+   of the process, and [note_provenance]'s first-writer-wins policy
+   would let one kernel's file:line bleed into another's refutation.
+   [next_id] is deliberately NOT reset: ids stay monotonic so a term a
+   caller retained across validations (tests) can never share an id
+   with a structurally different fresh term. *)
+let engine_lock = Mutex.create ()
+
+let reset_universe () =
+  Hashtbl.reset intern_tbl;
+  Hashtbl.reset loc_tbl;
+  Hashtbl.reset blk_tbl;
+  Hashtbl.reset assume_memo;
+  fv_counter := 0
+
 (* Validate [candidate]'s kernel [sym] against [reference]'s. [subst]
    carries specialization bindings applied to the reference side (the
    candidate is expected to have them folded in already). The reference
@@ -2117,6 +2163,8 @@ exception Ref_failed of string
    — O3 strips debug markers from the candidate. *)
 let check_kernel ?(opts = default_options) ?(subst = no_subst) ~reference
     ~candidate sym : verdict =
+  Mutex.protect engine_lock @@ fun () ->
+  reset_universe ();
   try
     let sref =
       try summarize ~opts ~sub:subst reference sym
@@ -2169,7 +2217,9 @@ let finding_of_verdict ~sym = function
 (* Test-facing internals: raw (unnormalized) construction, the
    normalizer as a standalone function, and concrete evaluation, so
    qcheck can state `norm (norm t) = norm t` and `eval t = eval (norm
-   t)` without going through a whole kernel. *)
+   t)` without going through a whole kernel. Unlike [check_kernel],
+   these touch the shared term universe without taking [engine_lock]:
+   single-threaded test use only. *)
 module Internal = struct
   let raw node = intern node
   let norm t = subst_free ~f:(fun _ _ -> None) t
@@ -2183,6 +2233,7 @@ module Internal = struct
   let eval = ceval
   let sample_env = sample_env
   let is_pure = is_pure
+  let counterexample_mem = counterexample_mem
   let summarize ?(opts = default_options) ?(sub = no_subst) m sym =
     summarize ~opts ~sub m sym
   let chain_nodes = chain_nodes

@@ -842,7 +842,7 @@ let lower_device ?(debug = false) ~(mid : string) ~(name : string) (prog : progr
     Ir.modul =
   let modul =
     { Ir.mid; mname = name ^ ".dev"; mtarget = Ir.TDevice; globals = []; funcs = [];
-      annotations = []; ctors = [] }
+      annotations = []; ctors = []; mgen = 0 }
   in
   let sigs, kernels = collect_sigs prog in
   let g =
@@ -892,7 +892,7 @@ let lower_host ?(debug = false) ~(vendor : vendor) ~(mid : string) ~(name : stri
     (prog : program) : Ir.modul =
   let modul =
     { Ir.mid; mname = name ^ ".host"; mtarget = Ir.THost; globals = []; funcs = [];
-      annotations = []; ctors = [] }
+      annotations = []; ctors = []; mgen = 0 }
   in
   let sigs, kernels = collect_sigs prog in
   let g =

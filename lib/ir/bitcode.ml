@@ -285,4 +285,4 @@ let decode_module (s : string) : Ir.modul =
         { Ir.afunc; akey; aargs })
   in
   let ctors = R.list r R.str in
-  { mid; mname; mtarget; globals; funcs; annotations; ctors }
+  { mid; mname; mtarget; globals; funcs; annotations; ctors; mgen = 0 }

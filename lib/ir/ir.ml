@@ -78,7 +78,13 @@ type modul = {
   mutable funcs : func list;
   mutable annotations : annotation list;
   mutable ctors : string list; (* global constructors, run at program load *)
+  mutable mgen : int; (* in-place mutation generation, see [touch_module] *)
 }
+
+(* Every in-place IR mutator (the pass manager, the specializer, fault
+   injectors) must bump the module's generation so caches keyed on
+   module identity (Analysis.Normalize) observe the mutation. *)
+let touch_module (m : modul) = m.mgen <- m.mgen + 1
 
 (* ------------------------------------------------------------------ *)
 (* Construction helpers                                                *)

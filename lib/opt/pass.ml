@@ -61,15 +61,19 @@ let bump stats name work =
 
 (* Run one pass over all defined functions of a module. *)
 let run_pass stats (p : t) (m : Ir.modul) : bool =
-  List.fold_left
-    (fun changed f ->
-      if f.Ir.is_decl || f.Ir.blocks = [] then changed
-      else begin
-        bump stats p.name (func_size f);
-        let c = p.run m f in
-        c || changed
-      end)
-    false m.funcs
+  let changed =
+    List.fold_left
+      (fun changed f ->
+        if f.Ir.is_decl || f.Ir.blocks = [] then changed
+        else begin
+          bump stats p.name (func_size f);
+          let c = p.run m f in
+          c || changed
+        end)
+      false m.funcs
+  in
+  if changed then Ir.touch_module m;
+  changed
 
 (* Run a pipeline; repeat the iterative tail until fixpoint. *)
 let run_pipeline ?(max_iters = 4) stats (pipeline : t list) (m : Ir.modul) : unit =

@@ -67,6 +67,7 @@ let extract_kernel (m : Ir.modul) (kernel : string) : Ir.modul =
         m.Ir.funcs;
     annotations = List.filter (fun (a : Ir.annotation) -> a.Ir.afunc = kernel) m.Ir.annotations;
     ctors = [];
+    mgen = 0;
   }
 
 let bitcode_of_kernel (m : Ir.modul) (kernel : string) : string =

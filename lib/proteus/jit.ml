@@ -228,6 +228,7 @@ let resolve_global (t : t) (name : string) : int64 =
    when one exists, else inserts a use of an undefined register — both
    are exactly the structural breakages the hardened verifier detects. *)
 let corrupt_ir (m : Ir.modul) ~(sym : string) : unit =
+  Ir.touch_module m;
   match Ir.find_func_opt m sym with
   | None -> ()
   | Some f -> (

@@ -129,6 +129,7 @@ let build_module (kernels : int) : Ir.modul =
       List.init kernels (fun j ->
           { Ir.afunc = kernel_sym j; akey = "jit"; aargs = [ 1 ] });
     ctors = [];
+    mgen = 0;
   }
 
 let backend_name = function Device.Amd -> "amd" | Device.Nvidia -> "nvidia"

@@ -160,4 +160,5 @@ let apply (config : Config.t) (m : Ir.modul) ~(kernel : string)
   let f = Ir.find_func m kernel in
   link_globals_typed m resolve_global;
   if config.Config.enable_rcf then fold_arguments f spec_values;
-  if config.Config.enable_lb then set_launch_bounds f ~threads:block
+  if config.Config.enable_lb then set_launch_bounds f ~threads:block;
+  Ir.touch_module m

@@ -348,6 +348,52 @@ let test_affine_eval () =
   let sym = Affine.of_atom (Affine.Sym 9) in
   check itv "unknown sym" Affine.top (Affine.eval env sym)
 
+(* ---- Normalize memo: generation-keyed invalidation ---------------- *)
+
+(* The JIT normalizes the same physical module at two verify gates with
+   an in-place O3 run in between (compile_specialization): the memo
+   must not serve the pre-O3 clone to the post-O3 gate, or KernelSan
+   would silently analyze stale pre-O3 IR and an Optimize-stage
+   miscompile would pass verification. The source keeps a statically
+   foldable loop that simplifycfg+mem2reg alone preserve but O3
+   collapses, so stale and fresh clones are distinguishable by size. *)
+let normalize_gen_src =
+  {|
+__global__ void k(int *out) {
+  int acc = 0;
+  for (int i = 0; i < 8; ++i) acc += i * i;
+  out[threadIdx.x] = acc;
+}
+|}
+
+let test_normalize_invalidation () =
+  let m = compile "norm-gen" normalize_gen_src in
+  let size mm = Proteus_opt.Pass.module_size mm in
+  let c1 = Normalize.clone m in
+  check Alcotest.bool "unmutated module hits the memo" true
+    (c1 == Normalize.clone m);
+  ignore (Proteus_opt.Pipeline.optimize_o3 m);
+  let c2 = Normalize.clone m in
+  check Alcotest.bool "in-place O3 invalidates the memo" true (not (c1 == c2));
+  check Alcotest.bool "post-O3 analyses see post-O3 IR (loop folded)" true
+    (size c2 < size c1);
+  check Alcotest.int "memoized clone matches a fresh normalization"
+    (size (Normalize.normalize_fresh m))
+    (size c2);
+  check Alcotest.bool "post-O3 module re-hits the memo" true
+    (c2 == Normalize.clone m)
+
+(* Same staleness hazard through the fault injector: corrupt_ir mutates
+   blocks directly, and the verify gate's KernelSan must observe the
+   damage rather than a cached clean clone. *)
+let test_normalize_sees_corruption () =
+  let m = compile "norm-corrupt" normalize_gen_src in
+  let c1 = Normalize.clone m in
+  Jit.corrupt_ir m ~sym:"k";
+  let c2 = Normalize.clone m in
+  check Alcotest.bool "corruption invalidates the memo" true (not (c1 == c2));
+  assert_invalid "corrupted module behind the memo" m
+
 let test_affine_clamp () =
   let open Proteus_ir.Ops in
   let t = Affine.top in
@@ -393,6 +439,13 @@ let () =
         [
           Alcotest.test_case "analysis agrees with backend codegen" `Quick
             test_uniformity_cross_check;
+        ] );
+      ( "normalize",
+        [
+          Alcotest.test_case "in-place mutation invalidates the memo" `Quick
+            test_normalize_invalidation;
+          Alcotest.test_case "fault-injected corruption is not masked" `Quick
+            test_normalize_sees_corruption;
         ] );
       ( "verifier",
         [

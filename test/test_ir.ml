@@ -151,7 +151,7 @@ let build_abs_add () =
 
 let module_with fs =
   { Ir.mid = "test"; mname = "test"; mtarget = Ir.TDevice; globals = []; funcs = fs;
-    annotations = []; ctors = [] }
+    annotations = []; ctors = []; mgen = 0 }
 
 let null_env () =
   Interp.make_env

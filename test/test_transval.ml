@@ -113,6 +113,98 @@ let qcheck_not_involution =
       (I.norm (I.raw (Tv.Not (I.raw (Tv.Not g))))).Tv.id = (I.norm g).Tv.id)
 
 (* ------------------------------------------------------------------ *)
+(* IEEE NaN discipline: reflexive folds and operator flips only apply
+   to operands not known to be floats — a float x==x is an isnan-style
+   check the normalizer must not erase, and ¬(a<b) is not a≥b when a
+   NaN falsifies both. *)
+
+let test_nan_guards () =
+  let fp i = I.raw (Tv.Param (i, Types.TFloat 64)) in
+  let ip i = I.raw (Tv.Param (i, Types.TInt 32)) in
+  let norm n = I.norm (I.raw n) in
+  (match (norm (Tv.Cmp (Ops.CEq, fp 0, fp 0))).Tv.node with
+  | Tv.Cmp (Ops.CEq, _, _) -> ()
+  | _ -> Alcotest.fail "float x==x must not fold to true");
+  (match (norm (Tv.Cmp (Ops.CEq, ip 0, ip 0))).Tv.node with
+  | Tv.Const (Konst.KBool true) -> ()
+  | _ -> Alcotest.fail "int x==x should fold to true");
+  (match (norm (Tv.Not (I.raw (Tv.Cmp (Ops.CLt, fp 0, fp 1))))).Tv.node with
+  | Tv.Not { Tv.node = Tv.Cmp (Ops.CLt, _, _); _ } -> ()
+  | _ -> Alcotest.fail "float not(a<b) must not flip to a>=b");
+  match (norm (Tv.Not (I.raw (Tv.Cmp (Ops.CLt, ip 0, ip 1))))).Tv.node with
+  | Tv.Cmp (Ops.CGe, _, _) -> ()
+  | _ -> Alcotest.fail "int not(a<b) should flip to a>=b"
+
+(* ------------------------------------------------------------------ *)
+(* The sampled address→value memory model may only engage for loads
+   through the initial Nil chain: downstream of a shared store prefix
+   the sample could contradict the recorded store history and fabricate
+   an infeasible counterexample (an unsound refutation). *)
+
+let test_mem_sampler_nil_only () =
+  let fty = Types.TFloat 64 in
+  let nil = I.raw (Tv.Nil Types.AS_global) in
+  let ptr i = I.raw (Tv.Param (i, Types.TPtr (fty, Types.AS_global))) in
+  let load chain addr = I.raw (Tv.Load (Types.AS_global, chain, addr, fty)) in
+  (match I.counterexample_mem ~samples:24 (load nil (ptr 0)) (load nil (ptr 1)) with
+  | Some _ -> ()
+  | None ->
+      Alcotest.fail
+        "Nil-chain loads at distinct addresses should sample a counterexample");
+  check Alcotest.bool "identical loads never separate" true
+    (I.counterexample_mem ~samples:24 (load nil (ptr 0)) (load nil (ptr 0)) = None);
+  (* forwarded stored value vs a load downstream of the same store: the
+     sampler must stay disabled rather than contradict the store *)
+  let v = I.raw (Tv.Param (2, fty)) in
+  let guard = I.raw (Tv.Const (Konst.kbool true)) in
+  let stored = I.raw (Tv.ChainStore (nil, guard, ptr 0, v, fty)) in
+  check Alcotest.bool "store-prefixed chain disables the sampler" true
+    (I.counterexample_mem ~samples:24 (load stored (ptr 0)) v = None)
+
+(* ------------------------------------------------------------------ *)
+(* The engine's term universe is process-global: background tier
+   compiles and the multi-tenant serve loop validate from several
+   domains at once, so check_kernel must serialize (and not corrupt the
+   intern tables or mis-share term ids across validations). *)
+
+let concurrent_src =
+  {|
+__global__ void cknl(double* out, double* in, int n)
+{
+  int i = ((blockIdx.x * blockDim.x) + threadIdx.x);
+  if (i < n) {
+    double v = in[i];
+    if (v > 0.0) { v = (v * 2.0); } else { v = (v - 1.0); }
+    out[i] = v;
+  }
+}
+|}
+
+let test_concurrent_checks () =
+  let reference =
+    Proteus_frontend.Compile.compile_device_only ~name:"tv_conc" ~debug:true
+      concurrent_src
+  in
+  let candidate = Ir.clone_module reference in
+  ignore (Proteus_opt.Pipeline.optimize_o3 candidate);
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            List.init 8 (fun _ ->
+                Tv.check_kernel ~reference ~candidate "cknl")))
+  in
+  List.iter
+    (fun d ->
+      List.iter
+        (function
+          | Tv.Proven -> ()
+          | v ->
+              Alcotest.failf "concurrent validation: expected proven, got %s"
+                (Tv.verdict_to_string v))
+        (Domain.join d))
+    domains
+
+(* ------------------------------------------------------------------ *)
 (* Cutpoint unit tests: O0 vs O3 on hand-written kernels exercising a
    branch diamond, a static-trip-count loop (bounded unrolling) and a
    data-dependent loop (summarization). *)
@@ -365,6 +457,15 @@ let () =
           qtest qcheck_norm_idempotent;
           qtest qcheck_norm_preserves_eval;
           qtest qcheck_not_involution;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "NaN-unsafe folds restricted to non-floats" `Quick
+            test_nan_guards;
+          Alcotest.test_case "memory sampler requires the Nil chain" `Quick
+            test_mem_sampler_nil_only;
+          Alcotest.test_case "concurrent validations serialize" `Quick
+            test_concurrent_checks;
         ] );
       ( "cutpoints",
         [
